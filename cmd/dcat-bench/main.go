@@ -1,0 +1,81 @@
+// Command dcat-bench regenerates every table and figure of the dCat
+// paper's evaluation on the simulated substrate and prints them in
+// paper order.
+//
+//	dcat-bench                 # run everything at full fidelity
+//	dcat-bench -quick          # reduced scale (~4x faster)
+//	dcat-bench -run fig10,fig17
+//	dcat-bench -out results/   # also save one file per experiment
+//	dcat-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "reduced simulation scale")
+		run   = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		out   = flag.String("out", "", "directory to save per-experiment outputs")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+	if err := realMain(*quick, *run, *out, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "dcat-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(quick bool, run, out string, list bool) error {
+	if list {
+		for _, r := range experiments.All() {
+			fmt.Printf("%-20s %s\n", r.ID, r.Title)
+		}
+		return nil
+	}
+	opts := experiments.Default()
+	if quick {
+		opts = experiments.Quick()
+	}
+	var runners []experiments.Runner
+	if run == "" {
+		runners = experiments.All()
+	} else {
+		for _, id := range strings.Split(run, ",") {
+			r, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				return err
+			}
+			runners = append(runners, r)
+		}
+	}
+	if out != "" {
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, r := range runners {
+		start := time.Now()
+		text, err := r.Run(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		fmt.Print(text)
+		fmt.Printf("(%s took %.1fs)\n\n", r.ID, time.Since(start).Seconds())
+		if out != "" {
+			path := filepath.Join(out, r.ID+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

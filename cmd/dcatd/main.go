@@ -1,0 +1,294 @@
+// Command dcatd is the dCat daemon: every period it samples per-core
+// performance counters, runs the controller's five steps, and applies
+// the resulting cache partitioning through the resctrl filesystem.
+//
+// Hardware mode (Linux with resctrl mounted and the msr module loaded;
+// requires root):
+//
+//	dcatd -group web=0-3@4 -group batch=4-7@2 -period 1s
+//
+// Demo mode builds a mock resctrl tree and a simulated socket (MLR +
+// MLOAD + lookbusy tenants), then runs the very same control loop
+// against it — watch the schemata files change under the tree root:
+//
+//	dcatd -demo -intervals 25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/daemoncfg"
+	"repro/internal/httpstatus"
+	"repro/internal/msr"
+	"repro/internal/resctrl"
+)
+
+// groupFlag collects repeated -group name=cpus@baseline flags.
+type groupFlag []groupSpec
+
+type groupSpec struct {
+	name     string
+	cores    []int
+	baseline int
+}
+
+func (g *groupFlag) String() string { return fmt.Sprintf("%d groups", len(*g)) }
+
+func (g *groupFlag) Set(v string) error {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=cpus@baseline, got %q", v)
+	}
+	cpus, baseStr, ok := strings.Cut(rest, "@")
+	if !ok {
+		return fmt.Errorf("want name=cpus@baseline, got %q", v)
+	}
+	cores, err := resctrl.ParseCPUList(cpus)
+	if err != nil {
+		return err
+	}
+	if len(cores) == 0 {
+		return fmt.Errorf("group %q has no cpus", name)
+	}
+	base, err := strconv.Atoi(baseStr)
+	if err != nil || base < 1 {
+		return fmt.Errorf("group %q: bad baseline %q", name, baseStr)
+	}
+	*g = append(*g, groupSpec{name: name, cores: cores, baseline: base})
+	return nil
+}
+
+func main() {
+	var groups groupFlag
+	var (
+		root      = flag.String("resctrl", resctrl.DefaultRoot, "resctrl filesystem root")
+		msrRoot   = flag.String("msr", "/dev/cpu", "msr device root")
+		period    = flag.Duration("period", time.Second, "controller period")
+		policy    = flag.String("policy", "fair", "allocation policy: fair|perf")
+		demo      = flag.Bool("demo", false, "run against a mock resctrl tree and a simulated socket")
+		demoDir   = flag.String("demo-dir", "", "mock tree location (default: temp dir)")
+		intervals = flag.Int("intervals", 30, "demo length in periods (0 = until interrupted)")
+		httpAddr  = flag.String("http", "", "serve /status, /metrics, /healthz on this address (e.g. :9090)")
+		confPath  = flag.String("config", "", "JSON configuration file (hardware mode; overrides the flags above)")
+	)
+	flag.Var(&groups, "group", "managed group as name=cpus@baseline (repeatable)")
+	flag.Parse()
+
+	cfg := dcat.DefaultConfig()
+	switch *policy {
+	case "fair":
+		cfg.Policy = dcat.MaxFairness
+	case "perf":
+		cfg.Policy = dcat.MaxPerformance
+	default:
+		fmt.Fprintf(os.Stderr, "dcatd: unknown policy %q\n", *policy)
+		os.Exit(1)
+	}
+
+	var err error
+	switch {
+	case *confPath != "":
+		err = runFromConfig(*confPath)
+	case *demo:
+		err = runDemo(cfg, *demoDir, *intervals, *httpAddr)
+	default:
+		err = runHardware(cfg, *root, *msrRoot, *period, groups, *httpAddr)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dcatd:", err)
+		os.Exit(1)
+	}
+}
+
+// runFromConfig runs hardware mode from a JSON configuration file.
+func runFromConfig(path string) error {
+	f, err := daemoncfg.Load(path)
+	if err != nil {
+		return err
+	}
+	cfg, err := f.ControllerConfig()
+	if err != nil {
+		return err
+	}
+	var groups groupFlag
+	for _, g := range f.Groups {
+		groups = append(groups, groupSpec{name: g.Name, cores: g.Cores, baseline: g.BaselineWays})
+	}
+	return runHardware(cfg, f.ResctrlRoot, f.MSRRoot, f.PeriodDuration, groups, f.HTTP)
+}
+
+// runHardware is the production loop: resctrl backend + MSR counters.
+func runHardware(cfg dcat.Config, root, msrRoot string, period time.Duration, groups groupFlag, httpAddr string) error {
+	if len(groups) == 0 {
+		return fmt.Errorf("no -group flags; nothing to manage")
+	}
+	backend, err := dcat.NewResctrlBackend(root)
+	if err != nil {
+		return fmt.Errorf("opening resctrl (is it mounted?): %w", err)
+	}
+	var allCores []int
+	var targets []dcat.Target
+	for _, g := range groups {
+		allCores = append(allCores, g.cores...)
+		targets = append(targets, dcat.Target{Name: g.name, Cores: g.cores, BaselineWays: g.baseline})
+	}
+	counters, err := msr.Open(msr.DevFS{Root: msrRoot}, allCores)
+	if err != nil {
+		return fmt.Errorf("programming MSR counters (is the msr module loaded?): %w", err)
+	}
+	ctl, err := dcat.NewController(cfg, backend, counters, targets)
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	stopHTTP := serveStatus(httpAddr, ctl, &mu)
+	defer stopHTTP()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	fmt.Printf("dcatd: managing %d groups on %s every %s\n", len(groups), root, period)
+	for {
+		select {
+		case <-stop:
+			fmt.Println("dcatd: shutting down")
+			return nil
+		case <-ticker.C:
+			mu.Lock()
+			err := ctl.Tick()
+			snap := ctl.Snapshot()
+			mu.Unlock()
+			if err != nil {
+				return err
+			}
+			logSnapshot(snap)
+		}
+	}
+}
+
+// runDemo exercises the identical control path against a mock tree fed
+// by the simulator.
+func runDemo(cfg dcat.Config, dir string, intervals int, httpAddr string) error {
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "dcatd-demo-*")
+		if err != nil {
+			return err
+		}
+	}
+	if err := resctrl.CreateMockTree(dir, 20, 16, 18); err != nil {
+		return err
+	}
+	rcBackend, err := dcat.NewResctrlBackend(dir)
+	if err != nil {
+		return err
+	}
+	sim, err := dcat.NewSimulation(dcat.SimConfig{})
+	if err != nil {
+		return err
+	}
+	simBackend, err := sim.SimBackend()
+	if err != nil {
+		return err
+	}
+	// Mirror: the mock tree gets real schemata writes while the
+	// simulator's LLC actually enforces them.
+	backend, err := dcat.MirrorBackend(rcBackend, simBackend)
+	if err != nil {
+		return err
+	}
+	mlr, err := sim.NewMLR(8<<20, 1)
+	if err != nil {
+		return err
+	}
+	mload, err := sim.NewMLOAD(60 << 20)
+	if err != nil {
+		return err
+	}
+	lb, err := sim.NewLookbusy()
+	if err != nil {
+		return err
+	}
+	for _, vm := range []struct {
+		name string
+		w    dcat.Workload
+	}{{"mlr", mlr}, {"mload", mload}, {"lookbusy", lb}} {
+		if err := sim.AddVM(vm.name, 2, vm.w); err != nil {
+			return err
+		}
+	}
+	var targets []dcat.Target
+	for _, vm := range sim.Host().VMs() {
+		targets = append(targets, dcat.Target{Name: vm.Name, Cores: vm.Cores, BaselineWays: 3})
+	}
+	ctl, err := dcat.NewController(cfg, backend, sim.Host().System().Counters(), targets)
+	if err != nil {
+		return err
+	}
+	var mu sync.Mutex
+	stopHTTP := serveStatus(httpAddr, ctl, &mu)
+	defer stopHTTP()
+	fmt.Printf("dcatd demo: mock resctrl tree at %s\n", dir)
+	for i := 1; intervals == 0 || i <= intervals; i++ {
+		sim.Host().RunInterval()
+		mu.Lock()
+		err := ctl.Tick()
+		snap := ctl.Snapshot()
+		mu.Unlock()
+		if err != nil {
+			return err
+		}
+		logSnapshot(snap)
+	}
+	fmt.Println("schemata files after the run:")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), "cos") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name(), "schemata"))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %s/schemata: %s", e.Name(), data)
+	}
+	return nil
+}
+
+// serveStatus starts the HTTP status server when addr is set; the
+// returned function shuts it down.
+func serveStatus(addr string, ctl *dcat.Controller, mu *sync.Mutex) func() {
+	if addr == "" {
+		return func() {}
+	}
+	src := httpstatus.Locked{Src: ctl, Do: func(fn func()) {
+		mu.Lock()
+		defer mu.Unlock()
+		fn()
+	}}
+	srv := httpstatus.Serve(addr, src)
+	fmt.Printf("dcatd: status on http://%s/status\n", addr)
+	return func() { srv.Close() }
+}
+
+func logSnapshot(snap []dcat.Status) {
+	parts := make([]string, 0, len(snap))
+	for _, st := range snap {
+		parts = append(parts, fmt.Sprintf("%s=%d(%s)", st.Name, st.Ways, st.State))
+	}
+	fmt.Printf("%s  %s\n", time.Now().Format("15:04:05"), strings.Join(parts, " "))
+}

@@ -1,0 +1,192 @@
+// Package addr models virtual address spaces and virtual→physical
+// translation for the cache simulator.
+//
+// The conflict-miss pathology in dCat §2.1 (paper Figs. 2–3) depends on
+// the physical placement of a workload's pages: a contiguous virtual
+// buffer backed by scattered 4 KB frames spreads its cache lines
+// unevenly across LLC sets, so restricting associativity with CAT
+// induces conflict misses even when capacity is sufficient. This
+// package provides page tables with 4 KB and 2 MB page sizes and frame
+// allocators with contiguous or randomized placement so the simulator
+// reproduces that effect.
+package addr
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Page sizes supported by the translation layer.
+const (
+	PageSize4K = 4 << 10
+	PageSize2M = 2 << 20
+	// LineSize is the cache line size used throughout the simulator.
+	LineSize = 64
+)
+
+// PageSize is a supported translation granule.
+type PageSize int64
+
+// Valid reports whether the page size is one the simulator supports.
+func (p PageSize) Valid() bool { return p == PageSize4K || p == PageSize2M }
+
+// FrameAllocator hands out physical page frames. Implementations decide
+// placement policy (contiguous vs. fragmented).
+type FrameAllocator interface {
+	// AllocFrame returns the physical base address of a free frame of
+	// the given size. The returned address is size-aligned.
+	AllocFrame(size PageSize) (uint64, error)
+}
+
+// SeqAllocator allocates frames at increasing physical addresses,
+// modeling a freshly booted machine with no fragmentation. Huge pages
+// from a SeqAllocator are perfectly contiguous.
+type SeqAllocator struct {
+	next uint64
+	// Limit is the highest physical address + 1; zero means unlimited.
+	Limit uint64
+}
+
+// NewSeqAllocator returns a sequential allocator starting at base.
+func NewSeqAllocator(base uint64) *SeqAllocator { return &SeqAllocator{next: base} }
+
+// AllocFrame implements FrameAllocator.
+func (a *SeqAllocator) AllocFrame(size PageSize) (uint64, error) {
+	if !size.Valid() {
+		return 0, fmt.Errorf("addr: invalid page size %d", size)
+	}
+	s := uint64(size)
+	base := (a.next + s - 1) &^ (s - 1) // align up
+	if a.Limit != 0 && base+s > a.Limit {
+		return 0, fmt.Errorf("addr: out of physical memory at %#x (limit %#x)", base, a.Limit)
+	}
+	a.next = base + s
+	return base, nil
+}
+
+// RandAllocator allocates frames at random positions in a fixed-size
+// physical memory, modeling a long-running, fragmented machine. Frames
+// never collide: a permutation of frame numbers is consumed in order.
+type RandAllocator struct {
+	rng      *rand.Rand
+	memBytes uint64
+	free4k   []uint64 // shuffled free 4K frame numbers
+	free2m   []uint64 // shuffled free 2M frame numbers
+	idx4k    int
+	idx2m    int
+}
+
+// NewRandAllocator models memBytes of physical memory with randomized
+// frame placement. The seed makes runs reproducible.
+func NewRandAllocator(memBytes uint64, seed int64) *RandAllocator {
+	rng := rand.New(rand.NewSource(seed))
+	n4k := memBytes / PageSize4K
+	n2m := memBytes / PageSize2M
+	a := &RandAllocator{rng: rng, memBytes: memBytes}
+	// Lazily materializing permutations for big memories would
+	// complicate collision-freedom; memories here are small (GBs),
+	// so up-front shuffles are fine. To keep 4K and 2M allocations
+	// from colliding, 2M frames are taken from the top half of memory
+	// and 4K frames from the bottom half.
+	half4k := n4k / 2
+	a.free4k = make([]uint64, half4k)
+	for i := range a.free4k {
+		a.free4k[i] = uint64(i)
+	}
+	rng.Shuffle(len(a.free4k), func(i, j int) { a.free4k[i], a.free4k[j] = a.free4k[j], a.free4k[i] })
+	half2m := n2m / 2
+	a.free2m = make([]uint64, half2m)
+	for i := range a.free2m {
+		a.free2m[i] = n2m/2 + uint64(i)
+	}
+	rng.Shuffle(len(a.free2m), func(i, j int) { a.free2m[i], a.free2m[j] = a.free2m[j], a.free2m[i] })
+	return a
+}
+
+// AllocFrame implements FrameAllocator.
+func (a *RandAllocator) AllocFrame(size PageSize) (uint64, error) {
+	switch size {
+	case PageSize4K:
+		if a.idx4k >= len(a.free4k) {
+			return 0, fmt.Errorf("addr: out of 4K frames (%d allocated)", a.idx4k)
+		}
+		f := a.free4k[a.idx4k]
+		a.idx4k++
+		return f * PageSize4K, nil
+	case PageSize2M:
+		if a.idx2m >= len(a.free2m) {
+			return 0, fmt.Errorf("addr: out of 2M frames (%d allocated)", a.idx2m)
+		}
+		f := a.free2m[a.idx2m]
+		a.idx2m++
+		return f * PageSize2M, nil
+	default:
+		return 0, fmt.Errorf("addr: invalid page size %d", size)
+	}
+}
+
+// Space is one workload's virtual address space: a single mapped region
+// of Size bytes starting at virtual address 0, translated page by page.
+type Space struct {
+	pageSize PageSize
+	size     uint64
+	frames   []uint64 // physical base per page, indexed by vpn
+}
+
+// NewSpace maps size bytes using pages of pageSize, drawing frames from
+// alloc. The whole region is populated eagerly (the paper's benchmarks
+// touch their entire arrays immediately).
+func NewSpace(size uint64, pageSize PageSize, alloc FrameAllocator) (*Space, error) {
+	if size == 0 {
+		return nil, fmt.Errorf("addr: zero-sized space")
+	}
+	if !pageSize.Valid() {
+		return nil, fmt.Errorf("addr: invalid page size %d", pageSize)
+	}
+	ps := uint64(pageSize)
+	n := (size + ps - 1) / ps
+	frames := make([]uint64, n)
+	for i := range frames {
+		f, err := alloc.AllocFrame(pageSize)
+		if err != nil {
+			return nil, fmt.Errorf("addr: mapping page %d: %w", i, err)
+		}
+		frames[i] = f
+	}
+	return &Space{pageSize: pageSize, size: size, frames: frames}, nil
+}
+
+// Size returns the mapped length in bytes.
+func (s *Space) Size() uint64 { return s.size }
+
+// PageSize returns the translation granule.
+func (s *Space) PageSize() PageSize { return s.pageSize }
+
+// Pages returns the number of mapped pages.
+func (s *Space) Pages() int { return len(s.frames) }
+
+// Translate converts a virtual offset within the space to a physical
+// address. It panics if va is out of range: workload generators are the
+// only callers and generate in-bounds addresses by construction, so an
+// error return would just be dead weight on the hot path.
+func (s *Space) Translate(va uint64) uint64 {
+	if va >= s.size {
+		panic(fmt.Sprintf("addr: virtual address %#x beyond space of %#x bytes", va, s.size))
+	}
+	ps := uint64(s.pageSize)
+	return s.frames[va/ps] + va%ps
+}
+
+// LineCount returns how many distinct cache lines the space spans.
+func (s *Space) LineCount() uint64 { return (s.size + LineSize - 1) / LineSize }
+
+// PhysLines returns the physical line addresses (address/64) backing
+// the whole space, in virtual order. Used by set-conflict analysis
+// (paper Fig. 3).
+func (s *Space) PhysLines() []uint64 {
+	lines := make([]uint64, 0, s.LineCount())
+	for va := uint64(0); va < s.size; va += LineSize {
+		lines = append(lines, s.Translate(va)/LineSize)
+	}
+	return lines
+}

@@ -1,0 +1,208 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSeqAllocatorAlignment(t *testing.T) {
+	a := NewSeqAllocator(0)
+	f1, err := a.AllocFrame(PageSize4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f1%PageSize4K != 0 {
+		t.Errorf("4K frame %#x not aligned", f1)
+	}
+	f2, err := a.AllocFrame(PageSize2M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f2%PageSize2M != 0 {
+		t.Errorf("2M frame %#x not aligned", f2)
+	}
+	if f2 < f1+PageSize4K {
+		t.Errorf("frames overlap: %#x then %#x", f1, f2)
+	}
+}
+
+func TestSeqAllocatorLimit(t *testing.T) {
+	a := NewSeqAllocator(0)
+	a.Limit = 3 * PageSize4K
+	for i := 0; i < 3; i++ {
+		if _, err := a.AllocFrame(PageSize4K); err != nil {
+			t.Fatalf("alloc %d: %v", i, err)
+		}
+	}
+	if _, err := a.AllocFrame(PageSize4K); err == nil {
+		t.Error("allocation past limit should fail")
+	}
+}
+
+func TestSeqAllocatorRejectsBadSize(t *testing.T) {
+	a := NewSeqAllocator(0)
+	if _, err := a.AllocFrame(PageSize(123)); err == nil {
+		t.Error("invalid page size should be rejected")
+	}
+}
+
+func TestRandAllocatorNoCollisions(t *testing.T) {
+	a := NewRandAllocator(64<<20, 1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		f, err := a.AllocFrame(PageSize4K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f%PageSize4K != 0 {
+			t.Fatalf("frame %#x misaligned", f)
+		}
+		if seen[f] {
+			t.Fatalf("frame %#x allocated twice", f)
+		}
+		seen[f] = true
+	}
+	// 2M frames live in a disjoint region.
+	for i := 0; i < 8; i++ {
+		f, err := a.AllocFrame(PageSize2M)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f%PageSize2M != 0 {
+			t.Fatalf("2M frame %#x misaligned", f)
+		}
+		for off := uint64(0); off < PageSize2M; off += PageSize4K {
+			if seen[f+off] {
+				t.Fatalf("2M frame %#x overlaps a 4K frame", f)
+			}
+		}
+	}
+}
+
+func TestRandAllocatorDeterministic(t *testing.T) {
+	a := NewRandAllocator(64<<20, 42)
+	b := NewRandAllocator(64<<20, 42)
+	for i := 0; i < 100; i++ {
+		fa, _ := a.AllocFrame(PageSize4K)
+		fb, _ := b.AllocFrame(PageSize4K)
+		if fa != fb {
+			t.Fatalf("same seed diverged at alloc %d: %#x vs %#x", i, fa, fb)
+		}
+	}
+}
+
+func TestRandAllocatorExhaustion(t *testing.T) {
+	a := NewRandAllocator(1<<20, 1) // 256 4K frames, half usable
+	var err error
+	for i := 0; i < 200; i++ {
+		if _, err = a.AllocFrame(PageSize4K); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Error("tiny memory should exhaust")
+	}
+}
+
+func TestSpaceTranslateContiguous(t *testing.T) {
+	s, err := NewSpace(3*PageSize4K, PageSize4K, NewSeqAllocator(0x10000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pages() != 3 {
+		t.Fatalf("Pages()=%d want 3", s.Pages())
+	}
+	// Sequential allocation starting aligned means translation is identity+base.
+	for _, va := range []uint64{0, 100, PageSize4K, 3*PageSize4K - 1} {
+		if got, want := s.Translate(va), 0x10000+va; got != want {
+			t.Errorf("Translate(%#x)=%#x want %#x", va, got, want)
+		}
+	}
+}
+
+func TestSpaceTranslatePanicsOutOfRange(t *testing.T) {
+	s, _ := NewSpace(PageSize4K, PageSize4K, NewSeqAllocator(0))
+	defer func() {
+		if recover() == nil {
+			t.Error("Translate past end should panic")
+		}
+	}()
+	s.Translate(PageSize4K)
+}
+
+func TestSpaceRejectsZeroSize(t *testing.T) {
+	if _, err := NewSpace(0, PageSize4K, NewSeqAllocator(0)); err == nil {
+		t.Error("zero-sized space should be rejected")
+	}
+}
+
+func TestSpacePartialLastPage(t *testing.T) {
+	s, err := NewSpace(PageSize4K+100, PageSize4K, NewSeqAllocator(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pages() != 2 {
+		t.Errorf("Pages()=%d want 2", s.Pages())
+	}
+	if got, want := s.LineCount(), uint64((PageSize4K+100+63)/64); got != want {
+		t.Errorf("LineCount()=%d want %d", got, want)
+	}
+}
+
+func TestPhysLinesLength(t *testing.T) {
+	s, _ := NewSpace(2*PageSize4K, PageSize4K, NewRandAllocator(32<<20, 7))
+	lines := s.PhysLines()
+	if len(lines) != int(s.LineCount()) {
+		t.Fatalf("PhysLines len=%d want %d", len(lines), s.LineCount())
+	}
+	// Lines within one page are consecutive physically.
+	for i := 1; i < PageSize4K/LineSize; i++ {
+		if lines[i] != lines[i-1]+1 {
+			t.Fatalf("lines within a page not consecutive at %d", i)
+		}
+	}
+}
+
+// Property: translation preserves page offset and never maps two
+// distinct pages to the same frame.
+func TestSpaceTranslationProperties(t *testing.T) {
+	s, err := NewSpace(64*PageSize4K, PageSize4K, NewRandAllocator(256<<20, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint32) bool {
+		va := uint64(raw) % s.Size()
+		pa := s.Translate(va)
+		return pa%PageSize4K == va%PageSize4K
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	frames := map[uint64]bool{}
+	for vpn := 0; vpn < s.Pages(); vpn++ {
+		pa := s.Translate(uint64(vpn) * PageSize4K)
+		if frames[pa] {
+			t.Fatalf("duplicate frame %#x", pa)
+		}
+		frames[pa] = true
+	}
+}
+
+func TestHugePageContiguity(t *testing.T) {
+	// A 2MB space on one huge page is physically contiguous even under
+	// the random allocator — the basis of the paper's Fig 2 Xeon-D
+	// hugepage result.
+	s, err := NewSpace(PageSize2M, PageSize2M, NewRandAllocator(1<<30, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pages() != 1 {
+		t.Fatalf("Pages()=%d want 1", s.Pages())
+	}
+	lines := s.PhysLines()
+	for i := 1; i < len(lines); i++ {
+		if lines[i] != lines[i-1]+1 {
+			t.Fatalf("huge page lines not contiguous at %d", i)
+		}
+	}
+}

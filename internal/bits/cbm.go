@@ -1,0 +1,111 @@
+// Package bits provides capacity bitmask (CBM) types used to describe
+// which ways of a set-associative cache a class of service may fill.
+//
+// Intel CAT requires a CBM to be a contiguous run of set bits with at
+// least one bit set; the helpers here construct, validate, and
+// manipulate masks under those rules.
+package bits
+
+import (
+	"fmt"
+	"math/bits"
+	"strconv"
+)
+
+// CBM is a capacity bitmask over cache ways. Bit i set means way i may
+// be filled by the owning class of service.
+type CBM uint64
+
+// MaxWays is the widest mask supported (Intel platforms today expose at
+// most 20–24 ways; 64 is a safe ceiling for the simulator).
+const MaxWays = 64
+
+// NewCBM returns a contiguous mask covering ways [start, start+count).
+func NewCBM(start, count int) (CBM, error) {
+	if count <= 0 {
+		return 0, fmt.Errorf("bits: mask must cover at least one way, got %d", count)
+	}
+	if start < 0 || start+count > MaxWays {
+		return 0, fmt.Errorf("bits: way range [%d,%d) out of bounds", start, start+count)
+	}
+	if count == MaxWays {
+		return CBM(^uint64(0)), nil
+	}
+	return CBM(((uint64(1) << count) - 1) << start), nil
+}
+
+// MustCBM is NewCBM for masks known valid at compile time; it panics on error.
+func MustCBM(start, count int) CBM {
+	m, err := NewCBM(start, count)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// FullMask returns the mask with the lowest n ways set.
+func FullMask(n int) CBM { return MustCBM(0, n) }
+
+// Count reports how many ways the mask covers.
+func (m CBM) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// Lowest returns the index of the lowest set way, or -1 when empty.
+func (m CBM) Lowest() int {
+	if m == 0 {
+		return -1
+	}
+	return bits.TrailingZeros64(uint64(m))
+}
+
+// Highest returns the index of the highest set way, or -1 when empty.
+func (m CBM) Highest() int {
+	if m == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(uint64(m))
+}
+
+// Contiguous reports whether the set bits form one unbroken run.
+// The empty mask is not contiguous: CAT requires at least one way.
+func (m CBM) Contiguous() bool {
+	if m == 0 {
+		return false
+	}
+	run := m >> uint(m.Lowest())
+	return run&(run+1) == 0
+}
+
+// Valid reports whether the mask satisfies Intel CAT rules for a cache
+// with totalWays ways: non-empty, contiguous, and within range.
+func (m CBM) Valid(totalWays int) bool {
+	return m != 0 && m.Contiguous() && m.Highest() < totalWays
+}
+
+// Overlaps reports whether the two masks share any way.
+func (m CBM) Overlaps(o CBM) bool { return m&o != 0 }
+
+// Contains reports whether way i is set in the mask.
+func (m CBM) Contains(i int) bool {
+	return i >= 0 && i < MaxWays && m&(1<<uint(i)) != 0
+}
+
+// Ways returns the indices of set ways in ascending order.
+func (m CBM) Ways() []int {
+	ways := make([]int, 0, m.Count())
+	for v := uint64(m); v != 0; v &= v - 1 {
+		ways = append(ways, bits.TrailingZeros64(v))
+	}
+	return ways
+}
+
+// String renders the mask in resctrl schemata notation (lower-case hex).
+func (m CBM) String() string { return strconv.FormatUint(uint64(m), 16) }
+
+// ParseCBM parses resctrl hex notation ("f", "3f0", ...).
+func ParseCBM(s string) (CBM, error) {
+	v, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bits: parse CBM %q: %w", s, err)
+	}
+	return CBM(v), nil
+}

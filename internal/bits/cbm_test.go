@@ -1,0 +1,186 @@
+package bits
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCBM(t *testing.T) {
+	tests := []struct {
+		start, count int
+		want         CBM
+		wantErr      bool
+	}{
+		{0, 1, 0x1, false},
+		{0, 4, 0xf, false},
+		{2, 3, 0x1c, false},
+		{0, 20, 0xfffff, false},
+		{10, 10, 0xffc00, false},
+		{0, 64, ^CBM(0), false},
+		{0, 0, 0, true},
+		{0, -1, 0, true},
+		{-1, 2, 0, true},
+		{60, 5, 0, true},
+	}
+	for _, tt := range tests {
+		got, err := NewCBM(tt.start, tt.count)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("NewCBM(%d,%d) err=%v wantErr=%v", tt.start, tt.count, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("NewCBM(%d,%d)=%s want %s", tt.start, tt.count, got, tt.want)
+		}
+	}
+}
+
+func TestMustCBMPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustCBM(0,0) did not panic")
+		}
+	}()
+	MustCBM(0, 0)
+}
+
+func TestCount(t *testing.T) {
+	if got := FullMask(20).Count(); got != 20 {
+		t.Errorf("FullMask(20).Count()=%d want 20", got)
+	}
+	if got := CBM(0).Count(); got != 0 {
+		t.Errorf("CBM(0).Count()=%d want 0", got)
+	}
+	if got := MustCBM(5, 3).Count(); got != 3 {
+		t.Errorf("MustCBM(5,3).Count()=%d want 3", got)
+	}
+}
+
+func TestLowestHighest(t *testing.T) {
+	m := MustCBM(4, 6)
+	if m.Lowest() != 4 {
+		t.Errorf("Lowest()=%d want 4", m.Lowest())
+	}
+	if m.Highest() != 9 {
+		t.Errorf("Highest()=%d want 9", m.Highest())
+	}
+	if CBM(0).Lowest() != -1 || CBM(0).Highest() != -1 {
+		t.Error("empty mask should report -1 bounds")
+	}
+}
+
+func TestContiguous(t *testing.T) {
+	tests := []struct {
+		m    CBM
+		want bool
+	}{
+		{0x0, false},
+		{0x1, true},
+		{0x3, true},
+		{0x6, true},
+		{0x5, false},
+		{0xf0f, false},
+		{0xfffff, true},
+		{^CBM(0), true},
+	}
+	for _, tt := range tests {
+		if got := tt.m.Contiguous(); got != tt.want {
+			t.Errorf("CBM(%s).Contiguous()=%v want %v", tt.m, got, tt.want)
+		}
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !MustCBM(0, 4).Valid(20) {
+		t.Error("0xf should be valid for 20 ways")
+	}
+	if MustCBM(18, 3).Valid(20) {
+		t.Error("mask reaching way 20 should be invalid for 20 ways")
+	}
+	if CBM(0x5).Valid(20) {
+		t.Error("non-contiguous mask should be invalid")
+	}
+	if CBM(0).Valid(20) {
+		t.Error("empty mask should be invalid")
+	}
+}
+
+func TestOverlapsContains(t *testing.T) {
+	a, b := MustCBM(0, 4), MustCBM(4, 4)
+	if a.Overlaps(b) {
+		t.Error("adjacent masks should not overlap")
+	}
+	if !a.Overlaps(MustCBM(3, 2)) {
+		t.Error("masks sharing way 3 should overlap")
+	}
+	if !a.Contains(3) || a.Contains(4) || a.Contains(-1) || a.Contains(64) {
+		t.Error("Contains boundary behaviour wrong")
+	}
+}
+
+func TestWays(t *testing.T) {
+	got := MustCBM(2, 3).Ways()
+	want := []int{2, 3, 4}
+	if len(got) != len(want) {
+		t.Fatalf("Ways()=%v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Ways()=%v want %v", got, want)
+		}
+	}
+	if len(CBM(0).Ways()) != 0 {
+		t.Error("empty mask should have no ways")
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for _, m := range []CBM{0x1, 0xf, 0x3f0, 0xfffff} {
+		got, err := ParseCBM(m.String())
+		if err != nil {
+			t.Fatalf("ParseCBM(%s): %v", m, err)
+		}
+		if got != m {
+			t.Errorf("round trip %s -> %s", m, got)
+		}
+	}
+	if _, err := ParseCBM("zz"); err == nil {
+		t.Error("ParseCBM(zz) should fail")
+	}
+}
+
+// Property: every mask built by NewCBM is contiguous, has the requested
+// count, and starts at the requested way.
+func TestNewCBMProperties(t *testing.T) {
+	f := func(start, count uint8) bool {
+		s, c := int(start%64), int(count%64)+1
+		if s+c > MaxWays {
+			return true // out of domain
+		}
+		m, err := NewCBM(s, c)
+		if err != nil {
+			return false
+		}
+		return m.Contiguous() && m.Count() == c && m.Lowest() == s && m.Highest() == s+c-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: adjacent masks produced by a contiguous layout never overlap.
+func TestAdjacentMasksDisjoint(t *testing.T) {
+	f := func(aStart, aLen, gap, bLen uint8) bool {
+		as, al := int(aStart%20), int(aLen%8)+1
+		bs := as + al + int(gap%4)
+		bl := int(bLen%8) + 1
+		if as+al > MaxWays || bs+bl > MaxWays {
+			return true
+		}
+		a := MustCBM(as, al)
+		b := MustCBM(bs, bl)
+		return !a.Overlaps(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,23 @@
+package bits
+
+import "testing"
+
+// FuzzParseCBM checks hex parsing round-trips.
+func FuzzParseCBM(f *testing.F) {
+	for _, seed := range []string{"", "0", "f", "3f0", "fffff", "zz", "ffffffffffffffff"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseCBM(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseCBM(m.String())
+		if err != nil || back != m {
+			t.Fatalf("round trip of %q: %v -> %v (%v)", s, m, back, err)
+		}
+		if m != 0 && (m.Lowest() < 0 || m.Highest() < m.Lowest()) {
+			t.Fatalf("inconsistent bounds for %v", m)
+		}
+	})
+}

@@ -1,0 +1,428 @@
+// Package cache implements a set-associative cache simulator with
+// CAT-style way masks.
+//
+// The model follows how Intel CAT actually behaves: a capacity bitmask
+// (CBM) restricts which ways an access may *fill or evict*, while hits
+// may land in any way. Restricting a workload's mask therefore shrinks
+// both its usable capacity and its associativity, which is exactly the
+// mechanism behind the conflict-miss results in dCat §2.1.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+)
+
+// LineSize is the cache line size in bytes.
+const LineSize = 64
+
+// Replacement selects the victim-choice policy within the ways a mask
+// allows.
+type Replacement int
+
+const (
+	// ReplLRU evicts the least-recently-used allowed line — the
+	// textbook policy and the model the dCat paper's analysis assumes
+	// (cyclic patterns thrash it, §3.4 Streaming).
+	ReplLRU Replacement = iota
+	// ReplRandom evicts a uniformly random allowed line.
+	ReplRandom
+	// ReplSRRIP is static re-reference interval prediction (Jaleel et
+	// al., ISCA 2010): 2-bit RRPVs give scan resistance — a cyclic
+	// scan no longer flushes the reused working set.
+	ReplSRRIP
+)
+
+// String names the policy.
+func (r Replacement) String() string {
+	switch r {
+	case ReplLRU:
+		return "lru"
+	case ReplRandom:
+		return "random"
+	case ReplSRRIP:
+		return "srrip"
+	default:
+		return fmt.Sprintf("Replacement(%d)", int(r))
+	}
+}
+
+// Config describes a cache geometry.
+type Config struct {
+	Name      string // for diagnostics ("LLC", "L1d")
+	SizeBytes uint64 // total capacity
+	Ways      int    // associativity
+	// Repl selects the replacement policy; the zero value is LRU.
+	Repl Replacement
+	// Seed drives ReplRandom's victim choice (ignored otherwise).
+	Seed int64
+}
+
+// Sets returns the number of sets implied by the geometry.
+func (c Config) Sets() int {
+	return int(c.SizeBytes / uint64(LineSize) / uint64(c.Ways))
+}
+
+// Validate checks the geometry is usable.
+func (c Config) Validate() error {
+	if c.Ways <= 0 || c.Ways > bits.MaxWays {
+		return fmt.Errorf("cache %s: ways %d out of range", c.Name, c.Ways)
+	}
+	if c.Repl < ReplLRU || c.Repl > ReplSRRIP {
+		return fmt.Errorf("cache %s: unknown replacement policy %d", c.Name, c.Repl)
+	}
+	if c.SizeBytes == 0 || c.SizeBytes%uint64(LineSize*c.Ways) != 0 {
+		return fmt.Errorf("cache %s: size %d not divisible into %d ways of whole lines",
+			c.Name, c.SizeBytes, c.Ways)
+	}
+	return nil
+}
+
+// Stats accumulates access outcomes.
+type Stats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64 // misses that displaced a valid line
+}
+
+// Accesses returns hits+misses.
+func (s Stats) Accesses() uint64 { return s.Hits + s.Misses }
+
+// MissRate returns misses/accesses, or 0 when idle.
+func (s Stats) MissRate() float64 {
+	a := s.Accesses()
+	if a == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(a)
+}
+
+// MaxCores bounds the core IDs the sharer tracking supports.
+const MaxCores = 32
+
+// Result reports what one access did.
+type Result struct {
+	Hit         bool
+	Evicted     bool   // a valid line was displaced
+	EvictedLine uint64 // line address of the victim, when Evicted
+	EvictedCore uint16 // core that filled the victim, when Evicted
+	// EvictedSharers is the bitmask of cores that ever touched the
+	// victim while resident — the cores whose L1 must be back-
+	// invalidated to preserve inclusion.
+	EvictedSharers uint32
+}
+
+// Cache is a set-associative cache. It is not safe for concurrent use;
+// the host simulator serializes accesses, as a real LLC serializes
+// fills per set.
+type Cache struct {
+	cfg  Config
+	sets int
+
+	// Flat arrays indexed by set*ways+way. tags stores line+1 so the
+	// zero value means invalid.
+	tags    []uint64
+	tick    []uint64
+	owner   []uint16 // core that filled the line
+	sharers []uint32 // cores that touched the line while resident
+	rrpv    []uint8  // SRRIP re-reference prediction values
+
+	clock    uint64
+	rngState uint64 // xorshift state for ReplRandom
+	stats    Stats
+}
+
+// New builds a cache from cfg.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.Sets() * cfg.Ways
+	c := &Cache{
+		cfg:      cfg,
+		sets:     cfg.Sets(),
+		tags:     make([]uint64, n),
+		tick:     make([]uint64, n),
+		owner:    make([]uint16, n),
+		sharers:  make([]uint32, n),
+		rngState: uint64(cfg.Seed)*2685821657736338717 + 88172645463325252,
+	}
+	if cfg.Repl == ReplSRRIP {
+		c.rrpv = make([]uint8, n)
+	}
+	return c, nil
+}
+
+// MustNew is New for geometries known valid; it panics on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.cfg.Ways }
+
+// Stats returns accumulated statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats clears counters without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// SetIndex maps a line address to its set.
+func (c *Cache) SetIndex(line uint64) int { return int(line % uint64(c.sets)) }
+
+// Access looks up the line (an address divided by LineSize). On a miss
+// it fills the line, evicting the least-recently-used line among the
+// ways allowed by mask. The owning core is recorded for inclusive
+// back-invalidation by the caller. A full mask gives unrestricted
+// (shared-cache) behaviour.
+func (c *Cache) Access(line uint64, mask bits.CBM, core uint16) Result {
+	set := c.SetIndex(line)
+	base := set * c.cfg.Ways
+	c.clock++
+
+	// Hit path: a line may reside in any way, including ways outside
+	// the current mask (e.g. filled under an earlier, wider mask).
+	tag := line + 1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == tag {
+			c.tick[base+w] = c.clock
+			c.sharers[base+w] |= 1 << (core % MaxCores)
+			if c.rrpv != nil {
+				c.rrpv[base+w] = 0 // SRRIP: near re-reference on hit
+			}
+			c.stats.Hits++
+			return Result{Hit: true}
+		}
+	}
+
+	// Miss: fill into an allowed way — an invalid one if available,
+	// otherwise evict per the replacement policy among allowed ways.
+	c.stats.Misses++
+	victim := c.selectVictim(base, mask)
+	if victim < 0 {
+		// Empty mask: the access bypasses the cache entirely. CAT
+		// cannot express this (minimum one way), but the simulator
+		// tolerates it so callers can model uncached traffic.
+		return Result{}
+	}
+	i := base + victim
+	res := Result{}
+	if c.tags[i] != 0 {
+		res.Evicted = true
+		res.EvictedLine = c.tags[i] - 1
+		res.EvictedCore = c.owner[i]
+		res.EvictedSharers = c.sharers[i]
+		c.stats.Evictions++
+	}
+	c.tags[i] = tag
+	c.tick[i] = c.clock
+	c.owner[i] = core
+	c.sharers[i] = 1 << (core % MaxCores)
+	if c.rrpv != nil {
+		c.rrpv[i] = srripInsert
+	}
+	return res
+}
+
+// SRRIP constants: 2-bit RRPVs; new lines predicted "long" (2), hits
+// promoted to "near" (0), victims taken at "distant" (3).
+const (
+	srripMax    = 3
+	srripInsert = 2
+)
+
+// selectVictim picks the way to fill within the mask, or -1 when the
+// mask is empty. Invalid ways are always preferred.
+func (c *Cache) selectVictim(base int, mask bits.CBM) int {
+	allowed := 0
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !mask.Contains(w) {
+			continue
+		}
+		allowed++
+		if c.tags[base+w] == 0 {
+			return w
+		}
+	}
+	if allowed == 0 {
+		return -1
+	}
+	switch c.cfg.Repl {
+	case ReplRandom:
+		k := int(c.xorshift() % uint64(allowed))
+		for w := 0; w < c.cfg.Ways; w++ {
+			if !mask.Contains(w) {
+				continue
+			}
+			if k == 0 {
+				return w
+			}
+			k--
+		}
+	case ReplSRRIP:
+		for {
+			for w := 0; w < c.cfg.Ways; w++ {
+				if mask.Contains(w) && c.rrpv[base+w] == srripMax {
+					return w
+				}
+			}
+			// Age every allowed line and retry (bounded: at most
+			// srripMax rounds reach the max value).
+			for w := 0; w < c.cfg.Ways; w++ {
+				if mask.Contains(w) && c.rrpv[base+w] < srripMax {
+					c.rrpv[base+w]++
+				}
+			}
+		}
+	}
+	// LRU (and the default path): oldest tick among allowed ways.
+	victim := -1
+	var victimTick uint64 = ^uint64(0)
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !mask.Contains(w) {
+			continue
+		}
+		if i := base + w; c.tick[i] < victimTick {
+			victim = w
+			victimTick = c.tick[i]
+		}
+	}
+	return victim
+}
+
+// xorshift is a tiny PRNG for ReplRandom victim choice (math/rand per
+// access would dominate the simulator's profile).
+func (c *Cache) xorshift() uint64 {
+	x := c.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rngState = x
+	return x
+}
+
+// Probe reports whether the line is resident, without side effects.
+func (c *Cache) Probe(line uint64) bool {
+	base := c.SetIndex(line) * c.cfg.Ways
+	tag := line + 1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate removes the line if resident, returning whether it was.
+func (c *Cache) Invalidate(line uint64) bool {
+	base := c.SetIndex(line) * c.cfg.Ways
+	tag := line + 1
+	for w := 0; w < c.cfg.Ways; w++ {
+		if c.tags[base+w] == tag {
+			c.tags[base+w] = 0
+			return true
+		}
+	}
+	return false
+}
+
+// Flush empties the cache and leaves statistics intact.
+func (c *Cache) Flush() {
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+}
+
+// FlushWays invalidates every line resident in the given ways and
+// returns how many lines were dropped. This models the user-level
+// cache-flush pass the paper requires after reallocating ways (§6):
+// without it, data left in reassigned or pooled ways keeps serving hits
+// to its old owner.
+func (c *Cache) FlushWays(mask bits.CBM) int {
+	n := 0
+	for w := 0; w < c.cfg.Ways; w++ {
+		if !mask.Contains(w) {
+			continue
+		}
+		for s := 0; s < c.sets; s++ {
+			i := s*c.cfg.Ways + w
+			if c.tags[i] != 0 {
+				c.tags[i] = 0
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// OccupancyBySet returns, for each set, how many valid lines it holds.
+func (c *Cache) OccupancyBySet() []int {
+	occ := make([]int, c.sets)
+	for s := 0; s < c.sets; s++ {
+		base := s * c.cfg.Ways
+		for w := 0; w < c.cfg.Ways; w++ {
+			if c.tags[base+w] != 0 {
+				occ[s]++
+			}
+		}
+	}
+	return occ
+}
+
+// OccupancyByCore returns resident line counts keyed by owning core.
+func (c *Cache) OccupancyByCore() map[uint16]int {
+	occ := make(map[uint16]int)
+	for i, t := range c.tags {
+		if t != 0 {
+			occ[c.owner[i]]++
+		}
+	}
+	return occ
+}
+
+// SetHistogram computes, for a cache with sets sets, how many of the
+// given physical lines map to each set, and returns a histogram
+// hist[k] = number of sets with exactly k lines mapped (k capped at
+// the last bucket). This is the analysis behind paper Fig. 3.
+func SetHistogram(lines []uint64, sets, maxBucket int) []int {
+	perSet := make([]int, sets)
+	for _, l := range lines {
+		perSet[int(l%uint64(sets))]++
+	}
+	hist := make([]int, maxBucket+1)
+	for _, n := range perSet {
+		if n > maxBucket {
+			n = maxBucket
+		}
+		hist[n]++
+	}
+	return hist
+}
+
+// FractionSetsAtLeast returns the fraction of sets with >= k of the
+// given lines mapped to them (e.g. the paper's "32.5% of sets have 3 or
+// more cache lines mapped").
+func FractionSetsAtLeast(lines []uint64, sets, k int) float64 {
+	perSet := make([]int, sets)
+	for _, l := range lines {
+		perSet[int(l%uint64(sets))]++
+	}
+	n := 0
+	for _, c := range perSet {
+		if c >= k {
+			n++
+		}
+	}
+	return float64(n) / float64(sets)
+}

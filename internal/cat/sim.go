@@ -1,0 +1,58 @@
+package cat
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/cache"
+	"repro/internal/memsys"
+)
+
+// SimBackend applies classes of service to the simulated memory system.
+type SimBackend struct {
+	sys *memsys.System
+}
+
+// NewSimBackend wraps a memory system.
+func NewSimBackend(sys *memsys.System) (*SimBackend, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("cat: nil memory system")
+	}
+	return &SimBackend{sys: sys}, nil
+}
+
+// TotalWays implements Backend.
+func (b *SimBackend) TotalWays() int { return b.sys.Config().LLC.Ways }
+
+// GroupOccupancy implements OccupancyReader: the simulated LLC tracks
+// the filling core of every resident line, so a group's footprint is
+// the sum over its cores, in bytes.
+func (b *SimBackend) GroupOccupancy(cos int, cores []int) (uint64, error) {
+	occ := b.sys.LLC().OccupancyByCore()
+	var lines uint64
+	for _, c := range cores {
+		lines += uint64(occ[uint16(c)])
+	}
+	return lines * cache.LineSize, nil
+}
+
+// FlushWays implements WayFlusher by clearing the ways in the
+// simulated hierarchy.
+func (b *SimBackend) FlushWays(mask bits.CBM) error {
+	b.sys.FlushWays(mask)
+	return nil
+}
+
+// Apply implements Backend: the COS id is bookkeeping only; the
+// simulator keys fill masks by core.
+func (b *SimBackend) Apply(cos int, mask bits.CBM, cores []int) error {
+	if cos < 1 || cos > MaxCOS {
+		return fmt.Errorf("cat: COS %d out of range", cos)
+	}
+	for _, c := range cores {
+		if err := b.sys.SetMask(c, mask); err != nil {
+			return err
+		}
+	}
+	return nil
+}

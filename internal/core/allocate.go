@@ -1,0 +1,234 @@
+package core
+
+// allocate resolves this round's desires into a full way allocation
+// (§3.5). Priorities: Reclaim is absolute (the baseline guarantee);
+// shrinks and holds are taken as-is; growth is granted from the free
+// pool with Unknown ahead of Receiver; the max-performance policy then
+// redistributes among workloads with usable performance tables.
+func (c *Controller) allocate() map[string]int {
+	total := c.mgr.TotalWays()
+	alloc := make(map[string]int, len(c.order))
+
+	// 1. Fixed assignments: reclaims at baseline, everyone else at
+	// min(desire, current) — growth is granted separately so a tight
+	// pool never lets a grower displace someone else's guarantee.
+	sum := 0
+	for _, name := range c.order {
+		w := c.ws[name]
+		w.denied = false
+		a := w.desire
+		if w.state != StateReclaim && a > w.ways {
+			a = w.ways
+		}
+		if a < 1 {
+			a = 1
+		}
+		alloc[name] = a
+		sum += a
+	}
+
+	// 2. Over-commit can only come from reclaims (Σ baselines fits by
+	// construction): take ways back from workloads holding more than
+	// their baseline, largest surplus first (§3.5: "dCat has to
+	// reclaim cache from those whose current cache size is larger
+	// than their baseline").
+	for sum > total {
+		victim := ""
+		surplus := 0
+		for _, name := range c.order {
+			w := c.ws[name]
+			if w.state == StateReclaim {
+				continue
+			}
+			if s := alloc[name] - w.baseline; s > surplus {
+				surplus = s
+				victim = name
+			}
+		}
+		if victim == "" {
+			// Nothing above baseline left; trim any allocation above
+			// one way (donors below baseline are already minimal).
+			for _, name := range c.order {
+				if c.ws[name].state != StateReclaim && alloc[name] > 1 {
+					victim = name
+					break
+				}
+			}
+			if victim == "" {
+				break // cannot happen: Σ baselines <= total
+			}
+		}
+		alloc[victim]--
+		sum--
+	}
+
+	// 3. Growth grants from the pool. Unknown workloads outrank
+	// Receivers (§3.5: resolve possible streamers quickly); pending
+	// table-reuse jumps are restorations of known-good allocations and
+	// go first. Within a class, ways are granted one at a time round-
+	// robin, which is also what makes the fairness policy even.
+	pool := total - sum
+	classes := [][]string{nil, nil, nil} // jumps, unknowns, receivers
+	for _, name := range c.order {
+		w := c.ws[name]
+		if w.desire <= alloc[name] || w.state == StateReclaim {
+			continue
+		}
+		switch {
+		case w.jumpTo > 0:
+			classes[0] = append(classes[0], name)
+		case w.state == StateUnknown:
+			classes[1] = append(classes[1], name)
+		case w.state == StateReceiver:
+			classes[2] = append(classes[2], name)
+		default:
+			classes[0] = append(classes[0], name)
+		}
+	}
+	for _, class := range classes {
+		for pool > 0 {
+			granted := false
+			for _, name := range class {
+				if pool == 0 {
+					break
+				}
+				if alloc[name] < c.ws[name].desire {
+					alloc[name]++
+					pool--
+					granted = true
+				}
+			}
+			if !granted {
+				break
+			}
+		}
+	}
+	for _, name := range c.order {
+		w := c.ws[name]
+		if w.desire > alloc[name] && w.state != StateReclaim {
+			w.denied = true
+		}
+	}
+
+	// 4. Max-performance redistribution (§3.5): when tables exist,
+	// choose the split of the cache-sensitive workloads' capacity that
+	// maximizes summed normalized IPC.
+	if c.cfg.Policy == MaxPerformance {
+		c.optimizeAlloc(alloc, &pool, total)
+	}
+
+	c.poolEmpty = pool == 0
+	return alloc
+}
+
+// optimizeAlloc reassigns ways among workloads with informative
+// performance tables, keeping everyone else fixed.
+func (c *Controller) optimizeAlloc(alloc map[string]int, pool *int, total int) {
+	var names []string
+	for _, name := range c.order {
+		w := c.ws[name]
+		switch w.state {
+		case StateReceiver, StateKeeper:
+		default:
+			continue
+		}
+		if w.baselineIPC <= 0 || len(w.table) < 3 || w.state == StateReclaim {
+			continue
+		}
+		names = append(names, name)
+	}
+	if len(names) < 2 {
+		return
+	}
+	budget := *pool
+	cands := make([]splitCand, len(names))
+	for i, name := range names {
+		w := c.ws[name]
+		budget += alloc[name]
+		max := w.table.Max() + c.cfg.GrowthStep
+		if max > total {
+			max = total
+		}
+		if max < w.baseline {
+			max = w.baseline
+		}
+		// A still-exploring Receiver keeps what it was just granted:
+		// the table has no data beyond its current allocation, so the
+		// optimizer would otherwise strip every probe before it can be
+		// measured. Settled workloads can be trimmed down to baseline.
+		min := w.baseline
+		if !w.settled {
+			min = alloc[name]
+		}
+		if max < min {
+			max = min
+		}
+		cands[i] = splitCand{table: w.table, min: min, max: max}
+	}
+	res, ok := optimizeSplit(cands, budget)
+	if !ok {
+		return
+	}
+	used := 0
+	for i, name := range names {
+		alloc[name] = res[i]
+		used += res[i]
+	}
+	*pool = budget - used
+}
+
+// Snapshot reports the controller's view of every workload, in target
+// order, based on the most recent tick.
+func (c *Controller) Snapshot() []Status {
+	out := make([]Status, 0, len(c.order))
+	for _, name := range c.order {
+		w := c.ws[name]
+		norm := 0.0
+		if w.baselineIPC > 0 {
+			norm = w.lastIPC / w.baselineIPC
+		}
+		out = append(out, Status{
+			Name:     w.name,
+			State:    w.state,
+			Ways:     w.ways,
+			Baseline: w.baseline,
+			IPC:      w.lastIPC,
+			NormIPC:  norm,
+			MAPI:     w.phaseMAPI,
+		})
+	}
+	return out
+}
+
+// Occupancy reports each workload's measured LLC footprint in bytes
+// when the CAT backend supports CMT-style monitoring (ok=false
+// otherwise).
+func (c *Controller) Occupancy() (map[string]uint64, bool) {
+	return c.mgr.Occupancy()
+}
+
+// Ways returns a workload's current allocation (0 if unknown).
+func (c *Controller) Ways(name string) int {
+	if w, ok := c.ws[name]; ok {
+		return w.ways
+	}
+	return 0
+}
+
+// StateOf returns a workload's current category.
+func (c *Controller) StateOf(name string) (State, bool) {
+	w, ok := c.ws[name]
+	if !ok {
+		return 0, false
+	}
+	return w.state, true
+}
+
+// Table returns a copy of a workload's live performance table.
+func (c *Controller) Table(name string) (PerfTable, bool) {
+	w, ok := c.ws[name]
+	if !ok {
+		return nil, false
+	}
+	return w.table.Clone(), true
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cat"
+	"repro/internal/perf"
+)
+
+// Target describes one workload (VM/container) the controller manages.
+type Target struct {
+	Name  string
+	Cores []int
+	// BaselineWays is the contracted allocation: the way count whose
+	// performance dCat guarantees as the workload's floor.
+	BaselineWays int
+}
+
+// wstate is the controller's per-workload record.
+type wstate struct {
+	name     string
+	cores    []int
+	baseline int
+
+	state   State
+	settled bool // terminal for this phase; only a phase change resets it
+
+	ways     int // allocation active during the just-measured interval
+	prevWays int // allocation during the interval before that
+
+	phaseInit   bool
+	phase       phaseKey
+	phaseMAPI   float64
+	det         PhaseDetector
+	baselineIPC float64
+	table       PerfTable
+	history     map[phaseKey]PerfTable
+
+	lastIPC float64
+	denied  bool // allocator could not grant last round's growth
+	jumpTo  int  // >0: performance-table reuse target (Fig 12)
+
+	desire int // this round's requested ways
+}
+
+// Controller is the dCat daemon loop.
+type Controller struct {
+	cfg     Config
+	mgr     *cat.Manager
+	sampler *perf.Sampler
+	ws      map[string]*wstate
+	order   []string
+	// poolEmpty records whether the previous allocation round ended
+	// with no free ways — part of the Streaming decision (§3.4: "all
+	// the available cache size is used").
+	poolEmpty bool
+	ticks     int
+}
+
+// New wires a controller to a CAT manager and a counter source, and
+// installs every target's baseline allocation.
+func New(cfg Config, mgr *cat.Manager, counters perf.Reader, targets []Target) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mgr == nil || counters == nil {
+		return nil, fmt.Errorf("core: nil manager or counter source")
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("core: no targets")
+	}
+	sumBase := 0
+	for _, t := range targets {
+		if t.BaselineWays < 1 {
+			return nil, fmt.Errorf("core: target %q baseline %d below the 1-way minimum",
+				t.Name, t.BaselineWays)
+		}
+		sumBase += t.BaselineWays
+	}
+	if sumBase > mgr.TotalWays() {
+		return nil, fmt.Errorf("core: baselines total %d ways, socket has %d",
+			sumBase, mgr.TotalWays())
+	}
+	c := &Controller{
+		cfg:     cfg,
+		mgr:     mgr,
+		sampler: perf.NewSampler(counters),
+		ws:      make(map[string]*wstate),
+	}
+	baseAlloc := make(map[string]int, len(targets))
+	for _, t := range targets {
+		if _, err := mgr.CreateGroup(t.Name, t.Cores); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		c.ws[t.Name] = &wstate{
+			name:     t.Name,
+			cores:    append([]int(nil), t.Cores...),
+			baseline: t.BaselineWays,
+			state:    StateKeeper,
+			ways:     t.BaselineWays,
+			prevWays: t.BaselineWays,
+			table:    make(PerfTable),
+			history:  make(map[phaseKey]PerfTable),
+			det:      cfg.detector(),
+		}
+		c.order = append(c.order, t.Name)
+		baseAlloc[t.Name] = t.BaselineWays
+	}
+	if err := mgr.SetAllocation(baseAlloc); err != nil {
+		return nil, fmt.Errorf("core: installing baselines: %w", err)
+	}
+	return c, nil
+}
+
+// Ticks returns how many controller periods have run.
+func (c *Controller) Ticks() int { return c.ticks }
+
+// observation is one interval's derived statistics for a workload.
+type observation struct {
+	sample perf.Sample
+	ipc    float64
+	miss   float64
+	mapi   float64
+}
+
+// Tick runs one controller period: Collect Statistics → Detect Phase
+// Change → Categorize Workloads → Allocate Cache (paper Fig 4; Get
+// Baseline happens implicitly at each phase start).
+func (c *Controller) Tick() error {
+	obs := make(map[string]observation, len(c.order))
+	for _, name := range c.order {
+		w := c.ws[name]
+		s := c.sampler.SampleCores(w.cores)
+		obs[name] = observation{
+			sample: s,
+			ipc:    s.IPC(),
+			miss:   s.LLCMissRate(),
+			mapi:   s.MemAccessPerInstr(),
+		}
+	}
+
+	for _, name := range c.order {
+		w := c.ws[name]
+		o := obs[name]
+		c.observePhase(w, o)
+	}
+
+	for _, name := range c.order {
+		w := c.ws[name]
+		if w.state == StateReclaim {
+			w.desire = w.baseline
+			continue
+		}
+		c.categorize(w, obs[name])
+	}
+
+	alloc := c.allocate()
+	if err := c.mgr.SetAllocation(alloc); err != nil {
+		return fmt.Errorf("core: tick %d: %w", c.ticks, err)
+	}
+	for _, name := range c.order {
+		w := c.ws[name]
+		w.lastIPC = obs[name].ipc
+		w.prevWays = w.ways
+		w.ways = alloc[name]
+	}
+	c.ticks++
+	return nil
+}
+
+// observePhase handles phase bookkeeping for one workload: Get
+// Baseline, Detect Phase Change, and performance-table recording.
+func (c *Controller) observePhase(w *wstate, o observation) {
+	mapi := sanitizeMAPI(o.mapi)
+	switch {
+	case !w.phaseInit:
+		// First interval ever: it ran at the baseline allocation, so
+		// its IPC is the baseline performance of the initial phase.
+		w.phaseInit = true
+		w.phase = phaseKeyOf(mapi)
+		w.phaseMAPI = mapi
+		w.det.Reset(mapi)
+		w.baselineIPC = o.ipc
+		w.table.Set(w.baseline, 1)
+
+	case w.det.Observe(mapi):
+		// Phase change: snapshot the table, enter Reclaim (§3.4 —
+		// highest priority, returns to baseline so the guarantee can
+		// be re-established), and stage any known table for reuse.
+		c.saveTable(w)
+		w.phase = phaseKeyOf(mapi)
+		w.phaseMAPI = mapi
+		w.det.Reset(mapi)
+		w.baselineIPC = 0
+		w.state = StateReclaim
+		w.settled = false
+		w.jumpTo = 0
+		w.denied = false
+		if prev, ok := w.history[w.phase]; ok {
+			w.table = prev.Clone()
+		} else {
+			w.table = make(PerfTable)
+		}
+
+	case w.state == StateReclaim && w.ways == w.baseline:
+		// One clean interval at the baseline: measure it. The phase
+		// was keyed off a sample that straddled the transition, so
+		// refresh it with this clean interval's value.
+		w.phaseMAPI = mapi
+		w.det.Reset(mapi)
+		if key := phaseKeyOf(mapi); key != w.phase {
+			w.phase = key
+			if prev, ok := w.history[key]; ok {
+				w.table = prev.Clone()
+			} else {
+				w.table = make(PerfTable)
+			}
+		}
+		w.baselineIPC = o.ipc
+		w.table.Set(w.baseline, 1)
+		w.state = StateKeeper
+		// Performance-table reuse (§3.5, Fig 12): if this phase was
+		// seen before, jump straight to its preferred allocation
+		// instead of rediscovering one way per round.
+		if pref, ok := w.table.Preferred(c.cfg.IPCImpThr / 2); ok && pref > w.baseline {
+			w.jumpTo = pref
+			w.settled = true
+		}
+
+	case w.baselineIPC > 0:
+		// Steady phase: record the measurement at the current ways.
+		w.table.Set(w.ways, o.ipc/w.baselineIPC)
+	}
+}
+
+// saveTable merges the live table into the phase history.
+func (c *Controller) saveTable(w *wstate) {
+	if !w.phaseInit || len(w.table) == 0 {
+		return
+	}
+	saved, ok := w.history[w.phase]
+	if !ok {
+		saved = make(PerfTable)
+		w.history[w.phase] = saved
+	}
+	for k, v := range w.table {
+		saved[k] = v
+	}
+}
+
+// categorize implements the §3.4 state machine for one workload and
+// sets its desired way count for this round.
+func (c *Controller) categorize(w *wstate, o observation) {
+	grew := w.ways > w.prevWays
+	imp := 0.0
+	if w.lastIPC > 0 {
+		imp = (o.ipc - w.lastIPC) / w.lastIPC
+	}
+
+	switch {
+	case o.sample.L1Ref <= c.cfg.L1RefThr || o.sample.LLCRef <= c.cfg.LLCRefThr:
+		// Idle (l1_ref_thr: the VM is barely executing) or not using
+		// the LLC (llc_ref_thr): Donor at the minimum allocation.
+		w.state = StateDonor
+		w.settled = true
+		w.desire = 1
+
+	case w.state == StateStreaming:
+		// Streaming is a terminal Donor for this phase.
+		w.desire = 1
+
+	case w.baselineIPC > 0 && w.ways < w.baseline &&
+		o.ipc < w.baselineIPC*(1-c.cfg.IPCImpThr):
+		// The baseline guarantee itself: donating ways looked safe by
+		// miss rate, but the workload now runs measurably below the
+		// performance it had at its contracted allocation (reduced
+		// associativity raises conflict misses before the miss-rate
+		// threshold notices — the §2.1 pathology). Take the donation
+		// back and hold.
+		w.state = StateKeeper
+		w.settled = true
+		w.desire = w.baseline
+
+	case o.miss < c.cfg.LLCMissRateThr:
+		switch {
+		case w.settled:
+			// A Keeper that already proved it suffers with less (or a
+			// reused-table jump target): hold.
+			w.state = StateKeeper
+			w.desire = c.holdOrJump(w)
+		case w.state == StateReceiver || w.state == StateUnknown:
+			// Growth drove the miss rate below threshold: the working
+			// set fits — the preferred state (§3.4: Receiver → Keeper
+			// when llc_miss_rate < llc_miss_rate_thr).
+			w.state = StateKeeper
+			w.settled = true
+			w.desire = w.ways
+		case w.ways <= 1:
+			w.state = StateDonor
+			w.settled = true
+			w.desire = 1
+		default:
+			// Phase-start Keeper or shrinking Donor that is not
+			// missing: give back one way per round until misses
+			// become non-trivial.
+			w.state = StateDonor
+			w.desire = w.ways - 1
+		}
+
+	default: // significant LLC references and a non-trivial miss rate
+		switch w.state {
+		case StateDonor:
+			// Shrinking uncovered the working set: settle here.
+			w.state = StateKeeper
+			w.settled = true
+			w.desire = w.ways
+		case StateKeeper:
+			if w.settled {
+				w.desire = c.holdOrJump(w)
+				return
+			}
+			// Might benefit from more cache: probe.
+			w.state = StateUnknown
+			w.desire = w.ways + c.cfg.GrowthStep
+		case StateUnknown:
+			switch {
+			case grew && imp >= c.cfg.IPCImpThr:
+				w.state = StateReceiver
+				w.desire = w.ways + c.cfg.GrowthStep
+			case grew && (w.ways >= c.cfg.StreamingMult*w.baseline || c.poolEmpty):
+				// Probed to the streaming threshold (or drained the
+				// pool) with nothing to show: cyclic access pattern.
+				w.state = StateStreaming
+				w.settled = true
+				w.desire = 1
+			case !grew && w.denied && w.ways >= c.cfg.StreamingMult*w.baseline:
+				w.state = StateStreaming
+				w.settled = true
+				w.desire = 1
+			default:
+				w.desire = w.ways + c.cfg.GrowthStep
+			}
+		case StateReceiver:
+			if grew && imp < c.cfg.IPCImpThr {
+				// The last way added nothing: preferred state reached.
+				w.state = StateKeeper
+				w.settled = true
+				w.desire = w.ways
+				return
+			}
+			w.desire = w.ways + c.cfg.GrowthStep
+		default:
+			w.desire = w.ways
+		}
+	}
+}
+
+// holdOrJump returns a settled workload's desire: its current ways, or
+// its reuse target while one is pending.
+func (c *Controller) holdOrJump(w *wstate) int {
+	if w.jumpTo > w.ways {
+		return w.jumpTo
+	}
+	w.jumpTo = 0
+	return w.ways
+}

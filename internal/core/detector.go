@@ -1,0 +1,147 @@
+package core
+
+import "math"
+
+// PhaseDetector decides, from the per-interval memory-accesses-per-
+// instruction signal, when a workload has entered a new phase. The
+// paper uses a simple fixed relative threshold (§3.3) and notes that
+// other detection methods "are pluggable into our work" — this is the
+// plug point.
+//
+// Detectors are per-workload and single-goroutine (the controller owns
+// them).
+type PhaseDetector interface {
+	// Observe feeds one interval's value and reports whether a phase
+	// change begins at this interval.
+	Observe(mapi float64) bool
+	// Reset re-anchors the detector at the start of a new phase, with
+	// the phase's first clean measurement.
+	Reset(mapi float64)
+}
+
+// ThresholdDetector is the paper's detector: a phase change is any
+// relative deviation beyond Thr (default 10%) from the value measured
+// at the start of the phase.
+type ThresholdDetector struct {
+	Thr float64
+	ref float64
+}
+
+// NewThresholdDetector returns the paper's §3.3 detector.
+func NewThresholdDetector(thr float64) *ThresholdDetector {
+	return &ThresholdDetector{Thr: thr}
+}
+
+// Observe implements PhaseDetector.
+func (d *ThresholdDetector) Observe(mapi float64) bool {
+	return relDiff(mapi, d.ref) > d.Thr
+}
+
+// Reset implements PhaseDetector.
+func (d *ThresholdDetector) Reset(mapi float64) { d.ref = mapi }
+
+// EMADetector compares each observation against an exponentially
+// weighted moving average instead of a fixed anchor: slow drift is
+// absorbed into the average (no spurious reclaims), while abrupt jumps
+// still exceed the deviation threshold.
+type EMADetector struct {
+	// Alpha is the EMA weight of the newest observation (0,1].
+	Alpha float64
+	// Thr is the relative deviation that signals a phase change.
+	Thr float64
+
+	ema float64
+	ok  bool
+}
+
+// NewEMADetector returns an EMA detector; alpha 0.25 tracks drift over
+// ~4 intervals.
+func NewEMADetector(alpha, thr float64) *EMADetector {
+	return &EMADetector{Alpha: alpha, Thr: thr}
+}
+
+// Observe implements PhaseDetector.
+func (d *EMADetector) Observe(mapi float64) bool {
+	if !d.ok {
+		d.Reset(mapi)
+		return false
+	}
+	if relDiff(mapi, d.ema) > d.Thr {
+		return true
+	}
+	d.ema = d.Alpha*mapi + (1-d.Alpha)*d.ema
+	return false
+}
+
+// Reset implements PhaseDetector.
+func (d *EMADetector) Reset(mapi float64) {
+	d.ema = mapi
+	d.ok = true
+}
+
+// WindowDetector compares each observation to the median of a sliding
+// window, making single-interval glitches (an interrupt storm, a
+// migration blip) invisible while sustained shifts trip it.
+type WindowDetector struct {
+	// N is the window length in intervals.
+	N int
+	// Thr is the relative deviation from the window median that
+	// signals a phase change.
+	Thr float64
+
+	window []float64
+}
+
+// NewWindowDetector returns a median-window detector.
+func NewWindowDetector(n int, thr float64) *WindowDetector {
+	if n < 1 {
+		n = 1
+	}
+	return &WindowDetector{N: n, Thr: thr}
+}
+
+// Observe implements PhaseDetector.
+func (d *WindowDetector) Observe(mapi float64) bool {
+	if len(d.window) == 0 {
+		d.Reset(mapi)
+		return false
+	}
+	if relDiff(mapi, d.median()) > d.Thr {
+		return true
+	}
+	d.window = append(d.window, mapi)
+	if len(d.window) > d.N {
+		d.window = d.window[1:]
+	}
+	return false
+}
+
+// Reset implements PhaseDetector.
+func (d *WindowDetector) Reset(mapi float64) {
+	d.window = append(d.window[:0], mapi)
+}
+
+func (d *WindowDetector) median() float64 {
+	// Windows are tiny (<=8); insertion sort a copy.
+	s := append([]float64(nil), d.window...)
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// sanitizeMAPI suppresses NaN/Inf/negative inputs before they reach a
+// detector — they can appear when a core was fully halted for an
+// interval (zero retired instructions).
+func sanitizeMAPI(mapi float64) float64 {
+	if math.IsNaN(mapi) || math.IsInf(mapi, 0) || mapi < 0 {
+		return 0
+	}
+	return mapi
+}

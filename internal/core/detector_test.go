@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+func TestThresholdDetector(t *testing.T) {
+	d := NewThresholdDetector(0.10)
+	d.Reset(0.50)
+	if d.Observe(0.52) {
+		t.Error("4% deviation should not trip a 10% threshold")
+	}
+	if !d.Observe(0.60) {
+		t.Error("20% deviation should trip")
+	}
+	if !d.Observe(0.40) {
+		t.Error("downward deviation should trip")
+	}
+	// The reference does not drift: repeated small steps accumulate.
+	d.Reset(0.50)
+	for _, v := range []float64{0.51, 0.53, 0.54} {
+		if d.Observe(v) {
+			t.Fatalf("%v should still be within 10%% of the anchor", v)
+		}
+	}
+	if !d.Observe(0.56) {
+		t.Error("cumulative drift past 10% of the anchor should trip")
+	}
+}
+
+func TestEMADetectorAbsorbsDrift(t *testing.T) {
+	d := NewEMADetector(0.5, 0.10)
+	d.Observe(0.50) // first observation anchors
+	// Slow ramp: +3% per interval; each step is within 10% of the EMA.
+	v := 0.50
+	for i := 0; i < 20; i++ {
+		v *= 1.03
+		if d.Observe(v) {
+			t.Fatalf("EMA should absorb a slow ramp; tripped at step %d (%.3f)", i, v)
+		}
+	}
+	// An abrupt jump still trips.
+	if !d.Observe(v * 1.5) {
+		t.Error("abrupt 50% jump should trip the EMA detector")
+	}
+}
+
+func TestEMADetectorFirstObservationAnchors(t *testing.T) {
+	d := NewEMADetector(0.25, 0.10)
+	if d.Observe(0.7) {
+		t.Error("first observation cannot be a phase change")
+	}
+	if !d.Observe(2.0) {
+		t.Error("jump after the anchor should trip")
+	}
+}
+
+func TestWindowDetectorIgnoresGlitch(t *testing.T) {
+	d := NewWindowDetector(5, 0.10)
+	for i := 0; i < 5; i++ {
+		if d.Observe(0.50) {
+			t.Fatal("steady signal tripped")
+		}
+	}
+	// One glitch interval trips a naive anchor comparison — the window
+	// median check reports it as a change too (the signal IS out of
+	// band), but the window itself is not polluted by it.
+	if !d.Observe(5.0) {
+		t.Error("out-of-band value should be reported")
+	}
+	// Back to normal: the median is still 0.50, so no change.
+	if d.Observe(0.51) {
+		t.Error("median window should have been unaffected by the glitch")
+	}
+}
+
+func TestWindowDetectorMedianEven(t *testing.T) {
+	d := NewWindowDetector(4, 0.10)
+	d.Reset(0.4)
+	d.Observe(0.42)
+	d.Observe(0.44)
+	d.Observe(0.46)
+	if got := d.median(); math.Abs(got-0.43) > 1e-9 {
+		t.Errorf("median=%f want 0.43", got)
+	}
+}
+
+func TestWindowDetectorMinSize(t *testing.T) {
+	d := NewWindowDetector(0, 0.10)
+	if d.N != 1 {
+		t.Errorf("window size clamped to %d, want 1", d.N)
+	}
+	if d.Observe(0.5) {
+		t.Error("first observation anchors")
+	}
+}
+
+func TestSanitizeMAPI(t *testing.T) {
+	if sanitizeMAPI(math.NaN()) != 0 || sanitizeMAPI(math.Inf(1)) != 0 || sanitizeMAPI(-1) != 0 {
+		t.Error("pathological values should sanitize to 0")
+	}
+	if sanitizeMAPI(0.5) != 0.5 {
+		t.Error("normal values pass through")
+	}
+}
+
+// driftingBehavior ramps the workload's accesses-per-instruction by
+// rate per tick — drift, not a phase change.
+func driftingBehavior(rate float64) behavior {
+	tick := 0
+	return func(ways int) perf.Sample {
+		tick++
+		f := math.Pow(1+rate, float64(tick))
+		llcRef := uint64(400_000)
+		return perf.Sample{
+			L1Ref:   uint64(500_000 * f),
+			LLCRef:  llcRef,
+			LLCMiss: uint64(0.2 * float64(llcRef)),
+			RetIns:  1_000_000,
+			Cycles:  2_000_000,
+		}
+	}
+}
+
+// The controller accepts a custom detector factory: an EMA detector
+// must suppress the spurious reclaims a drifting workload causes under
+// the default anchor detector.
+func TestControllerWithCustomDetector(t *testing.T) {
+	countReclaims := func(cfg Config) int {
+		r := newRig(t, cfg, 20, []string{"a"}, []int{3},
+			map[string]behavior{"a": driftingBehavior(0.03)})
+		n := 0
+		for i := 0; i < 20; i++ {
+			r.tick()
+			if st, _ := r.ctl.StateOf("a"); st == StateReclaim {
+				n++
+			}
+		}
+		return n
+	}
+	anchored := countReclaims(DefaultConfig())
+	cfg := DefaultConfig()
+	cfg.NewPhaseDetector = func() PhaseDetector { return NewEMADetector(0.5, 0.10) }
+	ema := countReclaims(cfg)
+	if anchored == 0 {
+		t.Error("3%/tick drift should trip the paper's anchor detector repeatedly")
+	}
+	if ema != 0 {
+		t.Errorf("EMA detector reclaimed %d times on pure drift; want 0", ema)
+	}
+}

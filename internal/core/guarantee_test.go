@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/perf"
+)
+
+// slipperyDonor references the LLC with a near-zero miss rate (so the
+// donor-shrink path engages) but its IPC collapses below fitWays —
+// conflict misses that the miss-rate threshold cannot see (the paper's
+// §2.1 pathology). The controller must restore the baseline.
+func slipperyDonor(fitWays int) behavior {
+	return func(ways int) perf.Sample {
+		ipc := 1.0
+		if ways < fitWays {
+			ipc = 0.5 // collapse below the baseline guarantee
+		}
+		llcRef := uint64(400_000)
+		return perf.Sample{
+			L1Ref:   500_000,
+			LLCRef:  llcRef,
+			LLCMiss: uint64(0.001 * float64(llcRef)), // always "clean"
+			RetIns:  1_000_000,
+			Cycles:  uint64(1_000_000 / ipc),
+		}
+	}
+}
+
+func TestDonorShrinkRespectsBaselineGuarantee(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 20, []string{"a"}, []int{4},
+		map[string]behavior{"a": slipperyDonor(4)})
+	// t1: low miss -> Donor, shrink to 3. t2: IPC collapsed below the
+	// baseline -> restore 4 and settle.
+	r.tick()
+	r.wantState("a", StateDonor)
+	r.wantWays("a", 3)
+	r.tick()
+	r.wantState("a", StateKeeper)
+	r.wantWays("a", 4)
+	// Holds: the donor experiment is not repeated this phase.
+	r.run(5)
+	r.wantWays("a", 4)
+}
+
+func TestHarmlessDonationStillProceeds(t *testing.T) {
+	// A donor whose IPC is genuinely insensitive keeps donating down
+	// to the knee (the guard must not freeze legitimate donation).
+	r := newRig(t, DefaultConfig(), 20, []string{"a"}, []int{6},
+		map[string]behavior{"a": lowMissBehavior(4)})
+	r.run(3)
+	r.wantState("a", StateKeeper)
+	r.wantWays("a", 4)
+}

@@ -1,0 +1,188 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/cat"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/workload"
+)
+
+// buildHost assembles the paper's evaluation stack: Xeon E5 socket,
+// scaled timing, CAT sim backend, dCat controller.
+func buildHost(t *testing.T) *host.Host {
+	t.Helper()
+	cfg := host.DefaultConfig()
+	cfg.CyclesPerInterval = 10_000_000 // test-fast
+	h, err := host.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func newController(t *testing.T, h *host.Host, cfg core.Config, baseline int) *core.Controller {
+	t.Helper()
+	backend, err := cat.NewSimBackend(h.System())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr, err := cat.NewManager(backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var targets []core.Target
+	for _, vm := range h.VMs() {
+		targets = append(targets, core.Target{Name: vm.Name, Cores: vm.Cores, BaselineWays: baseline})
+	}
+	ctl, err := core.New(cfg, mgr, h.System().Counters(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl
+}
+
+func addLookbusy(t *testing.T, h *host.Host, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		lb, err := workload.NewLookbusy(h.Allocator())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.AddVM(lbName(i), 2, lb); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func lbName(i int) string { return string(rune('p'+i)) + "-lookbusy" }
+
+// TestEndToEndMLRGrowth reproduces the core of paper Fig 10: an MLR
+// with an 8 MB working set in one VM among five lookbusy VMs, baseline
+// 3 ways each, grows under dCat until its working set fits, while the
+// lookbusy VMs donate down to one way.
+func TestEndToEndMLRGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	h := buildHost(t)
+	mlr, err := workload.NewMLR(8<<20, addr.PageSize4K, h.Allocator(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddVM("target", 2, mlr); err != nil {
+		t.Fatal(err)
+	}
+	addLookbusy(t, h, 5)
+	ctl := newController(t, h, core.DefaultConfig(), 3)
+
+	h.RunIntervals(20, func(int) {
+		if err := ctl.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	ways := ctl.Ways("target")
+	if ways < 5 || ways > 12 {
+		t.Errorf("MLR-8MB converged at %d ways; expected to grow well beyond baseline 3", ways)
+	}
+	st, _ := ctl.StateOf("target")
+	if st != core.StateKeeper && st != core.StateReceiver {
+		t.Errorf("target state %v; want Keeper (preferred) or Receiver", st)
+	}
+	for i := 0; i < 5; i++ {
+		if w := ctl.Ways(lbName(i)); w != 1 {
+			t.Errorf("lookbusy VM %d holds %d ways; want 1 (Donor)", i, w)
+		}
+	}
+	// The target must have gained real performance over its baseline.
+	snap := ctl.Snapshot()
+	if snap[0].NormIPC < 1.2 {
+		t.Errorf("target normalized IPC %.2f; want meaningful gain over baseline", snap[0].NormIPC)
+	}
+}
+
+// TestEndToEndStreamingDemotion reproduces paper Fig 13: MLOAD-60MB
+// probes upward, shows no IPC response, is classified Streaming, and
+// drops to one way.
+func TestEndToEndStreamingDemotion(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	h := buildHost(t)
+	ml, err := workload.NewMLOAD(60<<20, addr.PageSize4K, h.Allocator())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AddVM("target", 2, ml); err != nil {
+		t.Fatal(err)
+	}
+	addLookbusy(t, h, 5)
+	ctl := newController(t, h, core.DefaultConfig(), 3)
+
+	h.RunIntervals(20, func(int) {
+		if err := ctl.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	st, _ := ctl.StateOf("target")
+	if st != core.StateStreaming {
+		t.Errorf("MLOAD state %v; want Streaming", st)
+	}
+	if w := ctl.Ways("target"); w != 1 {
+		t.Errorf("MLOAD holds %d ways; want 1", w)
+	}
+}
+
+// TestEndToEndIsolationUnderDCat: with dCat managing the socket, a
+// noisy streaming neighbour must not destroy the target's performance:
+// the target ends up at least as fast as it would be under static CAT.
+func TestEndToEndIsolationUnderDCat(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	run := func(dynamic bool) float64 {
+		h := buildHost(t)
+		mlr, err := workload.NewMLR(8<<20, addr.PageSize4K, h.Allocator(), 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.AddVM("target", 2, mlr); err != nil {
+			t.Fatal(err)
+		}
+		noisy, err := workload.NewMLOAD(60<<20, addr.PageSize4K, h.Allocator())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.AddVM("noisy", 2, noisy); err != nil {
+			t.Fatal(err)
+		}
+		addLookbusy(t, h, 4)
+		ctl := newController(t, h, core.DefaultConfig(), 3)
+		var tick func(int)
+		if dynamic {
+			tick = func(int) {
+				if err := ctl.Tick(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Static CAT: controller constructed (installs baselines) but
+		// never ticked.
+		h.RunIntervals(18, tick)
+		vm, _ := h.VM("target")
+		return vm.Last().AvgAccessLatency()
+	}
+	static := run(false)
+	dyn := run(true)
+	if dyn > static {
+		t.Errorf("dCat latency %.1f worse than static CAT %.1f", dyn, static)
+	}
+	if dyn > static*0.8 {
+		t.Errorf("dCat latency %.1f should be well below static CAT %.1f for MLR-8MB at 3-way baseline",
+			dyn, static)
+	}
+}

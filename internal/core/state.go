@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// State is a workload's cache-utilization category (§3.4, Fig 6).
+type State int
+
+const (
+	// StateKeeper would suffer with less cache but does not benefit
+	// from more. It is also the start state of every workload.
+	StateKeeper State = iota
+	// StateDonor neither suffers from less cache nor benefits from
+	// more; its ways are gradually (or immediately) returned to the
+	// pool.
+	StateDonor
+	// StateReceiver benefits from more cache and suffers from less.
+	StateReceiver
+	// StateStreaming misses a lot but never reuses data: a special
+	// Donor held at the minimum allocation.
+	StateStreaming
+	// StateUnknown cannot be determined yet; dCat probes it with more
+	// cache, with priority over Receivers, to resolve it quickly.
+	StateUnknown
+	// StateReclaim is entered on a phase change: the workload must
+	// return to its baseline allocation, with priority over everything
+	// else, so its guaranteed performance is restored.
+	StateReclaim
+)
+
+// String names the state as the paper does.
+func (s State) String() string {
+	switch s {
+	case StateKeeper:
+		return "Keeper"
+	case StateDonor:
+		return "Donor"
+	case StateReceiver:
+		return "Receiver"
+	case StateStreaming:
+		return "Streaming"
+	case StateUnknown:
+		return "Unknown"
+	case StateReclaim:
+		return "Reclaim"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// phaseKey buckets a memory-accesses-per-instruction value so that a
+// recurring phase maps to the same key despite measurement noise. The
+// bucket width (~15% per step) sits above the 10% detection threshold,
+// so values within one undetected drift usually share a bucket.
+type phaseKey int
+
+const idlePhase phaseKey = math.MinInt32
+
+func phaseKeyOf(mapi float64) phaseKey {
+	if mapi < 1e-9 {
+		return idlePhase
+	}
+	return phaseKey(math.Round(math.Log(mapi) / math.Log(1.15)))
+}
+
+// relDiff returns |a-b| / b (b>0); a large value when b is ~0 but a is not.
+func relDiff(a, b float64) float64 {
+	if b < 1e-12 {
+		if a < 1e-12 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(a-b) / b
+}
+
+// Status is one workload's externally visible controller state, used
+// by telemetry and the experiment harness.
+type Status struct {
+	Name     string
+	State    State
+	Ways     int
+	Baseline int
+	IPC      float64
+	// NormIPC is IPC normalized to the phase's baseline IPC (0 when
+	// the baseline has not been measured yet).
+	NormIPC  float64
+	MissRate float64
+	MAPI     float64
+	LLCRef   uint64
+}

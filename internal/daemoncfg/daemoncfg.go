@@ -1,0 +1,193 @@
+// Package daemoncfg loads dcatd's JSON configuration file: the managed
+// groups, the controller period and thresholds, and the listen address
+// — everything the command-line flags express, in reviewable form.
+//
+// Example:
+//
+//	{
+//	  "resctrl_root": "/sys/fs/resctrl",
+//	  "msr_root": "/dev/cpu",
+//	  "period": "1s",
+//	  "policy": "max-performance",
+//	  "http": ":9090",
+//	  "thresholds": {
+//	    "llc_miss_rate": 0.03,
+//	    "ipc_improvement": 0.05,
+//	    "phase_change": 0.10,
+//	    "streaming_multiplier": 3
+//	  },
+//	  "groups": [
+//	    {"name": "web", "cpus": "0-3", "baseline_ways": 4},
+//	    {"name": "batch", "cpus": "4-7", "baseline_ways": 2}
+//	  ]
+//	}
+package daemoncfg
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/resctrl"
+)
+
+// Group is one managed tenant.
+type Group struct {
+	Name         string `json:"name"`
+	CPUs         string `json:"cpus"`
+	BaselineWays int    `json:"baseline_ways"`
+
+	// Cores is CPUs parsed; populated by Load.
+	Cores []int `json:"-"`
+}
+
+// Thresholds overrides the paper's controller constants; zero fields
+// keep the defaults.
+type Thresholds struct {
+	LLCMissRate         float64 `json:"llc_miss_rate"`
+	IPCImprovement      float64 `json:"ipc_improvement"`
+	PhaseChange         float64 `json:"phase_change"`
+	StreamingMultiplier int     `json:"streaming_multiplier"`
+	GrowthStep          int     `json:"growth_step"`
+}
+
+// File is the parsed configuration.
+type File struct {
+	ResctrlRoot string     `json:"resctrl_root"`
+	MSRRoot     string     `json:"msr_root"`
+	Period      string     `json:"period"`
+	Policy      string     `json:"policy"`
+	HTTP        string     `json:"http"`
+	Thresholds  Thresholds `json:"thresholds"`
+	Groups      []Group    `json:"groups"`
+
+	// PeriodDuration is Period parsed; populated by Load.
+	PeriodDuration time.Duration `json:"-"`
+}
+
+// Load reads and validates a configuration file.
+func Load(path string) (*File, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("daemoncfg: %w", err)
+	}
+	return Parse(raw)
+}
+
+// Parse validates configuration bytes.
+func Parse(raw []byte) (*File, error) {
+	var f File
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("daemoncfg: parsing: %w", err)
+	}
+	if f.ResctrlRoot == "" {
+		f.ResctrlRoot = resctrl.DefaultRoot
+	}
+	if f.MSRRoot == "" {
+		f.MSRRoot = "/dev/cpu"
+	}
+	if f.Period == "" {
+		f.Period = "1s"
+	}
+	d, err := time.ParseDuration(f.Period)
+	if err != nil || d <= 0 {
+		return nil, fmt.Errorf("daemoncfg: bad period %q", f.Period)
+	}
+	f.PeriodDuration = d
+	switch f.Policy {
+	case "", "max-fairness", "fair":
+		f.Policy = "max-fairness"
+	case "max-performance", "perf":
+		f.Policy = "max-performance"
+	default:
+		return nil, fmt.Errorf("daemoncfg: unknown policy %q", f.Policy)
+	}
+	if len(f.Groups) == 0 {
+		return nil, fmt.Errorf("daemoncfg: no groups")
+	}
+	seenName := map[string]bool{}
+	seenCore := map[int]string{}
+	for i := range f.Groups {
+		g := &f.Groups[i]
+		if g.Name == "" {
+			return nil, fmt.Errorf("daemoncfg: group %d has no name", i)
+		}
+		if seenName[g.Name] {
+			return nil, fmt.Errorf("daemoncfg: duplicate group %q", g.Name)
+		}
+		seenName[g.Name] = true
+		cores, err := resctrl.ParseCPUList(g.CPUs)
+		if err != nil {
+			return nil, fmt.Errorf("daemoncfg: group %q: %w", g.Name, err)
+		}
+		if len(cores) == 0 {
+			return nil, fmt.Errorf("daemoncfg: group %q has no cpus", g.Name)
+		}
+		for _, c := range cores {
+			if owner, dup := seenCore[c]; dup {
+				return nil, fmt.Errorf("daemoncfg: cpu %d in both %q and %q", c, owner, g.Name)
+			}
+			seenCore[c] = g.Name
+		}
+		g.Cores = cores
+		if g.BaselineWays < 1 {
+			return nil, fmt.Errorf("daemoncfg: group %q: baseline_ways %d below 1", g.Name, g.BaselineWays)
+		}
+	}
+	if _, err := f.ControllerConfig(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// ControllerConfig converts the thresholds into a validated controller
+// configuration.
+func (f *File) ControllerConfig() (core.Config, error) {
+	cfg := core.DefaultConfig()
+	if f.Policy == "max-performance" {
+		cfg.Policy = core.MaxPerformance
+	}
+	t := f.Thresholds
+	if t.LLCMissRate != 0 {
+		cfg.LLCMissRateThr = t.LLCMissRate
+	}
+	if t.IPCImprovement != 0 {
+		cfg.IPCImpThr = t.IPCImprovement
+	}
+	if t.PhaseChange != 0 {
+		cfg.PhaseThr = t.PhaseChange
+	}
+	if t.StreamingMultiplier != 0 {
+		cfg.StreamingMult = t.StreamingMultiplier
+	}
+	if t.GrowthStep != 0 {
+		cfg.GrowthStep = t.GrowthStep
+	}
+	if err := cfg.Validate(); err != nil {
+		return core.Config{}, fmt.Errorf("daemoncfg: %w", err)
+	}
+	return cfg, nil
+}
+
+// Targets converts the groups into controller targets.
+func (f *File) Targets() []core.Target {
+	out := make([]core.Target, len(f.Groups))
+	for i, g := range f.Groups {
+		out[i] = core.Target{Name: g.Name, Cores: g.Cores, BaselineWays: g.BaselineWays}
+	}
+	return out
+}
+
+// AllCores returns every managed CPU.
+func (f *File) AllCores() []int {
+	var out []int
+	for _, g := range f.Groups {
+		out = append(out, g.Cores...)
+	}
+	return out
+}

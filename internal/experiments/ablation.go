@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/bits"
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/memsys"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// Ablation benches for the design choices DESIGN.md calls out. These go
+// beyond the paper's figures: they quantify why dCat's constants are
+// what they are.
+
+// modulated wraps a generator and modulates its reported accesses-per-
+// instruction by ±amplitude with the given period (in intervals) —
+// drift that is not a real phase change and should be ignored by a
+// well-tuned detector.
+type modulated struct {
+	base      workload.Generator
+	amplitude float64
+	period    int
+	tick      int
+}
+
+func (m *modulated) Name() string { return m.base.Name() + "-mod" }
+
+func (m *modulated) Params() workload.Params {
+	p := m.base.Params()
+	if (m.tick/m.period)%2 == 1 {
+		p.AccessesPerInstr *= 1 + m.amplitude
+	}
+	return p
+}
+
+func (m *modulated) NextLine() uint64 { return m.base.NextLine() }
+
+func (m *modulated) Tick() {
+	m.tick++
+	m.base.Tick()
+}
+
+// AblationPhaseThreshold sweeps the phase-change threshold against a
+// workload whose accesses-per-instruction drifts by 12% without any
+// real phase change. Thresholds below the drift trigger spurious
+// reclaims (losing the converged allocation); thresholds above ignore
+// it.
+func AblationPhaseThreshold(opts Options) (*TableResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	tab := telemetry.NewTable("Spurious reclaims vs phase threshold (12% MAPI drift, no real phase change)",
+		"phase threshold", "reclaim events", "mean ways held")
+	for _, thr := range []float64{0.05, 0.10, 0.25} {
+		cfg := core.DefaultConfig()
+		cfg.PhaseThr = thr
+		target := vmSpec{
+			name:     "target",
+			baseline: 3,
+			gen: func(h *host.Host) (workload.Generator, error) {
+				mlr, err := workload.NewMLR(8<<20, addr.PageSize4K, h.Allocator(), opts.Seed)
+				if err != nil {
+					return nil, err
+				}
+				return &modulated{base: mlr, amplitude: 0.12, period: 4}, nil
+			},
+		}
+		specs := append([]vmSpec{target}, lookbusySpecs(5, 3)...)
+		s, err := newScenario(opts, specs)
+		if err != nil {
+			return nil, err
+		}
+		reclaims := 0
+		waysSum := 0
+		n := opts.TimelineIntervals
+		if _, err := s.run(ModeDCat, cfg, n, func(_ int, ctl *core.Controller) {
+			st, _ := ctl.StateOf("target")
+			if st == core.StateReclaim {
+				reclaims++
+			}
+			waysSum += ctl.Ways("target")
+		}); err != nil {
+			return nil, err
+		}
+		tab.AddRow(fmt.Sprintf("%.0f%%", thr*100),
+			fmt.Sprintf("%d", reclaims), fmt.Sprintf("%.1f", float64(waysSum)/float64(n)))
+	}
+	return &TableResult{
+		ID:    "ablation-phase",
+		Title: "Phase-detection threshold sensitivity",
+		Tab:   tab,
+		Notes: []string{"thresholds at or below the drift amplitude reset the allocation repeatedly; the paper's 10% sits below typical noise but above it here by design"},
+	}, nil
+}
+
+// ramped wraps a generator and ramps its accesses-per-instruction by
+// rate each interval up to cap — gradual drift, not a phase change.
+type ramped struct {
+	base   workload.Generator
+	rate   float64
+	cap    float64
+	factor float64
+}
+
+func newRamped(base workload.Generator, rate, cap float64) *ramped {
+	return &ramped{base: base, rate: rate, cap: cap, factor: 1}
+}
+
+func (r *ramped) Name() string { return r.base.Name() + "-ramp" }
+
+func (r *ramped) Params() workload.Params {
+	p := r.base.Params()
+	p.AccessesPerInstr *= r.factor
+	return p
+}
+
+func (r *ramped) NextLine() uint64 { return r.base.NextLine() }
+
+func (r *ramped) Tick() {
+	r.base.Tick()
+	if r.factor*(1+r.rate) <= r.cap {
+		r.factor *= 1 + r.rate
+	}
+}
+
+// AblationDetector compares the pluggable phase detectors (§3.3) on a
+// workload whose memory intensity ramps 3% per interval — drift that is
+// not a real phase change. The paper's anchor detector fires every few
+// intervals, resetting the allocation to baseline each time; the EMA
+// and median-window detectors absorb the drift.
+func AblationDetector(opts Options) (*TableResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	type det struct {
+		name string
+		mk   func() core.PhaseDetector
+	}
+	dets := []det{
+		{"anchor-10% (paper)", nil},
+		{"ema(0.5)-10%", func() core.PhaseDetector { return core.NewEMADetector(0.5, 0.10) }},
+		{"window(5)-10%", func() core.PhaseDetector { return core.NewWindowDetector(5, 0.10) }},
+	}
+	tab := telemetry.NewTable("Phase detectors on a 3%/interval intensity ramp (no real phase change)",
+		"detector", "reclaim events", "mean ways held", "mean normalized IPC")
+	for _, d := range dets {
+		cfg := core.DefaultConfig()
+		if d.mk != nil {
+			cfg.NewPhaseDetector = d.mk
+		}
+		target := vmSpec{
+			name:     "target",
+			baseline: 3,
+			gen: func(h *host.Host) (workload.Generator, error) {
+				mlr, err := workload.NewMLR(8<<20, addr.PageSize4K, h.Allocator(), opts.Seed)
+				if err != nil {
+					return nil, err
+				}
+				return newRamped(mlr, 0.03, 2.0), nil
+			},
+		}
+		specs := append([]vmSpec{target}, lookbusySpecs(5, 3)...)
+		s, err := newScenario(opts, specs)
+		if err != nil {
+			return nil, err
+		}
+		reclaims, waysSum := 0, 0
+		normSum := 0.0
+		n := opts.TimelineIntervals
+		if _, err := s.run(ModeDCat, cfg, n, func(_ int, ctl *core.Controller) {
+			snap := ctl.Snapshot()
+			if st, _ := ctl.StateOf("target"); st == core.StateReclaim {
+				reclaims++
+			}
+			waysSum += ctl.Ways("target")
+			normSum += snap[0].NormIPC
+		}); err != nil {
+			return nil, err
+		}
+		tab.AddRow(d.name, fmt.Sprintf("%d", reclaims),
+			fmt.Sprintf("%.1f", float64(waysSum)/float64(n)),
+			fmt.Sprintf("%.2f", normSum/float64(n)))
+	}
+	return &TableResult{
+		ID:    "ablation-detector",
+		Title: "Pluggable phase-detector comparison",
+		Tab:   tab,
+		Notes: []string{"the adaptive detectors hold the grown allocation through the drift; the anchor detector repeatedly reclaims it (§3.3: other detection methods are pluggable)"},
+	}, nil
+}
+
+// AblationGrowthStep compares growing one way per round (the paper's
+// choice) against larger steps: faster convergence, coarser overshoot.
+func AblationGrowthStep(opts Options) (*TableResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	tab := telemetry.NewTable("Growth step vs convergence (MLR-12MB, baseline 3)",
+		"step", "intervals to settle", "final ways")
+	for _, step := range []int{1, 2, 4} {
+		cfg := core.DefaultConfig()
+		cfg.GrowthStep = step
+		specs := append([]vmSpec{mlrSpec("target", 12<<20, 3, opts.Seed)}, lookbusySpecs(5, 3)...)
+		s, err := newScenario(opts, specs)
+		if err != nil {
+			return nil, err
+		}
+		settled, lastWays := 0, 0
+		var ctl *core.Controller
+		if ctl, err = s.run(ModeDCat, cfg, opts.TimelineIntervals,
+			func(interval int, c *core.Controller) {
+				if w := c.Ways("target"); w != lastWays {
+					lastWays = w
+					settled = interval
+				}
+			}); err != nil {
+			return nil, err
+		}
+		tab.AddRow(fmt.Sprintf("%d", step), fmt.Sprintf("%d", settled),
+			fmt.Sprintf("%d", ctl.Ways("target")))
+	}
+	return &TableResult{
+		ID:    "ablation-step",
+		Title: "Growth-step ablation",
+		Tab:   tab,
+		Notes: []string{"larger steps settle sooner but can overshoot the preferred allocation, wasting pool capacity"},
+	}, nil
+}
+
+// AblationStreamingMult sweeps the streaming threshold multiplier: how
+// much cache an undetected streamer squats on, and for how long.
+func AblationStreamingMult(opts Options) (*TableResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	tab := telemetry.NewTable("Streaming multiplier vs wasted probe capacity (MLOAD-60MB)",
+		"multiplier", "peak ways", "intervals to demotion")
+	for _, mult := range []int{2, 3, 5} {
+		cfg := core.DefaultConfig()
+		cfg.StreamingMult = mult
+		specs := append([]vmSpec{mloadSpec("target", 60<<20, 3)}, lookbusySpecs(5, 3)...)
+		s, err := newScenario(opts, specs)
+		if err != nil {
+			return nil, err
+		}
+		peak, demoted := 0, 0
+		if _, err := s.run(ModeDCat, cfg, opts.TimelineIntervals,
+			func(interval int, c *core.Controller) {
+				if w := c.Ways("target"); w > peak {
+					peak = w
+				}
+				if st, _ := c.StateOf("target"); st == core.StateStreaming && demoted == 0 {
+					demoted = interval
+				}
+			}); err != nil {
+			return nil, err
+		}
+		tab.AddRow(fmt.Sprintf("%dx", mult), fmt.Sprintf("%d", peak), fmt.Sprintf("%d", demoted))
+	}
+	return &TableResult{
+		ID:    "ablation-streaming",
+		Title: "Streaming-threshold ablation",
+		Tab:   tab,
+		Notes: []string{"higher multipliers let a streamer hold more transient cache before detection; the paper uses 3x"},
+	}, nil
+}
+
+// AblationReplacement compares LLC replacement policies under a
+// capacity-exceeding cyclic scan — the pattern behind dCat's Streaming
+// class. LRU thrashes to ~0% hits (the paper's model); random
+// replacement converges to roughly capacity/working-set hits; SRRIP
+// sits between. The Streaming classification (IPC flat in allocation)
+// is an LRU artifact: under random replacement, a cyclic scan does gain
+// from extra ways and dCat would rightly treat it as a Receiver.
+func AblationReplacement(opts Options) (*TableResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	tab := telemetry.NewTable("MLOAD-16MB on a 6-way (13.5 MB) partition by replacement policy",
+		"policy", "llc hit rate", "avg latency (cycles)")
+	var rates []float64
+	for _, repl := range []cache.Replacement{cache.ReplLRU, cache.ReplRandom, cache.ReplSRRIP} {
+		cfg := memsys.XeonE5()
+		cfg.LLC.Repl = repl
+		cfg.LLC.Seed = opts.Seed
+		sys, err := memsys.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.SetMask(0, bits.MustCBM(0, 6)); err != nil {
+			return nil, err
+		}
+		gen, err := workload.NewMLOAD(16<<20, addr.PageSize4K, addr.NewRandAllocator(1<<30, opts.Seed))
+		if err != nil {
+			return nil, err
+		}
+		const warm = 600_000
+		for i := 0; i < warm; i++ {
+			sys.Access(0, gen.NextLine())
+		}
+		before := sys.LLC().Stats()
+		var latSum uint64
+		const measure = 600_000
+		for i := 0; i < measure; i++ {
+			latSum += sys.Access(0, gen.NextLine())
+		}
+		after := sys.LLC().Stats()
+		refs := after.Accesses() - before.Accesses()
+		hits := (after.Hits - before.Hits)
+		rate := float64(hits) / float64(refs)
+		rates = append(rates, rate)
+		tab.AddRow(repl.String(), fmt.Sprintf("%.3f", rate),
+			fmt.Sprintf("%.1f", float64(latSum)/measure))
+	}
+	return &TableResult{
+		ID:    "ablation-replacement",
+		Title: "LLC replacement-policy ablation",
+		Tab:   tab,
+		Notes: []string{fmt.Sprintf(
+			"cyclic scan hit rates: lru %.3f, random %.3f, srrip %.3f — Streaming detection presumes the LRU cliff",
+			rates[0], rates[1], rates[2])},
+	}, nil
+}
+
+// AblationPolicy stages the paper's §3.5 worked example: two
+// established receivers (A with a small working set whose table goes
+// flat early, B with a large one that keeps gaining) are forced to give
+// ways back when a third tenant wakes up and reclaims its baseline.
+// Max-fairness takes ways blindly by surplus; max-performance consults
+// the performance tables and takes them where they are worth least.
+func AblationPolicy(opts Options) (*TableResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	wake := opts.TimelineIntervals / 2
+	tab := telemetry.NewTable("Policy comparison on the §3.5 reclaim example",
+		"policy", "ways A(6MB)/B(14MB)/C", "sum normIPC A+B")
+	results := map[core.Policy]float64{}
+	for _, pol := range []core.Policy{core.MaxFairness, core.MaxPerformance} {
+		cfg := core.DefaultConfig()
+		cfg.Policy = pol
+		late := vmSpec{
+			name:     "c",
+			baseline: 4,
+			gen: func(h *host.Host) (workload.Generator, error) {
+				mlr, err := workload.NewMLR(8<<20, addr.PageSize4K, h.Allocator(), opts.Seed+2)
+				if err != nil {
+					return nil, err
+				}
+				return workload.NewPhased("late",
+					workload.Stage{Gen: workload.Idle{}, Intervals: wake},
+					workload.Stage{Gen: mlr})
+			},
+		}
+		specs := append([]vmSpec{
+			mlrSpec("a", 6<<20, 2, opts.Seed),
+			mlrSpec("b", 14<<20, 2, opts.Seed+1),
+			late,
+		}, lookbusySpecs(3, 2)...)
+		s, err := newScenario(opts, specs)
+		if err != nil {
+			return nil, err
+		}
+		ctl, err := s.run(ModeDCat, cfg, opts.TimelineIntervals+wake, nil)
+		if err != nil {
+			return nil, err
+		}
+		sum := 0.0
+		for _, st := range ctl.Snapshot() {
+			if st.Name == "a" || st.Name == "b" {
+				sum += st.NormIPC
+			}
+		}
+		results[pol] = sum
+		tab.AddRow(pol.String(),
+			fmt.Sprintf("%d/%d/%d", ctl.Ways("a"), ctl.Ways("b"), ctl.Ways("c")),
+			fmt.Sprintf("%.2f", sum))
+	}
+	notes := []string{fmt.Sprintf(
+		"after C's reclaim, max-performance keeps %.2f vs max-fairness %.2f summed normalized IPC (§3.5: tables pick the cheaper donor)",
+		results[core.MaxPerformance], results[core.MaxFairness])}
+	return &TableResult{
+		ID:    "ablation-policy",
+		Title: "Allocation-policy ablation",
+		Tab:   tab,
+		Notes: notes,
+	}, nil
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/host"
+	"repro/internal/perf"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// ClockHz converts simulated cycles to wall time: the paper's Xeon
+// E5-2697 v4 runs at 2.3 GHz.
+const ClockHz = 2.3e9
+
+// cloudMetrics is one mode's measurement of a request-serving app.
+type cloudMetrics struct {
+	ThroughputRPS float64
+	AvgLatencyUS  float64
+	P99LatencyUS  float64
+}
+
+// requestLatency derives the per-request service-time distribution
+// from the target's live steady-state counters — with the noisy
+// neighbours' interference baked in, since the counters come from
+// intervals where everyone was running. A request retires OpInstr
+// instructions whose memory side is OpInstr x accesses-per-instruction
+// data accesses; each access hits L1, LLC, or DRAM with the
+// probabilities the counters report. The sum over a request is
+// approximately normal (hundreds to tens of thousands of accesses), so
+// avg and p99 follow from the per-access mean and variance.
+func requestLatency(h *host.Host, vmName string, sample perf.Sample) (avgUS, p99US float64, err error) {
+	vm, ok := h.VM(vmName)
+	if !ok {
+		return 0, 0, fmt.Errorf("experiments: VM %s missing", vmName)
+	}
+	app, ok := vm.Gen.(*workload.App)
+	if !ok {
+		return 0, 0, fmt.Errorf("experiments: VM %s is not a cloud app", vmName)
+	}
+	if sample.L1Ref == 0 {
+		return 0, 0, fmt.Errorf("experiments: VM %s has no measured accesses", vmName)
+	}
+	p := app.Params()
+	lat := h.System().Config().Lat
+	l1 := float64(sample.L1Ref-sample.LLCRef) / float64(sample.L1Ref)
+	llc := float64(sample.LLCRef-sample.LLCMiss) / float64(sample.L1Ref)
+	dram := float64(sample.LLCMiss) / float64(sample.L1Ref)
+	mean := l1*float64(lat.L1Hit) + llc*float64(lat.LLCHit) + dram*float64(lat.DRAM)
+	meanSq := l1*sqr(lat.L1Hit) + llc*sqr(lat.LLCHit) + dram*sqr(lat.DRAM)
+	variance := meanSq - mean*mean
+
+	k := float64(app.OpInstr) * p.AccessesPerInstr
+	mu := float64(app.OpInstr)*p.BaseCPI + k*mean/p.MLP
+	sigma := math.Sqrt(k*variance) / p.MLP
+	const z99 = 2.326
+	return mu / ClockHz * 1e6, (mu + z99*sigma) / ClockHz * 1e6, nil
+}
+
+func sqr(v uint64) float64 { return float64(v) * float64(v) }
+
+// runCloudApp executes the paper's cloud-app mix (target + 2 MLOAD-60MB
+// + 2 lookbusy, baseline 4 ways) under one mode and measures it.
+func runCloudApp(opts Options, mode Mode,
+	build func(h *host.Host) (workload.Generator, error)) (cloudMetrics, error) {
+	specs := append([]vmSpec{
+		{name: "target", baseline: 4, gen: build},
+		mloadSpec("noisy1", 60<<20, 4),
+		mloadSpec("noisy2", 60<<20, 4),
+	}, lookbusySpecs(2, 4)...)
+	s, err := newScenario(opts, specs)
+	if err != nil {
+		return cloudMetrics{}, err
+	}
+	ctl, err := s.run(mode, core.DefaultConfig(), opts.SteadyIntervals-2, nil)
+	if err != nil {
+		return cloudMetrics{}, err
+	}
+	// Measure the final two intervals: steady state, interference
+	// included, controller still live under dCat.
+	vm, _ := s.host.VM("target")
+	sampler := perf.NewSampler(s.host.System().Counters())
+	sampler.SampleCores(vm.Cores)
+	s.host.RunIntervals(2, func(int) {
+		if mode == ModeDCat {
+			if err := ctl.Tick(); err != nil {
+				panic(err)
+			}
+		}
+	})
+	sample := sampler.SampleCores(vm.Cores)
+
+	app := vm.Gen.(*workload.App)
+	ipc := vm.Last().IPC()
+	rps := ipc * ClockHz / float64(app.OpInstr)
+	avg, p99, err := requestLatency(s.host, "target", sample)
+	if err != nil {
+		return cloudMetrics{}, err
+	}
+	return cloudMetrics{
+		ThroughputRPS: rps,
+		AvgLatencyUS:  avg,
+		P99LatencyUS:  p99,
+	}, nil
+}
+
+// cloudTable runs all three modes for one app and renders the table.
+func cloudTable(opts Options, id, title string,
+	build func(h *host.Host) (workload.Generator, error),
+	paperNote func(shared, static, dcat cloudMetrics) string) (*TableResult, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	var res [3]cloudMetrics
+	for i, mode := range []Mode{ModeShared, ModeStatic, ModeDCat} {
+		m, err := runCloudApp(opts, mode, build)
+		if err != nil {
+			return nil, err
+		}
+		res[i] = m
+	}
+	tab := telemetry.NewTable(title,
+		"config", "throughput (kops/s)", "avg latency (us)", "p99 latency (us)")
+	for i, mode := range []Mode{ModeShared, ModeStatic, ModeDCat} {
+		tab.AddRow(mode.String(),
+			fmt.Sprintf("%.1f", res[i].ThroughputRPS/1000),
+			fmt.Sprintf("%.2f", res[i].AvgLatencyUS),
+			fmt.Sprintf("%.2f", res[i].P99LatencyUS))
+	}
+	return &TableResult{
+		ID:    id,
+		Title: title,
+		Tab:   tab,
+		Notes: []string{paperNote(res[0], res[1], res[2])},
+	}, nil
+}
+
+// Table4Redis reproduces paper Table 4: Redis under memtier-style GET
+// load. The paper's headline: +57.6% over shared, +26.6% over static.
+func Table4Redis(opts Options) (*TableResult, error) {
+	return cloudTable(opts, "table4", "Redis GET performance",
+		func(h *host.Host) (workload.Generator, error) {
+			return workload.NewRedis(h.Allocator(), opts.Seed)
+		},
+		func(shared, static, dcat cloudMetrics) string {
+			return fmt.Sprintf("dCat throughput %s over shared (paper: +57.6%%), %s over static (paper: +26.6%%)",
+				pct(dcat.ThroughputRPS/shared.ThroughputRPS),
+				pct(dcat.ThroughputRPS/static.ThroughputRPS))
+		})
+}
+
+// Table5Postgres reproduces paper Table 5: pgbench select-only. The
+// paper reports ~10.7% lower latency than static partitioning and
+// ~5.7% better than shared cache.
+func Table5Postgres(opts Options) (*TableResult, error) {
+	return cloudTable(opts, "table5", "PostgreSQL pgbench select-only performance",
+		func(h *host.Host) (workload.Generator, error) {
+			return workload.NewPostgres(h.Allocator(), opts.Seed)
+		},
+		func(shared, static, dcat cloudMetrics) string {
+			return fmt.Sprintf("dCat latency %.1f%% below static (paper: 10.7%%), %.1f%% below shared (paper: ~5.7%%)",
+				(1-dcat.AvgLatencyUS/static.AvgLatencyUS)*100,
+				(1-dcat.AvgLatencyUS/shared.AvgLatencyUS)*100)
+		})
+}
+
+// Table6Elasticsearch reproduces paper Table 6: YCSB workload C reads.
+// The paper reports ~10% avg and ~11.6% p99 improvement over both
+// static partitioning and shared cache.
+func Table6Elasticsearch(opts Options) (*TableResult, error) {
+	return cloudTable(opts, "table6", "Elasticsearch YCSB-C performance",
+		func(h *host.Host) (workload.Generator, error) {
+			return workload.NewElasticsearch(h.Allocator(), opts.Seed)
+		},
+		func(shared, static, dcat cloudMetrics) string {
+			return fmt.Sprintf("dCat avg latency %.1f%% below shared (paper: ~10%%); p99 %.1f%% below shared (paper: ~11.6%%)",
+				(1-dcat.AvgLatencyUS/shared.AvgLatencyUS)*100,
+				(1-dcat.P99LatencyUS/shared.P99LatencyUS)*100)
+		})
+}

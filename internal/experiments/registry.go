@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Runner is one reproducible experiment, addressable by ID.
+type Runner struct {
+	ID    string
+	Title string
+	Run   func(Options) (string, error)
+}
+
+func figRunner(id, title string, fn func(Options) (*FigureResult, error)) Runner {
+	return Runner{ID: id, Title: title, Run: func(o Options) (string, error) {
+		r, err := fn(o)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		r.Render(&sb)
+		return sb.String(), nil
+	}}
+}
+
+func tabRunner(id, title string, fn func(Options) (*TableResult, error)) Runner {
+	return Runner{ID: id, Title: title, Run: func(o Options) (string, error) {
+		r, err := fn(o)
+		if err != nil {
+			return "", err
+		}
+		var sb strings.Builder
+		r.Render(&sb)
+		return sb.String(), nil
+	}}
+}
+
+// All returns every experiment in paper order.
+func All() []Runner {
+	return []Runner{
+		tabRunner("fig1", "Impact of cache interference for MLR", Fig1CacheInterference),
+		tabRunner("fig2", "Impact of CAT-limited cache size", Fig2ConflictLatency),
+		tabRunner("fig3", "Cache set conflicts on Broadwell processors", Fig3SetConflicts),
+		figRunner("fig5", "Phase detector stability", Fig5PhaseDetector),
+		tabRunner("table1", "Performance table for a workload phase", Table1PerformanceTable),
+		tabRunner("fig8", "Impact of cache miss threshold", Fig8MissThreshold),
+		tabRunner("fig9", "Impact of IPC improvement threshold", Fig9IPCThreshold),
+		figRunner("fig10", "Dynamic allocation for MLR working sets", Fig10DynamicAllocation),
+		tabRunner("fig11", "Normalized latency for MLR", Fig11NormalizedLatency),
+		figRunner("fig12", "Performance-table reuse", Fig12TableReuse),
+		figRunner("fig13", "Streaming workload demotion", Fig13Streaming),
+		figRunner("fig14", "Two receivers under max-performance", Fig14TwoReceivers),
+		figRunner("fig15", "MLR + MLOAD timeline", Fig15MixedTimeline),
+		tabRunner("fig16", "MLR + MLOAD normalized latency", Fig16MixedLatency),
+		tabRunner("fig17", "SPEC CPU2006 sweep (incl. Table 3)", Fig17SPEC),
+		tabRunner("table4", "Redis", Table4Redis),
+		tabRunner("table5", "PostgreSQL", Table5Postgres),
+		tabRunner("table6", "Elasticsearch", Table6Elasticsearch),
+		tabRunner("comparison-ucp", "dCat vs utility-based cache partitioning", ComparisonUCP),
+		tabRunner("comparison-heracles", "dCat vs a two-class Heracles controller", ComparisonHeracles),
+		tabRunner("ablation-phase", "Phase-threshold ablation", AblationPhaseThreshold),
+		tabRunner("ablation-step", "Growth-step ablation", AblationGrowthStep),
+		tabRunner("ablation-streaming", "Streaming-multiplier ablation", AblationStreamingMult),
+		tabRunner("ablation-policy", "Policy ablation", AblationPolicy),
+		tabRunner("ablation-detector", "Phase-detector ablation", AblationDetector),
+		tabRunner("ablation-replacement", "LLC replacement-policy ablation", AblationReplacement),
+	}
+}
+
+// ByID returns the runner with the given ID.
+func ByID(id string) (Runner, error) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}

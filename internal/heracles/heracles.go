@@ -1,0 +1,165 @@
+// Package heracles implements the cache subcontroller of Heracles (Lo
+// et al., ISCA 2015) in simplified form, as a second comparison
+// baseline for dCat (the paper's §7 discusses it at length).
+//
+// Heracles divides a machine into exactly two classes: one
+// latency-critical (LC) workload with a performance target, and a pool
+// of best-effort (BE) tasks that may use whatever the LC workload does
+// not need. Its cache subcontroller is a feedback loop: when the LC
+// workload runs below its target, best-effort cache is confiscated;
+// when it has slack, best-effort cache grows back one way at a time.
+//
+// The structural contrasts with dCat (paper §7):
+//
+//   - two classes only — every non-LC tenant shares one best-effort
+//     partition with no isolation between them;
+//   - the LC workload must supply a performance signal (here an IPC
+//     target the operator calibrates); dCat needs no target because it
+//     derives its floor from the contracted baseline allocation.
+package heracles
+
+import (
+	"fmt"
+
+	"repro/internal/cat"
+	"repro/internal/perf"
+)
+
+// Config tunes the feedback loop.
+type Config struct {
+	// TargetIPC is the LC workload's required performance.
+	TargetIPC float64
+	// Margin is the dead zone around the target (e.g. 0.05 = ±5%).
+	Margin float64
+	// GrowStep is how many ways the LC partition gains per violation.
+	GrowStep int
+	// YieldStep is how many ways the LC partition returns per interval
+	// of sufficient slack.
+	YieldStep int
+	// MinLC and MinBE floor the two partitions.
+	MinLC, MinBE int
+}
+
+// DefaultConfig mirrors the published controller's temperament:
+// confiscate fast, yield slowly.
+func DefaultConfig(targetIPC float64) Config {
+	return Config{
+		TargetIPC: targetIPC,
+		Margin:    0.05,
+		GrowStep:  2,
+		YieldStep: 1,
+		MinLC:     2,
+		MinBE:     1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.TargetIPC <= 0 {
+		return fmt.Errorf("heracles: target IPC %f must be positive", c.TargetIPC)
+	}
+	if c.Margin <= 0 || c.Margin >= 1 {
+		return fmt.Errorf("heracles: margin %f out of (0,1)", c.Margin)
+	}
+	if c.GrowStep < 1 || c.YieldStep < 1 {
+		return fmt.Errorf("heracles: steps must be >= 1")
+	}
+	if c.MinLC < 1 || c.MinBE < 1 {
+		return fmt.Errorf("heracles: partition minimums must be >= 1 way")
+	}
+	return nil
+}
+
+// Controller is the two-class cache controller.
+type Controller struct {
+	cfg     Config
+	mgr     *cat.Manager
+	sampler *perf.Sampler
+	lcCores []int
+	lcWays  int
+}
+
+// LCName and BEName are the two partition names in the CAT manager.
+const (
+	LCName = "latency-critical"
+	BEName = "best-effort"
+)
+
+// New builds the controller: the LC workload on lcCores, everything
+// else (beCores) in one best-effort partition. The cache starts split
+// half and half.
+func New(cfg Config, mgr *cat.Manager, counters perf.Reader, lcCores, beCores []int) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mgr == nil || counters == nil {
+		return nil, fmt.Errorf("heracles: nil manager or counters")
+	}
+	if len(lcCores) == 0 || len(beCores) == 0 {
+		return nil, fmt.Errorf("heracles: both classes need cores")
+	}
+	total := mgr.TotalWays()
+	if cfg.MinLC+cfg.MinBE > total {
+		return nil, fmt.Errorf("heracles: minimums exceed %d ways", total)
+	}
+	if _, err := mgr.CreateGroup(LCName, lcCores); err != nil {
+		return nil, err
+	}
+	if _, err := mgr.CreateGroup(BEName, beCores); err != nil {
+		return nil, err
+	}
+	lc := total / 2
+	if lc < cfg.MinLC {
+		lc = cfg.MinLC
+	}
+	if total-lc < cfg.MinBE {
+		lc = total - cfg.MinBE
+	}
+	c := &Controller{
+		cfg:     cfg,
+		mgr:     mgr,
+		sampler: perf.NewSampler(counters),
+		lcCores: append([]int(nil), lcCores...),
+		lcWays:  lc,
+	}
+	if err := c.apply(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Controller) apply() error {
+	return c.mgr.SetAllocation(map[string]int{
+		LCName: c.lcWays,
+		BEName: c.mgr.TotalWays() - c.lcWays,
+	})
+}
+
+// LCWays returns the latency-critical partition size.
+func (c *Controller) LCWays() int { return c.lcWays }
+
+// BEWays returns the best-effort partition size.
+func (c *Controller) BEWays() int { return c.mgr.TotalWays() - c.lcWays }
+
+// Tick runs one feedback round: sample the LC workload's IPC, then
+// confiscate from or yield to the best-effort partition.
+func (c *Controller) Tick() error {
+	s := c.sampler.SampleCores(c.lcCores)
+	ipc := s.IPC()
+	total := c.mgr.TotalWays()
+	switch {
+	case ipc < c.cfg.TargetIPC*(1-c.cfg.Margin):
+		// SLO pressure: take best-effort cache.
+		c.lcWays += c.cfg.GrowStep
+		if max := total - c.cfg.MinBE; c.lcWays > max {
+			c.lcWays = max
+		}
+	case ipc > c.cfg.TargetIPC*(1+c.cfg.Margin):
+		// Slack: give cache back to the best-effort class.
+		c.lcWays -= c.cfg.YieldStep
+		if c.lcWays < c.cfg.MinLC {
+			c.lcWays = c.cfg.MinLC
+		}
+	}
+	return c.apply()
+}

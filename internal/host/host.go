@@ -1,0 +1,282 @@
+// Package host models one multi-tenant server socket: VMs pinned to
+// dedicated cores (the paper's no-overprovisioning assumption, §4),
+// each running a workload generator, all sharing the simulated LLC.
+//
+// Time advances in controller intervals (the paper's period, e.g. 1 s).
+// Within an interval every core gets the same cycle budget and the host
+// interleaves execution block by block, so faster cores naturally issue
+// more memory traffic — which is how noisy neighbours flood a shared
+// cache in real machines.
+package host
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+	"repro/internal/memsys"
+	"repro/internal/workload"
+)
+
+// Config sizes the simulation.
+type Config struct {
+	Mem memsys.Config
+	// CyclesPerInterval is each core's cycle budget per controller
+	// interval. Real hardware at 2.3 GHz with a 1 s period would be
+	// 2.3e9; the default scales that down ~100x so a simulated second
+	// costs milliseconds while keeping thousands of blocks per
+	// interval for statistical stability.
+	CyclesPerInterval uint64
+	// BlockInstr is the interleaving granularity in instructions.
+	BlockInstr uint64
+	// MemBytes is the physical memory backing workload data; frames
+	// are randomly placed (a fragmented long-running host). Must hold
+	// every workload's simulated working set.
+	MemBytes uint64
+	// Seed makes frame placement reproducible.
+	Seed int64
+}
+
+// DefaultConfig returns the paper's evaluation machine (Xeon E5-2697 v4)
+// with scaled timing.
+func DefaultConfig() Config {
+	return Config{
+		Mem:               memsys.XeonE5(),
+		CyclesPerInterval: 20_000_000,
+		BlockInstr:        2000,
+		MemBytes:          4 << 30,
+		Seed:              1,
+	}
+}
+
+// IntervalMetrics aggregates one VM's execution during one interval.
+type IntervalMetrics struct {
+	Instructions uint64
+	Cycles       uint64
+	Accesses     uint64
+	LatencySum   uint64 // total memory access latency in cycles
+}
+
+// IPC returns instructions per cycle for the interval.
+func (m IntervalMetrics) IPC() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.Instructions) / float64(m.Cycles)
+}
+
+// AvgAccessLatency returns mean cycles per memory access — the
+// application-side "data access latency" the paper plots for MLR.
+func (m IntervalMetrics) AvgAccessLatency() float64 {
+	if m.Accesses == 0 {
+		return 0
+	}
+	return float64(m.LatencySum) / float64(m.Accesses)
+}
+
+func (m *IntervalMetrics) add(o IntervalMetrics) {
+	m.Instructions += o.Instructions
+	m.Cycles += o.Cycles
+	m.Accesses += o.Accesses
+	m.LatencySum += o.LatencySum
+}
+
+// AccessObserver taps a VM's physical line-address stream — e.g. a
+// UCP shadow-tag monitor sampling the traffic.
+type AccessObserver interface {
+	Observe(line uint64)
+}
+
+// VM is one tenant: dedicated cores running one workload generator.
+type VM struct {
+	Name  string
+	Cores []int
+	Gen   workload.Generator
+
+	observer AccessObserver
+	last     IntervalMetrics
+	total    IntervalMetrics
+}
+
+// SetObserver attaches (or, with nil, removes) an access tap.
+func (v *VM) SetObserver(obs AccessObserver) { v.observer = obs }
+
+// Last returns the metrics of the most recent interval.
+func (v *VM) Last() IntervalMetrics { return v.last }
+
+// Total returns cumulative metrics since the VM started.
+func (v *VM) Total() IntervalMetrics { return v.total }
+
+// Host is one socket plus its tenants.
+type Host struct {
+	cfg      Config
+	sys      *memsys.System
+	alloc    *addr.RandAllocator
+	vms      []*VM
+	nextCore int
+	interval int
+}
+
+// New builds a host.
+func New(cfg Config) (*Host, error) {
+	if cfg.CyclesPerInterval == 0 || cfg.BlockInstr == 0 {
+		return nil, fmt.Errorf("host: cycle budget and block size must be positive")
+	}
+	if cfg.BlockInstr*4 > cfg.CyclesPerInterval {
+		return nil, fmt.Errorf("host: block size %d too coarse for budget %d",
+			cfg.BlockInstr, cfg.CyclesPerInterval)
+	}
+	sys, err := memsys.New(cfg.Mem)
+	if err != nil {
+		return nil, fmt.Errorf("host: %w", err)
+	}
+	return &Host{
+		cfg:   cfg,
+		sys:   sys,
+		alloc: addr.NewRandAllocator(cfg.MemBytes, cfg.Seed),
+	}, nil
+}
+
+// MustNew is New for configurations known valid.
+func MustNew(cfg Config) *Host {
+	h, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// System exposes the memory hierarchy (for CAT backends and counters).
+func (h *Host) System() *memsys.System { return h.sys }
+
+// Allocator returns the physical frame allocator workload constructors
+// should draw from, so all tenants share one fragmented memory.
+func (h *Host) Allocator() addr.FrameAllocator { return h.alloc }
+
+// Interval returns how many intervals have been simulated.
+func (h *Host) Interval() int { return h.interval }
+
+// AddVM creates a tenant with numCores dedicated cores (assigned in
+// order) running gen.
+func (h *Host) AddVM(name string, numCores int, gen workload.Generator) (*VM, error) {
+	if name == "" || gen == nil {
+		return nil, fmt.Errorf("host: VM needs a name and a workload")
+	}
+	if numCores < 1 {
+		return nil, fmt.Errorf("host: VM %q needs at least one core", name)
+	}
+	for _, v := range h.vms {
+		if v.Name == name {
+			return nil, fmt.Errorf("host: VM %q already exists", name)
+		}
+	}
+	if h.nextCore+numCores > h.cfg.Mem.Cores {
+		return nil, fmt.Errorf("host: out of cores: %d requested, %d free",
+			numCores, h.cfg.Mem.Cores-h.nextCore)
+	}
+	cores := make([]int, numCores)
+	for i := range cores {
+		cores[i] = h.nextCore + i
+	}
+	h.nextCore += numCores
+	vm := &VM{Name: name, Cores: cores, Gen: gen}
+	h.vms = append(h.vms, vm)
+	return vm, nil
+}
+
+// VMs returns the tenants in creation order.
+func (h *Host) VMs() []*VM { return h.vms }
+
+// VM returns a tenant by name.
+func (h *Host) VM(name string) (*VM, bool) {
+	for _, v := range h.vms {
+		if v.Name == name {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// runBlock executes one block of instructions for vm on its lead core
+// and returns the metrics and cycles consumed.
+func (h *Host) runBlock(vm *VM) IntervalMetrics {
+	p := vm.Gen.Params()
+	instr := h.cfg.BlockInstr
+	core := vm.Cores[0]
+	var m IntervalMetrics
+	m.Instructions = instr
+	if p.AccessesPerInstr == 0 {
+		// Idle guest: the vCPU is halted almost the whole interval; a
+		// token instruction stream models the guest kernel tick.
+		m.Cycles = h.cfg.CyclesPerInterval
+		h.sys.Retire(core, instr, m.Cycles)
+		return m
+	}
+	accesses := uint64(float64(instr) * p.AccessesPerInstr)
+	var latSum uint64
+	if vm.observer != nil {
+		for i := uint64(0); i < accesses; i++ {
+			line := vm.Gen.NextLine()
+			vm.observer.Observe(line)
+			latSum += h.sys.Access(core, line)
+		}
+	} else {
+		for i := uint64(0); i < accesses; i++ {
+			latSum += h.sys.Access(core, vm.Gen.NextLine())
+		}
+	}
+	m.Accesses = accesses
+	m.LatencySum = latSum
+	stall := float64(latSum) / p.MLP
+	m.Cycles = uint64(float64(instr)*p.BaseCPI + stall)
+	if m.Cycles == 0 {
+		m.Cycles = 1
+	}
+	h.sys.Retire(core, instr, m.Cycles)
+	return m
+}
+
+// RunInterval simulates one controller period: every VM's lead core
+// consumes its cycle budget, interleaved block by block with all other
+// VMs. Non-lead cores idle (the paper's benchmarks are single-threaded
+// inside 2-vCPU guests).
+func (h *Host) RunInterval() {
+	type state struct {
+		vm     *VM
+		budget uint64
+		m      IntervalMetrics
+	}
+	active := make([]*state, 0, len(h.vms))
+	for _, vm := range h.vms {
+		vm.last = IntervalMetrics{}
+		active = append(active, &state{vm: vm, budget: h.cfg.CyclesPerInterval})
+	}
+	for len(active) > 0 {
+		next := active[:0]
+		for _, st := range active {
+			bm := h.runBlock(st.vm)
+			st.m.add(bm)
+			if bm.Cycles >= st.budget {
+				st.budget = 0
+				st.vm.last = st.m
+				st.vm.total.add(st.m)
+				st.vm.Gen.Tick()
+				continue
+			}
+			st.budget -= bm.Cycles
+			next = append(next, st)
+		}
+		active = next
+	}
+	h.interval++
+}
+
+// RunIntervals simulates n periods, invoking after (if non-nil) at the
+// end of each — the hook where the dCat controller ticks.
+func (h *Host) RunIntervals(n int, after func(interval int)) {
+	for i := 0; i < n; i++ {
+		h.RunInterval()
+		if after != nil {
+			after(h.interval)
+		}
+	}
+}

@@ -1,0 +1,245 @@
+package host
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/bits"
+	"repro/internal/cache"
+	"repro/internal/memsys"
+	"repro/internal/perf"
+	"repro/internal/workload"
+)
+
+// testConfig returns a small, fast host: 4 cores, 4-way 1 MB LLC.
+func testConfig() Config {
+	return Config{
+		Mem: memsys.Config{
+			Cores: 4,
+			L1:    cache.Config{Name: "L1", SizeBytes: 32 << 10, Ways: 8},
+			LLC:   cache.Config{Name: "LLC", SizeBytes: 1 << 20, Ways: 4},
+			Lat:   memsys.DefaultLatency,
+		},
+		CyclesPerInterval: 2_000_000,
+		BlockInstr:        1000,
+		MemBytes:          64 << 20,
+		Seed:              1,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.CyclesPerInterval = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero budget should be rejected")
+	}
+	cfg = testConfig()
+	cfg.BlockInstr = cfg.CyclesPerInterval
+	if _, err := New(cfg); err == nil {
+		t.Error("block coarser than budget should be rejected")
+	}
+	cfg = testConfig()
+	cfg.Mem.Cores = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("bad memsys config should be rejected")
+	}
+}
+
+func TestDefaultConfigIsPaperMachine(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Mem.Cores != 18 || cfg.Mem.LLC.Ways != 20 {
+		t.Errorf("default machine should be the Xeon E5: %+v", cfg.Mem)
+	}
+	if _, err := New(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddVMCoreAssignment(t *testing.T) {
+	h := MustNew(testConfig())
+	a, err := h.AddVM("a", 2, workload.Idle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.AddVM("b", 2, workload.Idle{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cores[0] != 0 || a.Cores[1] != 1 || b.Cores[0] != 2 || b.Cores[1] != 3 {
+		t.Errorf("core assignment wrong: a=%v b=%v", a.Cores, b.Cores)
+	}
+	if _, err := h.AddVM("c", 1, workload.Idle{}); err == nil {
+		t.Error("out of cores should be rejected")
+	}
+	if _, err := h.AddVM("a", 1, workload.Idle{}); err == nil {
+		t.Error("duplicate VM name should be rejected")
+	}
+	if _, err := h.AddVM("", 1, workload.Idle{}); err == nil {
+		t.Error("empty name should be rejected")
+	}
+	if _, err := h.AddVM("d", 0, workload.Idle{}); err == nil {
+		t.Error("zero cores should be rejected")
+	}
+	if _, err := h.AddVM("e", 1, nil); err == nil {
+		t.Error("nil generator should be rejected")
+	}
+}
+
+func TestVMLookup(t *testing.T) {
+	h := MustNew(testConfig())
+	h.AddVM("x", 1, workload.Idle{})
+	if _, ok := h.VM("x"); !ok {
+		t.Error("VM x should be found")
+	}
+	if _, ok := h.VM("y"); ok {
+		t.Error("VM y should not exist")
+	}
+	if len(h.VMs()) != 1 {
+		t.Error("VMs() length wrong")
+	}
+}
+
+func TestIdleVMRetiresAlmostNothing(t *testing.T) {
+	h := MustNew(testConfig())
+	vm, _ := h.AddVM("idle", 1, workload.Idle{})
+	h.RunInterval()
+	m := vm.Last()
+	if m.Accesses != 0 {
+		t.Errorf("idle VM made %d accesses", m.Accesses)
+	}
+	if m.Cycles != testConfig().CyclesPerInterval {
+		t.Errorf("idle VM cycles=%d want full budget", m.Cycles)
+	}
+	if m.IPC() > 0.01 {
+		t.Errorf("idle IPC=%f should be ~0", m.IPC())
+	}
+}
+
+func TestBudgetConsumedPerInterval(t *testing.T) {
+	h := MustNew(testConfig())
+	gen, err := workload.NewMLR(256<<10, addr.PageSize4K, h.Allocator(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, _ := h.AddVM("mlr", 1, gen)
+	h.RunInterval()
+	m := vm.Last()
+	budget := testConfig().CyclesPerInterval
+	if m.Cycles < budget || m.Cycles > budget+budget/10 {
+		t.Errorf("interval consumed %d cycles, budget %d", m.Cycles, budget)
+	}
+	if m.Instructions == 0 || m.Accesses == 0 {
+		t.Error("busy VM should retire instructions and access memory")
+	}
+	if h.Interval() != 1 {
+		t.Errorf("Interval()=%d want 1", h.Interval())
+	}
+}
+
+func TestCountersMatchMetrics(t *testing.T) {
+	h := MustNew(testConfig())
+	gen, _ := workload.NewMLR(256<<10, addr.PageSize4K, h.Allocator(), 1)
+	vm, _ := h.AddVM("mlr", 1, gen)
+	h.RunInterval()
+	f := h.System().Counters()
+	core := vm.Cores[0]
+	ret := f.ReadCounter(core, perf.RetiredInstructions)
+	if ret != vm.Last().Instructions {
+		t.Errorf("counter instructions %d != metrics %d", ret, vm.Last().Instructions)
+	}
+	l1 := f.ReadCounter(core, perf.L1Hits) + f.ReadCounter(core, perf.L1Misses)
+	if l1 != vm.Last().Accesses {
+		t.Errorf("counter L1 refs %d != accesses %d", l1, vm.Last().Accesses)
+	}
+}
+
+func TestCacheFitLowersLatency(t *testing.T) {
+	// An MLR whose working set fits the LLC must converge to near-LLC
+	// latency; one that vastly exceeds it stays near DRAM latency.
+	h := MustNew(testConfig())
+	fit, _ := workload.NewMLR(256<<10, addr.PageSize4K, h.Allocator(), 1) // 1/4 of LLC
+	big, _ := workload.NewMLR(16<<20, addr.PageSize4K, h.Allocator(), 2)  // 16x LLC
+	vmFit, _ := h.AddVM("fit", 1, fit)
+	vmBig, _ := h.AddVM("big", 1, big)
+	// Isolate them so the test checks capacity, not interference.
+	h.System().SetMask(vmFit.Cores[0], bits.MustCBM(0, 2))
+	h.System().SetMask(vmBig.Cores[0], bits.MustCBM(2, 2))
+	h.RunIntervals(6, nil)
+	lat := h.System().Config().Lat
+	fitLat := vmFit.Last().AvgAccessLatency()
+	bigLat := vmBig.Last().AvgAccessLatency()
+	if fitLat > float64(lat.LLCHit)*1.5 {
+		t.Errorf("fitting WS latency %.1f, want near LLC hit %d", fitLat, lat.LLCHit)
+	}
+	if bigLat < float64(lat.DRAM)*0.8 {
+		t.Errorf("oversized WS latency %.1f, want near DRAM %d", bigLat, lat.DRAM)
+	}
+}
+
+func TestNoisyNeighborInterference(t *testing.T) {
+	// The paper's Fig 1: under a fully shared LLC a streaming
+	// neighbour destroys MLR's hit rate; with disjoint CAT masks MLR
+	// is protected.
+	run := func(isolate bool) float64 {
+		h := MustNew(testConfig())
+		mlr, _ := workload.NewMLR(256<<10, addr.PageSize4K, h.Allocator(), 1)
+		stream, _ := workload.NewMLOAD(8<<20, addr.PageSize4K, h.Allocator())
+		vm, _ := h.AddVM("mlr", 1, mlr)
+		noisy, _ := h.AddVM("noisy", 1, stream)
+		if isolate {
+			h.System().SetMask(vm.Cores[0], bits.MustCBM(0, 2))
+			h.System().SetMask(noisy.Cores[0], bits.MustCBM(2, 2))
+		}
+		h.RunIntervals(6, nil)
+		return vm.Last().AvgAccessLatency()
+	}
+	shared := run(false)
+	isolated := run(true)
+	if isolated*1.5 > shared {
+		t.Errorf("isolation should cut latency substantially: shared=%.1f isolated=%.1f",
+			shared, isolated)
+	}
+}
+
+func TestRunIntervalsCallback(t *testing.T) {
+	h := MustNew(testConfig())
+	h.AddVM("idle", 1, workload.Idle{})
+	var got []int
+	h.RunIntervals(3, func(i int) { got = append(got, i) })
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("callback intervals %v", got)
+	}
+}
+
+func TestPhasedWorkloadTicksInsideHost(t *testing.T) {
+	h := MustNew(testConfig())
+	mlr, _ := workload.NewMLR(256<<10, addr.PageSize4K, h.Allocator(), 1)
+	ph, err := workload.NewPhased("job", workload.Stage{Gen: workload.Idle{}, Intervals: 2},
+		workload.Stage{Gen: mlr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, _ := h.AddVM("job", 1, ph)
+	h.RunIntervals(2, nil)
+	if vm.Last().Accesses != 0 {
+		t.Error("should still be idle during stage 0")
+	}
+	h.RunInterval()
+	if vm.Last().Accesses == 0 {
+		t.Error("phase switch should have activated MLR")
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	run := func() IntervalMetrics {
+		h := MustNew(testConfig())
+		gen, _ := workload.NewMLR(1<<20, addr.PageSize4K, h.Allocator(), 7)
+		vm, _ := h.AddVM("mlr", 1, gen)
+		h.RunIntervals(3, nil)
+		return vm.Total()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("identical seeds diverged: %+v vs %+v", a, b)
+	}
+}

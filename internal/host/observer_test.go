@@ -1,0 +1,37 @@
+package host
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+	"repro/internal/workload"
+)
+
+// captureObserver records the lines it sees.
+type captureObserver struct {
+	lines []uint64
+}
+
+func (c *captureObserver) Observe(line uint64) { c.lines = append(c.lines, line) }
+
+func TestVMObserverSeesEveryAccess(t *testing.T) {
+	h := MustNew(testConfig())
+	gen, err := workload.NewMLR(256<<10, addr.PageSize4K, h.Allocator(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm, _ := h.AddVM("mlr", 1, gen)
+	obs := &captureObserver{}
+	vm.SetObserver(obs)
+	h.RunInterval()
+	if uint64(len(obs.lines)) != vm.Last().Accesses {
+		t.Errorf("observer saw %d accesses, VM made %d", len(obs.lines), vm.Last().Accesses)
+	}
+	// Detaching stops the stream.
+	vm.SetObserver(nil)
+	before := len(obs.lines)
+	h.RunInterval()
+	if len(obs.lines) != before {
+		t.Error("detached observer still receiving accesses")
+	}
+}

@@ -1,0 +1,137 @@
+// Package httpstatus serves a dCat controller's state over HTTP for
+// operators and scrapers:
+//
+//	GET /status   — JSON: per-workload state, ways, IPC, occupancy
+//	GET /metrics  — Prometheus text exposition of the same gauges
+//	GET /healthz  — liveness (200 once the controller has ticked)
+package httpstatus
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Source is the controller-side surface the server reads. It must be
+// safe to call from the HTTP goroutine: the dCat daemon ticks on one
+// goroutine, so callers wrap access with a lock (see Locked).
+type Source interface {
+	Snapshot() []core.Status
+	Occupancy() (map[string]uint64, bool)
+	Ticks() int
+}
+
+// Locked adapts a Source with a mutual-exclusion function, e.g. one
+// that takes the daemon's loop lock around each read.
+type Locked struct {
+	Src Source
+	// Do runs fn under the daemon's lock.
+	Do func(fn func())
+}
+
+// Snapshot implements Source.
+func (l Locked) Snapshot() []core.Status {
+	var out []core.Status
+	l.Do(func() { out = l.Src.Snapshot() })
+	return out
+}
+
+// Occupancy implements Source.
+func (l Locked) Occupancy() (map[string]uint64, bool) {
+	var out map[string]uint64
+	var ok bool
+	l.Do(func() { out, ok = l.Src.Occupancy() })
+	return out, ok
+}
+
+// Ticks implements Source.
+func (l Locked) Ticks() int {
+	var n int
+	l.Do(func() { n = l.Src.Ticks() })
+	return n
+}
+
+// statusEntry is the JSON shape of one workload.
+type statusEntry struct {
+	Name           string  `json:"name"`
+	State          string  `json:"state"`
+	Ways           int     `json:"ways"`
+	BaselineWays   int     `json:"baseline_ways"`
+	IPC            float64 `json:"ipc"`
+	NormalizedIPC  float64 `json:"normalized_ipc"`
+	OccupancyBytes uint64  `json:"occupancy_bytes,omitempty"`
+}
+
+type statusBody struct {
+	Ticks     int           `json:"ticks"`
+	Time      time.Time     `json:"time"`
+	Workloads []statusEntry `json:"workloads"`
+}
+
+// Handler returns the HTTP handler tree.
+func Handler(src Source) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if src.Ticks() == 0 {
+			http.Error(w, "no controller ticks yet", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		body := statusBody{Ticks: src.Ticks(), Time: time.Now().UTC()}
+		occ, _ := src.Occupancy()
+		for _, st := range src.Snapshot() {
+			body.Workloads = append(body.Workloads, statusEntry{
+				Name:           st.Name,
+				State:          st.State.String(),
+				Ways:           st.Ways,
+				BaselineWays:   st.Baseline,
+				IPC:            st.IPC,
+				NormalizedIPC:  st.NormIPC,
+				OccupancyBytes: occ[st.Name],
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(body); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintf(w, "# TYPE dcat_ticks_total counter\ndcat_ticks_total %d\n", src.Ticks())
+		snap := src.Snapshot()
+		sort.Slice(snap, func(i, j int) bool { return snap[i].Name < snap[j].Name })
+		occ, hasOcc := src.Occupancy()
+		fmt.Fprintln(w, "# TYPE dcat_ways gauge")
+		for _, st := range snap {
+			fmt.Fprintf(w, "dcat_ways{workload=%q,state=%q} %d\n", st.Name, st.State, st.Ways)
+		}
+		fmt.Fprintln(w, "# TYPE dcat_normalized_ipc gauge")
+		for _, st := range snap {
+			fmt.Fprintf(w, "dcat_normalized_ipc{workload=%q} %g\n", st.Name, st.NormIPC)
+		}
+		if hasOcc {
+			fmt.Fprintln(w, "# TYPE dcat_llc_occupancy_bytes gauge")
+			for _, st := range snap {
+				fmt.Fprintf(w, "dcat_llc_occupancy_bytes{workload=%q} %d\n", st.Name, occ[st.Name])
+			}
+		}
+	})
+	return mux
+}
+
+// Serve starts the server on addr in a new goroutine and returns the
+// http.Server for shutdown.
+func Serve(addr string, src Source) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: Handler(src), ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// ErrServerClosed on shutdown is the expected exit.
+		_ = srv.ListenAndServe()
+	}()
+	return srv
+}

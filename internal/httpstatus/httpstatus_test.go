@@ -1,0 +1,155 @@
+package httpstatus
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// fakeSource is a canned controller view.
+type fakeSource struct {
+	ticks int
+	snap  []core.Status
+	occ   map[string]uint64
+	hasOc bool
+}
+
+func (f *fakeSource) Snapshot() []core.Status              { return f.snap }
+func (f *fakeSource) Occupancy() (map[string]uint64, bool) { return f.occ, f.hasOc }
+func (f *fakeSource) Ticks() int                           { return f.ticks }
+
+func testSource() *fakeSource {
+	return &fakeSource{
+		ticks: 42,
+		snap: []core.Status{
+			{Name: "web", State: core.StateReceiver, Ways: 7, Baseline: 3, IPC: 0.04, NormIPC: 2.5},
+			{Name: "batch", State: core.StateStreaming, Ways: 1, Baseline: 3, IPC: 0.07, NormIPC: 1.0},
+		},
+		occ:   map[string]uint64{"web": 16 << 20, "batch": 2 << 20},
+		hasOc: true,
+	}
+}
+
+func TestStatusJSON(t *testing.T) {
+	srv := httptest.NewServer(Handler(testSource()))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var body struct {
+		Ticks     int `json:"ticks"`
+		Workloads []struct {
+			Name           string `json:"name"`
+			State          string `json:"state"`
+			Ways           int    `json:"ways"`
+			OccupancyBytes uint64 `json:"occupancy_bytes"`
+		} `json:"workloads"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Ticks != 42 || len(body.Workloads) != 2 {
+		t.Fatalf("body %+v", body)
+	}
+	if body.Workloads[0].Name != "web" || body.Workloads[0].State != "Receiver" ||
+		body.Workloads[0].Ways != 7 || body.Workloads[0].OccupancyBytes != 16<<20 {
+		t.Errorf("web entry wrong: %+v", body.Workloads[0])
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	srv := httptest.NewServer(Handler(testSource()))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(raw)
+	for _, want := range []string{
+		"dcat_ticks_total 42",
+		`dcat_ways{workload="batch",state="Streaming"} 1`,
+		`dcat_ways{workload="web",state="Receiver"} 7`,
+		`dcat_normalized_ipc{workload="web"} 2.5`,
+		`dcat_llc_occupancy_bytes{workload="web"} 16777216`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsWithoutOccupancy(t *testing.T) {
+	src := testSource()
+	src.hasOc = false
+	srv := httptest.NewServer(Handler(src))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if strings.Contains(string(raw), "dcat_llc_occupancy_bytes") {
+		t.Error("occupancy gauges should be omitted without CMT support")
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	src := testSource()
+	srv := httptest.NewServer(Handler(src))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthy controller should report 200, got %d", resp.StatusCode)
+	}
+	src.ticks = 0
+	resp, err = srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Errorf("unticked controller should report 503, got %d", resp.StatusCode)
+	}
+}
+
+func TestLockedAdapter(t *testing.T) {
+	var mu sync.Mutex
+	src := testSource()
+	locked := Locked{Src: src, Do: func(fn func()) {
+		mu.Lock()
+		defer mu.Unlock()
+		fn()
+	}}
+	if locked.Ticks() != 42 {
+		t.Error("Ticks not forwarded")
+	}
+	if len(locked.Snapshot()) != 2 {
+		t.Error("Snapshot not forwarded")
+	}
+	if occ, ok := locked.Occupancy(); !ok || occ["web"] == 0 {
+		t.Error("Occupancy not forwarded")
+	}
+}

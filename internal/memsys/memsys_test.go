@@ -1,0 +1,216 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bits"
+	"repro/internal/cache"
+	"repro/internal/perf"
+)
+
+func smallConfig() Config {
+	return Config{
+		Cores: 2,
+		L1:    cache.Config{Name: "L1", SizeBytes: 2 * 2 * cache.LineSize, Ways: 2},  // 2 sets
+		LLC:   cache.Config{Name: "LLC", SizeBytes: 8 * 4 * cache.LineSize, Ways: 4}, // 8 sets
+		Lat:   Latency{L1Hit: 4, LLCHit: 40, DRAM: 200},
+	}
+}
+
+func TestPresets(t *testing.T) {
+	e5 := XeonE5()
+	if err := e5.Validate(); err != nil {
+		t.Fatalf("XeonE5 invalid: %v", err)
+	}
+	if e5.LLC.Sets() != 36864 || e5.LLC.Ways != 20 {
+		t.Errorf("XeonE5 LLC geometry wrong: sets=%d ways=%d", e5.LLC.Sets(), e5.LLC.Ways)
+	}
+	if got := e5.WayBytes(); got != 2359296 { // 2.25 MB
+		t.Errorf("XeonE5 way bytes=%d want 2.25MB", got)
+	}
+	d := XeonD()
+	if err := d.Validate(); err != nil {
+		t.Fatalf("XeonD invalid: %v", err)
+	}
+	if d.LLC.Sets() != 16384 || d.WayBytes() != 1<<20 {
+		t.Errorf("XeonD geometry wrong: sets=%d wayBytes=%d", d.LLC.Sets(), d.WayBytes())
+	}
+}
+
+func TestValidateRejectsBadLatency(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Lat = Latency{L1Hit: 10, LLCHit: 5, DRAM: 200}
+	if err := cfg.Validate(); err == nil {
+		t.Error("LLC faster than L1 should be invalid")
+	}
+	cfg = smallConfig()
+	cfg.Cores = 0
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero cores should be invalid")
+	}
+}
+
+func TestAccessLatencyLevels(t *testing.T) {
+	s := MustNew(smallConfig())
+	lat := s.Config().Lat
+	// Cold: DRAM.
+	if got := s.Access(0, 100); got != lat.DRAM {
+		t.Errorf("cold access latency=%d want %d", got, lat.DRAM)
+	}
+	// Warm in L1.
+	if got := s.Access(0, 100); got != lat.L1Hit {
+		t.Errorf("L1 hit latency=%d want %d", got, lat.L1Hit)
+	}
+	// Evict from tiny L1 by touching conflicting lines (same L1 set,
+	// different LLC sets where possible), then re-access: LLC hit.
+	s.Access(0, 102) // L1 set 0
+	s.Access(0, 104) // L1 set 0 — evicts 100 from L1 (LRU)
+	if got := s.Access(0, 100); got != lat.LLCHit {
+		t.Errorf("LLC hit latency=%d want %d", got, lat.LLCHit)
+	}
+}
+
+func TestCountersTrackAccesses(t *testing.T) {
+	s := MustNew(smallConfig())
+	s.Access(1, 5) // miss everywhere
+	s.Access(1, 5) // L1 hit
+	f := s.Counters()
+	if got := f.ReadCounter(1, perf.L1Misses); got != 1 {
+		t.Errorf("L1Misses=%d want 1", got)
+	}
+	if got := f.ReadCounter(1, perf.L1Hits); got != 1 {
+		t.Errorf("L1Hits=%d want 1", got)
+	}
+	if got := f.ReadCounter(1, perf.LLCReferences); got != 1 {
+		t.Errorf("LLCReferences=%d want 1", got)
+	}
+	if got := f.ReadCounter(1, perf.LLCMisses); got != 1 {
+		t.Errorf("LLCMisses=%d want 1", got)
+	}
+	// Other core untouched.
+	if got := f.ReadCounter(0, perf.LLCReferences); got != 0 {
+		t.Errorf("core 0 LLCReferences=%d want 0", got)
+	}
+}
+
+func TestRetire(t *testing.T) {
+	s := MustNew(smallConfig())
+	s.Retire(0, 1000, 2500)
+	if got := s.Counters().ReadCounter(0, perf.RetiredInstructions); got != 1000 {
+		t.Errorf("RetiredInstructions=%d", got)
+	}
+	if got := s.Counters().ReadCounter(0, perf.UnhaltedCycles); got != 2500 {
+		t.Errorf("UnhaltedCycles=%d", got)
+	}
+}
+
+func TestSetMaskValidation(t *testing.T) {
+	s := MustNew(smallConfig())
+	if err := s.SetMask(0, bits.MustCBM(0, 2)); err != nil {
+		t.Errorf("valid mask rejected: %v", err)
+	}
+	if err := s.SetMask(0, bits.CBM(0)); err == nil {
+		t.Error("empty mask should be rejected")
+	}
+	if err := s.SetMask(0, bits.MustCBM(3, 2)); err == nil {
+		t.Error("mask beyond 4 ways should be rejected")
+	}
+	if err := s.SetMask(9, bits.FullMask(4)); err == nil {
+		t.Error("core out of range should be rejected")
+	}
+}
+
+func TestMaskIsolationBetweenCores(t *testing.T) {
+	s := MustNew(smallConfig())
+	if err := s.SetMask(0, bits.MustCBM(0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetMask(1, bits.MustCBM(2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Core 0 warms two lines per LLC set (its full allocation).
+	for l := uint64(0); l < 16; l++ {
+		s.Access(0, l)
+	}
+	// Core 1 streams a large footprint.
+	for l := uint64(100); l < 400; l++ {
+		s.Access(1, l)
+	}
+	// Core 0's lines must still be LLC-resident (L1 may have lost some).
+	for l := uint64(0); l < 16; l++ {
+		if !s.LLC().Probe(l) {
+			t.Fatalf("line %d evicted despite disjoint masks", l)
+		}
+	}
+}
+
+func TestInclusiveBackInvalidation(t *testing.T) {
+	s := MustNew(smallConfig())
+	// Narrow core 0 to 1 LLC way so evictions are easy to force.
+	if err := s.SetMask(0, bits.MustCBM(0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s.Access(0, 0) // fills LLC set 0 way 0, and L1
+	// Force LLC eviction of line 0 by filling set 0 with another line
+	// (LLC has 8 sets; lines 0 and 8 share set 0).
+	s.Access(0, 8)
+	if s.LLC().Probe(0) {
+		t.Fatal("line 0 should have been evicted from LLC")
+	}
+	if s.L1(0).Probe(0) {
+		t.Error("inclusion violated: line 0 evicted from LLC but resident in L1")
+	}
+}
+
+func TestFlushLLCEmptiesHierarchy(t *testing.T) {
+	s := MustNew(smallConfig())
+	s.Access(0, 1)
+	s.Access(1, 2)
+	s.FlushLLC()
+	if s.LLC().Probe(1) || s.LLC().Probe(2) {
+		t.Error("LLC not empty after FlushLLC")
+	}
+	if s.L1(0).Probe(1) || s.L1(1).Probe(2) {
+		t.Error("L1s not empty after FlushLLC")
+	}
+}
+
+// Property: inclusion holds after arbitrary access interleavings —
+// any line resident in some L1 is also resident in the LLC.
+func TestInclusionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		s := MustNew(smallConfig())
+		s.SetMask(0, bits.MustCBM(0, 2))
+		s.SetMask(1, bits.MustCBM(2, 2))
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 2000; i++ {
+			s.Access(rng.Intn(2), uint64(rng.Intn(64)))
+		}
+		for core := 0; core < 2; core++ {
+			for line := uint64(0); line < 64; line++ {
+				if s.L1(core).Probe(line) && !s.LLC().Probe(line) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: latency returned is always one of the three configured levels.
+func TestLatencyIsOneOfLevels(t *testing.T) {
+	s := MustNew(smallConfig())
+	lat := s.Config().Lat
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		got := s.Access(rng.Intn(2), uint64(rng.Intn(128)))
+		if got != lat.L1Hit && got != lat.LLCHit && got != lat.DRAM {
+			t.Fatalf("latency %d not a hierarchy level", got)
+		}
+	}
+}

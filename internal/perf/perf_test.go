@@ -1,0 +1,162 @@
+package perf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTableMatchesPaper(t *testing.T) {
+	// Paper Table 2.
+	tests := []struct {
+		e     Event
+		num   uint16
+		umask uint16
+		fixed bool
+	}{
+		{LLCMisses, 0x2E, 0x41, false},
+		{LLCReferences, 0x2E, 0x4F, false},
+		{L1Misses, 0xD1, 0x08, false},
+		{L1Hits, 0xD1, 0x01, false},
+		{RetiredInstructions, 0x309, 0, true},
+		{UnhaltedCycles, 0x30A, 0, true},
+	}
+	for _, tt := range tests {
+		info := Table[tt.e]
+		if info.EventNum != tt.num || info.Umask != tt.umask || info.Fixed != tt.fixed {
+			t.Errorf("%s: got %+v want num=%#x umask=%#x fixed=%v",
+				tt.e, info, tt.num, tt.umask, tt.fixed)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	if LLCMisses.String() != "LLC Misses" {
+		t.Errorf("String()=%q", LLCMisses.String())
+	}
+	if Event(200).String() != "Event(200)" {
+		t.Errorf("out-of-range String()=%q", Event(200).String())
+	}
+}
+
+func TestFileReadWrite(t *testing.T) {
+	f := NewFile(4)
+	if f.Cores() != 4 {
+		t.Fatalf("Cores()=%d", f.Cores())
+	}
+	f.Core(2).Add(LLCMisses, 10)
+	f.Core(2).Add(LLCMisses, 5)
+	if got := f.ReadCounter(2, LLCMisses); got != 15 {
+		t.Errorf("ReadCounter=%d want 15", got)
+	}
+	if got := f.ReadCounter(1, LLCMisses); got != 0 {
+		t.Errorf("other core counter=%d want 0", got)
+	}
+}
+
+func TestSampleDerived(t *testing.T) {
+	s := Sample{L1Ref: 300, LLCRef: 100, LLCMiss: 25, RetIns: 1000, Cycles: 2000}
+	if got := s.IPC(); got != 0.5 {
+		t.Errorf("IPC=%f want 0.5", got)
+	}
+	if got := s.LLCMissRate(); got != 0.25 {
+		t.Errorf("LLCMissRate=%f want 0.25", got)
+	}
+	if got := s.MemAccessPerInstr(); got != 0.3 {
+		t.Errorf("MemAccessPerInstr=%f want 0.3", got)
+	}
+}
+
+func TestSampleDerivedZeroSafe(t *testing.T) {
+	var s Sample
+	if s.IPC() != 0 || s.LLCMissRate() != 0 || s.MemAccessPerInstr() != 0 {
+		t.Error("zero sample should derive zeros, not NaN")
+	}
+	if math.IsNaN(s.IPC()) {
+		t.Error("IPC is NaN")
+	}
+}
+
+func TestSampleAdd(t *testing.T) {
+	a := Sample{L1Ref: 1, LLCRef: 2, LLCMiss: 3, RetIns: 4, Cycles: 5}
+	b := Sample{L1Ref: 10, LLCRef: 20, LLCMiss: 30, RetIns: 40, Cycles: 50}
+	a.Add(b)
+	want := Sample{11, 22, 33, 44, 55}
+	if a != want {
+		t.Errorf("Add: got %+v want %+v", a, want)
+	}
+}
+
+func TestSamplerDeltas(t *testing.T) {
+	f := NewFile(2)
+	sm := NewSampler(f)
+
+	f.Core(0).Add(RetiredInstructions, 100)
+	f.Core(0).Add(UnhaltedCycles, 200)
+	s := sm.SampleCores([]int{0})
+	if s.RetIns != 100 || s.Cycles != 200 {
+		t.Fatalf("first sample %+v", s)
+	}
+
+	f.Core(0).Add(RetiredInstructions, 50)
+	f.Core(0).Add(UnhaltedCycles, 60)
+	s = sm.SampleCores([]int{0})
+	if s.RetIns != 50 || s.Cycles != 60 {
+		t.Fatalf("delta sample %+v want 50/60", s)
+	}
+}
+
+func TestSamplerAggregatesCores(t *testing.T) {
+	f := NewFile(3)
+	sm := NewSampler(f)
+	f.Core(0).Add(LLCMisses, 5)
+	f.Core(1).Add(LLCMisses, 7)
+	f.Core(2).Add(LLCMisses, 100) // not in workload
+	s := sm.SampleCores([]int{0, 1})
+	if s.LLCMiss != 12 {
+		t.Errorf("aggregate LLCMiss=%d want 12", s.LLCMiss)
+	}
+}
+
+func TestSamplerL1RefCombinesHitsAndMisses(t *testing.T) {
+	f := NewFile(1)
+	sm := NewSampler(f)
+	f.Core(0).Add(L1Hits, 70)
+	f.Core(0).Add(L1Misses, 30)
+	s := sm.SampleCores([]int{0})
+	if s.L1Ref != 100 {
+		t.Errorf("L1Ref=%d want 100 (hits+misses)", s.L1Ref)
+	}
+}
+
+func TestSamplerReset(t *testing.T) {
+	f := NewFile(1)
+	sm := NewSampler(f)
+	f.Core(0).Add(RetiredInstructions, 10)
+	sm.SampleCores([]int{0})
+	sm.Reset()
+	s := sm.SampleCores([]int{0})
+	if s.RetIns != 10 {
+		t.Errorf("after Reset, sample should be cumulative again: %+v", s)
+	}
+}
+
+// Property: sampling twice with no counter activity yields a zero delta,
+// and deltas over consecutive increments sum to the cumulative value.
+func TestSamplerDeltaProperties(t *testing.T) {
+	f := func(incs []uint16) bool {
+		file := NewFile(1)
+		sm := NewSampler(file)
+		var total, sum uint64
+		for _, inc := range incs {
+			file.Core(0).Add(LLCReferences, uint64(inc))
+			total += uint64(inc)
+			sum += sm.SampleCores([]int{0}).LLCRef
+		}
+		quiet := sm.SampleCores([]int{0})
+		return sum == total && quiet.LLCRef == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

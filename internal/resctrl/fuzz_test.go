@@ -1,0 +1,36 @@
+package resctrl
+
+import "testing"
+
+// FuzzParseCPUList checks the parser never panics and that successful
+// parses round-trip through formatCPUList.
+func FuzzParseCPUList(f *testing.F) {
+	for _, seed := range []string{"", "0", "0-3", "0,2-4,9", "1-", "-1", "a", "3-1", "0,0,0", "63"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		cores, err := ParseCPUList(s)
+		if err != nil {
+			return
+		}
+		for _, c := range cores {
+			if c < 0 {
+				t.Fatalf("negative core %d from %q", c, s)
+			}
+		}
+		if len(cores) == 0 {
+			return
+		}
+		reparsed, err := ParseCPUList(formatCPUList(cores))
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", s, err)
+		}
+		set := map[int]bool{}
+		for _, c := range cores {
+			set[c] = true
+		}
+		if len(reparsed) != len(set) {
+			t.Fatalf("round trip of %q changed cardinality", s)
+		}
+	})
+}

@@ -1,0 +1,34 @@
+package resctrl
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+)
+
+func TestGroupOccupancyFromMockTree(t *testing.T) {
+	dir := mockTree(t)
+	b, err := NewBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Apply(1, bits.FullMask(4), []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.GroupOccupancy(1, []int{0}); err == nil {
+		t.Error("occupancy without CMT files should error")
+	}
+	if err := WriteMockOccupancy(dir, 1, 123456); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.GroupOccupancy(1, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 123456 {
+		t.Errorf("occupancy=%d want 123456", got)
+	}
+	if _, err := b.GroupOccupancy(9, nil); err == nil {
+		t.Error("unapplied COS should error")
+	}
+}

@@ -1,0 +1,305 @@
+// Package resctrl applies CAT classes of service through the Linux
+// resctrl filesystem (kernel 4.10+), the successor to the pqos/msr
+// interface the paper's prototype used (§4). On a machine with
+// CONFIG_X86_CPU_RESCTRL and the filesystem mounted at /sys/fs/resctrl,
+// this backend makes the dCat controller drive real hardware; tests and
+// demos run it against a mock tree created by CreateMockTree.
+//
+// Layout used:
+//
+//	<root>/info/L3/cbm_mask     capacity mask ("fffff" for 20 ways)
+//	<root>/info/L3/num_closids  class-of-service count
+//	<root>/cos<N>/schemata      "L3:<domain>=<cbm>"
+//	<root>/cos<N>/cpus_list     "0-1,4"
+package resctrl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/bits"
+)
+
+// DefaultRoot is where the kernel mounts resctrl.
+const DefaultRoot = "/sys/fs/resctrl"
+
+// Backend drives a resctrl tree. It implements cat.Backend.
+type Backend struct {
+	root      string
+	ways      int
+	closids   int
+	domains   []int // L3 cache domains (sockets) to program
+	groupDirs map[int]string
+}
+
+// NewBackend opens a resctrl tree rooted at root.
+func NewBackend(root string) (*Backend, error) {
+	cbmStr, err := readTrimmed(filepath.Join(root, "info", "L3", "cbm_mask"))
+	if err != nil {
+		return nil, fmt.Errorf("resctrl: %s does not look like a resctrl mount: %w", root, err)
+	}
+	cbm, err := bits.ParseCBM(cbmStr)
+	if err != nil {
+		return nil, fmt.Errorf("resctrl: bad cbm_mask: %w", err)
+	}
+	if !cbm.Contiguous() || cbm.Lowest() != 0 {
+		return nil, fmt.Errorf("resctrl: cbm_mask %q not a full mask", cbmStr)
+	}
+	closStr, err := readTrimmed(filepath.Join(root, "info", "L3", "num_closids"))
+	if err != nil {
+		return nil, fmt.Errorf("resctrl: %w", err)
+	}
+	closids, err := strconv.Atoi(closStr)
+	if err != nil || closids < 1 {
+		return nil, fmt.Errorf("resctrl: bad num_closids %q", closStr)
+	}
+	domains, err := parseDomains(filepath.Join(root, "schemata"))
+	if err != nil {
+		return nil, err
+	}
+	return &Backend{
+		root:      root,
+		ways:      cbm.Count(),
+		closids:   closids,
+		domains:   domains,
+		groupDirs: make(map[int]string),
+	}, nil
+}
+
+// TotalWays implements cat.Backend.
+func (b *Backend) TotalWays() int { return b.ways }
+
+// MaxCOS returns the hardware class-of-service count.
+func (b *Backend) MaxCOS() int { return b.closids }
+
+// Root returns the tree root.
+func (b *Backend) Root() string { return b.root }
+
+// Apply implements cat.Backend: it materializes COS cos as a resctrl
+// group, writes its schemata, and assigns the cores.
+func (b *Backend) Apply(cos int, mask bits.CBM, cores []int) error {
+	if cos < 1 || cos >= b.closids {
+		return fmt.Errorf("resctrl: COS %d out of range [1,%d)", cos, b.closids)
+	}
+	if !mask.Valid(b.ways) {
+		return fmt.Errorf("resctrl: mask %s invalid for %d ways", mask, b.ways)
+	}
+	dir, ok := b.groupDirs[cos]
+	if !ok {
+		dir = filepath.Join(b.root, fmt.Sprintf("cos%d", cos))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("resctrl: creating group: %w", err)
+		}
+		b.groupDirs[cos] = dir
+	}
+	var sb strings.Builder
+	sb.WriteString("L3:")
+	for i, d := range b.domains {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		fmt.Fprintf(&sb, "%d=%s", d, mask)
+	}
+	sb.WriteByte('\n')
+	if err := os.WriteFile(filepath.Join(dir, "schemata"), []byte(sb.String()), 0o644); err != nil {
+		return fmt.Errorf("resctrl: writing schemata: %w", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "cpus_list"),
+		[]byte(formatCPUList(cores)+"\n"), 0o644); err != nil {
+		return fmt.Errorf("resctrl: writing cpus_list: %w", err)
+	}
+	return nil
+}
+
+// Schemata reads back a group's current schemata line (diagnostics).
+func (b *Backend) Schemata(cos int) (string, error) {
+	dir, ok := b.groupDirs[cos]
+	if !ok {
+		return "", fmt.Errorf("resctrl: COS %d never applied", cos)
+	}
+	return readTrimmed(filepath.Join(dir, "schemata"))
+}
+
+// GroupOccupancy implements cat.OccupancyReader by reading the
+// kernel's CMT counter for the group
+// (<group>/mon_data/mon_L3_00/llc_occupancy). Requires resctrl mounted
+// with L3 monitoring (cqm) support; mock trees can seed the file with
+// WriteMockOccupancy.
+func (b *Backend) GroupOccupancy(cos int, cores []int) (uint64, error) {
+	dir, ok := b.groupDirs[cos]
+	if !ok {
+		return 0, fmt.Errorf("resctrl: COS %d never applied", cos)
+	}
+	raw, err := readTrimmed(filepath.Join(dir, "mon_data", "mon_L3_00", "llc_occupancy"))
+	if err != nil {
+		return 0, fmt.Errorf("resctrl: no CMT data for COS %d: %w", cos, err)
+	}
+	v, err := strconv.ParseUint(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("resctrl: bad llc_occupancy %q: %w", raw, err)
+	}
+	return v, nil
+}
+
+// WriteMockOccupancy seeds a mock tree's CMT counter for a group, for
+// tests and demos.
+func WriteMockOccupancy(root string, cos int, bytes uint64) error {
+	dir := filepath.Join(root, fmt.Sprintf("cos%d", cos), "mon_data", "mon_L3_00")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("resctrl: %w", err)
+	}
+	return os.WriteFile(filepath.Join(dir, "llc_occupancy"),
+		[]byte(strconv.FormatUint(bytes, 10)+"\n"), 0o644)
+}
+
+// Cleanup removes all groups this backend created (resctrl groups are
+// deleted by rmdir; the kernel then returns their cores to the root
+// group).
+func (b *Backend) Cleanup() error {
+	var firstErr error
+	for cos, dir := range b.groupDirs {
+		if err := os.Remove(dir); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("resctrl: removing %s: %w", dir, err)
+		}
+		delete(b.groupDirs, cos)
+	}
+	return firstErr
+}
+
+// parseDomains extracts the L3 domain ids from a schemata file, e.g.
+// "L3:0=fffff;1=fffff" -> [0 1].
+func parseDomains(path string) ([]int, error) {
+	content, err := readTrimmed(path)
+	if err != nil {
+		return nil, fmt.Errorf("resctrl: %w", err)
+	}
+	for _, line := range strings.Split(content, "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "L3:") {
+			continue
+		}
+		var domains []int
+		for _, part := range strings.Split(strings.TrimPrefix(line, "L3:"), ";") {
+			id, _, ok := strings.Cut(part, "=")
+			if !ok {
+				return nil, fmt.Errorf("resctrl: malformed schemata entry %q", part)
+			}
+			d, err := strconv.Atoi(strings.TrimSpace(id))
+			if err != nil {
+				return nil, fmt.Errorf("resctrl: bad domain id in %q", part)
+			}
+			domains = append(domains, d)
+		}
+		if len(domains) == 0 {
+			return nil, fmt.Errorf("resctrl: no L3 domains in schemata")
+		}
+		return domains, nil
+	}
+	return nil, fmt.Errorf("resctrl: no L3 line in schemata")
+}
+
+// formatCPUList renders cores as a kernel cpus_list string, collapsing
+// consecutive runs ("0-1,4").
+func formatCPUList(cores []int) string {
+	if len(cores) == 0 {
+		return ""
+	}
+	sorted := append([]int(nil), cores...)
+	for i := 1; i < len(sorted); i++ { // insertion sort: lists are tiny
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	var sb strings.Builder
+	start, prev := sorted[0], sorted[0]
+	flush := func() {
+		if sb.Len() > 0 {
+			sb.WriteByte(',')
+		}
+		if start == prev {
+			fmt.Fprintf(&sb, "%d", start)
+		} else {
+			fmt.Fprintf(&sb, "%d-%d", start, prev)
+		}
+	}
+	for _, c := range sorted[1:] {
+		if c == prev { // duplicate
+			continue
+		}
+		if c == prev+1 {
+			prev = c
+			continue
+		}
+		flush()
+		start, prev = c, c
+	}
+	flush()
+	return sb.String()
+}
+
+// ParseCPUList is the inverse of formatCPUList.
+func ParseCPUList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var cores []int
+	for _, part := range strings.Split(s, ",") {
+		lo, hi, isRange := strings.Cut(part, "-")
+		a, err := strconv.Atoi(strings.TrimSpace(lo))
+		if err != nil {
+			return nil, fmt.Errorf("resctrl: bad cpu list entry %q", part)
+		}
+		if !isRange {
+			cores = append(cores, a)
+			continue
+		}
+		z, err := strconv.Atoi(strings.TrimSpace(hi))
+		if err != nil || z < a {
+			return nil, fmt.Errorf("resctrl: bad cpu range %q", part)
+		}
+		for c := a; c <= z; c++ {
+			cores = append(cores, c)
+		}
+	}
+	return cores, nil
+}
+
+// CreateMockTree builds a minimal resctrl-compatible tree for tests and
+// demos: info files, a root schemata with one L3 domain, and a root
+// cpus_list.
+func CreateMockTree(root string, ways, closids, cpus int) error {
+	if ways < 1 || ways > bits.MaxWays || closids < 2 || cpus < 1 {
+		return fmt.Errorf("resctrl: invalid mock geometry ways=%d closids=%d cpus=%d",
+			ways, closids, cpus)
+	}
+	infoDir := filepath.Join(root, "info", "L3")
+	if err := os.MkdirAll(infoDir, 0o755); err != nil {
+		return fmt.Errorf("resctrl: %w", err)
+	}
+	full := bits.FullMask(ways)
+	files := map[string]string{
+		filepath.Join(infoDir, "cbm_mask"):     full.String() + "\n",
+		filepath.Join(infoDir, "min_cbm_bits"): "1\n",
+		filepath.Join(infoDir, "num_closids"):  strconv.Itoa(closids) + "\n",
+		filepath.Join(root, "schemata"):        "L3:0=" + full.String() + "\n",
+		filepath.Join(root, "cpus_list"):       fmt.Sprintf("0-%d\n", cpus-1),
+	}
+	for path, content := range files {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			return fmt.Errorf("resctrl: %w", err)
+		}
+	}
+	return nil
+}
+
+func readTrimmed(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(data)), nil
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRecorderSeries(t *testing.T) {
+	r := NewRecorder()
+	r.Record("ways", 1, 3)
+	r.Record("ways", 2, 4)
+	r.Record("ipc", 1, 0.5)
+	s, ok := r.Series("ways")
+	if !ok || len(s.Points) != 2 {
+		t.Fatalf("series ways: %v %v", s, ok)
+	}
+	if s.Last() != (Point{X: 2, Y: 4}) {
+		t.Errorf("Last()=%v", s.Last())
+	}
+	if got := s.Ys(); len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Errorf("Ys()=%v", got)
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "ways" || names[1] != "ipc" {
+		t.Errorf("Names()=%v", names)
+	}
+	if _, ok := r.Series("missing"); ok {
+		t.Error("missing series should not resolve")
+	}
+	var empty Series
+	if empty.Last() != (Point{}) {
+		t.Error("empty Last should be zero")
+	}
+}
+
+func TestRecorderCSV(t *testing.T) {
+	r := NewRecorder()
+	r.Record("a", 1, 10)
+	r.Record("a", 2, 20)
+	r.Record("b", 2, 200)
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "x,a,b\n1,10,\n2,20,200\n"
+	if sb.String() != want {
+		t.Errorf("CSV=%q want %q", sb.String(), want)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("Table 1", "Benchmark", "Ways")
+	tab.AddRow("omnetpp", "12")
+	tab.AddRow("lbm") // short row padded
+	var sb strings.Builder
+	if err := tab.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 1", "Benchmark", "omnetpp    12", "lbm"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("t", "a", "b")
+	tab.AddRow("1", "2")
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "a,b\n1,2\n" {
+		t.Errorf("CSV=%q", sb.String())
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean=%f", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil)=%f", got)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{1, 4}); math.Abs(got-2) > 1e-9 {
+		t.Errorf("GeoMean=%f want 2", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("GeoMean(nil)=%f", got)
+	}
+	if got := GeoMean([]float64{1, -1}); !math.IsNaN(got) {
+		t.Errorf("GeoMean with negative should be NaN, got %f", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if got := Percentile(xs, 50); got != 3 {
+		t.Errorf("p50=%f want 3", got)
+	}
+	if got := Percentile(xs, 100); got != 5 {
+		t.Errorf("p100=%f", got)
+	}
+	if got := Percentile(xs, 0); got != 1 {
+		t.Errorf("p0=%f", got)
+	}
+	if got := Percentile(xs, 99); got != 5 {
+		t.Errorf("p99=%f", got)
+	}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Errorf("empty percentile=%f", got)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestF(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{3, "3"},
+		{3.5, "3.5"},
+		{0.123456, "0.1235"},
+		{-2, "-2"},
+	}
+	for _, tt := range tests {
+		if got := F(tt.v); got != tt.want {
+			t.Errorf("F(%v)=%q want %q", tt.v, got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,255 @@
+// Package ucp implements Utility-based Cache Partitioning (Qureshi &
+// Patt, MICRO 2006) — the classic dynamic partitioner the dCat paper
+// discusses among its alternatives ([36] in its related work). It
+// serves as the comparison baseline for dCat: UCP maximizes aggregate
+// hit count, but offers no per-tenant performance floor, which is
+// exactly the gap dCat's baseline guarantee fills (§2.2: prior works
+// "focus on improving overall system miss-rate/performance, not
+// performance isolation").
+//
+// Each workload gets a UMON-like shadow-tag monitor: a sampled set of
+// LRU stacks, one per sampled cache set, with a hit counter per stack
+// position. The counter at position i estimates how many extra hits an
+// i-th way would have provided, so the prefix sums form the workload's
+// utility (miss) curve. The lookahead algorithm then assigns ways to
+// the workload with the highest marginal utility until the cache is
+// exhausted.
+package ucp
+
+import (
+	"fmt"
+
+	"repro/internal/cat"
+)
+
+// Monitor is a UMON: a sampled shadow tag directory with per-LRU-
+// position hit counters.
+type Monitor struct {
+	realSets    int
+	ways        int
+	sampleEvery int
+
+	// stacks[s] is the LRU stack of sampled set s: stacks[s][0] is
+	// MRU. Zero entries are invalid (line addresses are stored +1).
+	stacks [][]uint64
+	// posHits[i] counts hits at LRU stack depth i (0-based).
+	posHits  []uint64
+	misses   uint64
+	accesses uint64
+}
+
+// NewMonitor creates a shadow directory for a cache with realSets sets
+// and the given associativity, sampling one in sampleEvery sets (the
+// UCP paper uses 1-in-32).
+func NewMonitor(realSets, ways, sampleEvery int) (*Monitor, error) {
+	if realSets <= 0 || ways <= 0 || sampleEvery <= 0 {
+		return nil, fmt.Errorf("ucp: invalid monitor geometry sets=%d ways=%d sample=%d",
+			realSets, ways, sampleEvery)
+	}
+	if sampleEvery > realSets {
+		return nil, fmt.Errorf("ucp: sampling interval %d exceeds %d sets", sampleEvery, realSets)
+	}
+	n := realSets / sampleEvery
+	stacks := make([][]uint64, n)
+	backing := make([]uint64, n*ways)
+	for i := range stacks {
+		stacks[i], backing = backing[:ways], backing[ways:]
+	}
+	return &Monitor{
+		realSets:    realSets,
+		ways:        ways,
+		sampleEvery: sampleEvery,
+		stacks:      stacks,
+		posHits:     make([]uint64, ways),
+	}, nil
+}
+
+// Observe feeds one physical line address through the shadow tags.
+func (m *Monitor) Observe(line uint64) {
+	set := int(line % uint64(m.realSets))
+	if set%m.sampleEvery != 0 {
+		return
+	}
+	m.accesses++
+	stack := m.stacks[set/m.sampleEvery]
+	tag := line + 1
+	for i, t := range stack {
+		if t == tag {
+			m.posHits[i]++
+			// Move to MRU.
+			copy(stack[1:i+1], stack[:i])
+			stack[0] = tag
+			return
+		}
+	}
+	// Miss: insert at MRU, dropping the LRU entry.
+	m.misses++
+	copy(stack[1:], stack[:len(stack)-1])
+	stack[0] = tag
+}
+
+// Accesses returns how many sampled accesses were observed.
+func (m *Monitor) Accesses() uint64 { return m.accesses }
+
+// MissCurve returns estimated misses (in sampled accesses) when the
+// workload holds k ways, for k = 0..ways: curve[k] = accesses - hits
+// within the top k stack positions. It is non-increasing in k.
+func (m *Monitor) MissCurve() []uint64 {
+	curve := make([]uint64, m.ways+1)
+	curve[0] = m.accesses
+	hits := uint64(0)
+	for i, h := range m.posHits {
+		hits += h
+		curve[i+1] = m.accesses - hits
+	}
+	return curve
+}
+
+// Reset starts a new measurement epoch. UCP halves history rather than
+// clearing it, so allocation reacts to change without thrashing; tags
+// stay resident.
+func (m *Monitor) Reset() {
+	for i := range m.posHits {
+		m.posHits[i] /= 2
+	}
+	m.misses /= 2
+	m.accesses /= 2
+}
+
+// Lookahead implements the UCP lookahead allocation: distribute
+// totalWays among the curves, each getting at least minWays, greedily
+// by maximum marginal utility (hits gained per way). curves[i][k] is
+// workload i's misses at k ways.
+func Lookahead(curves [][]uint64, totalWays, minWays int) ([]int, error) {
+	n := len(curves)
+	if n == 0 {
+		return nil, nil
+	}
+	if minWays < 1 {
+		minWays = 1
+	}
+	if n*minWays > totalWays {
+		return nil, fmt.Errorf("ucp: %d workloads need %d ways minimum, have %d",
+			n, n*minWays, totalWays)
+	}
+	alloc := make([]int, n)
+	spent := 0
+	for i := range alloc {
+		alloc[i] = minWays
+		spent += minWays
+	}
+	for spent < totalWays {
+		best, bestStep := -1, 0
+		bestUtil := -1.0
+		for i, curve := range curves {
+			maxK := len(curve) - 1
+			if alloc[i] >= maxK {
+				continue
+			}
+			// Max marginal utility over any feasible step size
+			// (the lookahead part: a big step can beat a flat
+			// single-way gain).
+			for step := 1; alloc[i]+step <= maxK && spent+step <= totalWays; step++ {
+				gained := float64(curve[alloc[i]] - curve[alloc[i]+step])
+				util := gained / float64(step)
+				if util > bestUtil {
+					bestUtil = util
+					best = i
+					bestStep = step
+				}
+			}
+		}
+		if best < 0 || bestUtil <= 0 {
+			break // nobody benefits from more cache
+		}
+		alloc[best] += bestStep
+		spent += bestStep
+	}
+	return alloc, nil
+}
+
+// Target is one workload UCP manages.
+type Target struct {
+	Name  string
+	Cores []int
+}
+
+// Controller drives UCP epochs: read every monitor's utility curve,
+// run lookahead, apply the partitioning through CAT.
+type Controller struct {
+	mgr   *cat.Manager
+	mons  []*Monitor
+	names []string
+}
+
+// New creates a UCP controller over the given targets. Monitors are
+// created per target against the cache geometry the manager exposes;
+// attach each to its workload's access stream via Monitor.
+func New(mgr *cat.Manager, targets []Target, realSets, sampleEvery int) (*Controller, error) {
+	if mgr == nil {
+		return nil, fmt.Errorf("ucp: nil manager")
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("ucp: no targets")
+	}
+	c := &Controller{mgr: mgr}
+	even := mgr.TotalWays() / len(targets)
+	if even < 1 {
+		return nil, fmt.Errorf("ucp: more targets than ways")
+	}
+	alloc := map[string]int{}
+	for _, t := range targets {
+		if _, err := mgr.CreateGroup(t.Name, t.Cores); err != nil {
+			return nil, fmt.Errorf("ucp: %w", err)
+		}
+		mon, err := NewMonitor(realSets, mgr.TotalWays(), sampleEvery)
+		if err != nil {
+			return nil, err
+		}
+		c.mons = append(c.mons, mon)
+		c.names = append(c.names, t.Name)
+		alloc[t.Name] = even
+	}
+	if err := mgr.SetAllocation(alloc); err != nil {
+		return nil, fmt.Errorf("ucp: initial allocation: %w", err)
+	}
+	return c, nil
+}
+
+// Monitor returns the shadow-tag monitor for a target (to attach as an
+// access observer).
+func (c *Controller) Monitor(name string) (*Monitor, bool) {
+	for i, n := range c.names {
+		if n == name {
+			return c.mons[i], true
+		}
+	}
+	return nil, false
+}
+
+// Ways returns a target's current allocation.
+func (c *Controller) Ways(name string) int { return c.mgr.Ways(name) }
+
+// Tick runs one UCP epoch: lookahead over the measured curves, apply,
+// decay the monitors.
+func (c *Controller) Tick() error {
+	curves := make([][]uint64, len(c.mons))
+	for i, m := range c.mons {
+		curves[i] = m.MissCurve()
+	}
+	alloc, err := Lookahead(curves, c.mgr.TotalWays(), 1)
+	if err != nil {
+		return err
+	}
+	m := make(map[string]int, len(alloc))
+	for i, name := range c.names {
+		m[name] = alloc[i]
+	}
+	if err := c.mgr.SetAllocation(m); err != nil {
+		return err
+	}
+	for _, mon := range c.mons {
+		mon.Reset()
+	}
+	return nil
+}

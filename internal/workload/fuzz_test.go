@@ -1,0 +1,31 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadTrace checks the trace decoder never panics or over-allocates
+// on malformed input.
+func FuzzReadTrace(f *testing.F) {
+	tr, _ := NewTrace("seed", Params{AccessesPerInstr: 0.5, MLP: 2, BaseCPI: 0.5},
+		[]uint64{1, 2, 3})
+	var buf bytes.Buffer
+	tr.WriteTo(&buf)
+	f.Add(buf.Bytes())
+	f.Add([]byte("DCT1"))
+	f.Add([]byte{})
+	f.Add([]byte("DCT1\x00\x00"))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		got, err := ReadTrace(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if got.Len() == 0 {
+			t.Fatal("decoded trace must have accesses")
+		}
+		if err := got.Params().Validate(); err != nil {
+			t.Fatalf("decoded invalid params: %v", err)
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addr"
+)
+
+// MLR is the paper's random-read microbenchmark: a stream of random
+// read accesses to an array (§2.1). It behaves as a dependent pointer
+// chase, so MLP is 1 and performance tracks average access latency.
+type MLR struct {
+	name  string
+	lines []uint64
+	rng   *rand.Rand
+	ws    uint64
+}
+
+// NewMLR builds an MLR instance with the given working-set size,
+// translated through pages of pageSize drawn from alloc.
+func NewMLR(ws uint64, pageSize addr.PageSize, alloc addr.FrameAllocator, seed int64) (*MLR, error) {
+	sp, err := space(ws, pageSize, alloc)
+	if err != nil {
+		return nil, fmt.Errorf("workload: MLR: %w", err)
+	}
+	return &MLR{
+		name:  fmt.Sprintf("MLR-%dMB", ws>>20),
+		lines: sp.PhysLines(),
+		rng:   rand.New(rand.NewSource(seed)),
+		ws:    ws,
+	}, nil
+}
+
+func (m *MLR) Name() string { return m.name }
+
+func (m *MLR) Params() Params {
+	return Params{AccessesPerInstr: 0.5, MLP: 1, BaseCPI: 0.5}
+}
+
+func (m *MLR) NextLine() uint64 { return m.lines[m.rng.Intn(len(m.lines))] }
+
+func (m *MLR) Tick() {}
+
+// WorkingSetBytes implements Sized.
+func (m *MLR) WorkingSetBytes() uint64 { return m.ws }
+
+// MLOAD is the paper's sequential-read microbenchmark: a cyclic
+// sequential scan over an array (§2.1). With a working set beyond the
+// cache it produces the classic LRU-thrashing cyclic pattern, which is
+// why dCat must classify it Streaming. Prefetchers hide most of its
+// latency, hence the high MLP.
+type MLOAD struct {
+	name  string
+	lines []uint64
+	pos   int
+	ws    uint64
+}
+
+// NewMLOAD builds an MLOAD instance.
+func NewMLOAD(ws uint64, pageSize addr.PageSize, alloc addr.FrameAllocator) (*MLOAD, error) {
+	sp, err := space(ws, pageSize, alloc)
+	if err != nil {
+		return nil, fmt.Errorf("workload: MLOAD: %w", err)
+	}
+	return &MLOAD{
+		name:  fmt.Sprintf("MLOAD-%dMB", ws>>20),
+		lines: sp.PhysLines(),
+		ws:    ws,
+	}, nil
+}
+
+func (m *MLOAD) Name() string { return m.name }
+
+func (m *MLOAD) Params() Params {
+	return Params{AccessesPerInstr: 0.5, MLP: 8, BaseCPI: 0.5}
+}
+
+func (m *MLOAD) NextLine() uint64 {
+	l := m.lines[m.pos]
+	m.pos++
+	if m.pos == len(m.lines) {
+		m.pos = 0
+	}
+	return l
+}
+
+func (m *MLOAD) Tick() {}
+
+// WorkingSetBytes implements Sized.
+func (m *MLOAD) WorkingSetBytes() uint64 { return m.ws }
+
+// Lookbusy models the lookbusy CPU-load generator the paper uses as a
+// polite neighbour: it burns cycles with almost no cache footprint, so
+// dCat classifies it as a Donor.
+type Lookbusy struct {
+	lines []uint64
+	pos   int
+}
+
+// NewLookbusy builds a lookbusy instance. Its tiny working set (8 KB)
+// fits in L1, so it generates essentially no LLC references.
+func NewLookbusy(alloc addr.FrameAllocator) (*Lookbusy, error) {
+	sp, err := space(8<<10, addr.PageSize4K, alloc)
+	if err != nil {
+		return nil, fmt.Errorf("workload: lookbusy: %w", err)
+	}
+	return &Lookbusy{lines: sp.PhysLines()}, nil
+}
+
+func (l *Lookbusy) Name() string { return "lookbusy" }
+
+func (l *Lookbusy) Params() Params {
+	return Params{AccessesPerInstr: 0.05, MLP: 1, BaseCPI: 0.5}
+}
+
+func (l *Lookbusy) NextLine() uint64 {
+	v := l.lines[l.pos]
+	l.pos = (l.pos + 1) % len(l.lines)
+	return v
+}
+
+func (l *Lookbusy) Tick() {}
+
+// Idle models a VM with no workload running: it retires almost nothing
+// and touches no memory. dCat sees near-zero LLC references and
+// classifies it as a Donor (paper Fig. 7a before t1).
+type Idle struct{}
+
+func (Idle) Name() string { return "idle" }
+
+// Params reports zero memory accesses; the host skips access generation
+// entirely and retires only a token instruction stream (the guest
+// kernel's idle loop).
+func (Idle) Params() Params {
+	return Params{AccessesPerInstr: 0, MLP: 1, BaseCPI: 0.5}
+}
+
+func (Idle) NextLine() uint64 { panic("workload: Idle.NextLine called") }
+
+func (Idle) Tick() {}
+
+// Stage pairs a generator with a duration in controller intervals.
+type Stage struct {
+	Gen       Generator
+	Intervals int
+}
+
+// Phased runs a sequence of stages, switching after each stage's
+// interval count elapses. The final stage runs forever. It models a
+// workload with phase changes (paper §3.3) or a start/stop lifecycle
+// (Figs. 7a and 12).
+type Phased struct {
+	name    string
+	stages  []Stage
+	idx     int
+	elapsed int
+}
+
+// NewPhased builds a phased workload. At least one stage is required;
+// every stage but the last must have a positive duration.
+func NewPhased(name string, stages ...Stage) (*Phased, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("workload: phased %q needs at least one stage", name)
+	}
+	for i, st := range stages {
+		if st.Gen == nil {
+			return nil, fmt.Errorf("workload: phased %q stage %d has nil generator", name, i)
+		}
+		if i < len(stages)-1 && st.Intervals <= 0 {
+			return nil, fmt.Errorf("workload: phased %q stage %d needs positive duration", name, i)
+		}
+	}
+	return &Phased{name: name, stages: stages}, nil
+}
+
+func (p *Phased) Name() string { return p.name }
+
+// Current returns the active stage's generator.
+func (p *Phased) Current() Generator { return p.stages[p.idx].Gen }
+
+func (p *Phased) Params() Params { return p.Current().Params() }
+
+func (p *Phased) NextLine() uint64 { return p.Current().NextLine() }
+
+// Tick advances stage time and switches stages when one expires.
+func (p *Phased) Tick() {
+	p.Current().Tick()
+	if p.idx == len(p.stages)-1 {
+		return
+	}
+	p.elapsed++
+	if p.elapsed >= p.stages[p.idx].Intervals {
+		p.idx++
+		p.elapsed = 0
+	}
+}

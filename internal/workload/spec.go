@@ -1,0 +1,159 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/addr"
+)
+
+// MaxSimWS caps the simulated footprint of very large working sets.
+// Once a working set is several times the LLC, its exact size no longer
+// changes cache behaviour — a 128 MB region thrashes a 45 MB LLC just
+// like an 800 MB one — and capping keeps the line tables small.
+const MaxSimWS = 128 << 20
+
+// SpecProfile is a synthetic stand-in for one SPEC CPU2006 benchmark.
+//
+// The paper (§5.2, citing Gove '07 and Jaleel '07) explains Fig 17 in
+// terms of two quantities: the total working-set size (WSS) and the
+// core working set (CWSS) — the heavily reused portion. Benchmarks with
+// a high CWSS/WSS ratio (omnetpp, astar) gain the most from extra
+// ways; streaming benchmarks (lbm, libquantum) gain nothing.
+type SpecProfile struct {
+	Benchmark   string
+	WSS         uint64  // full working set in bytes
+	CWSS        uint64  // hot, heavily reused portion in bytes
+	HotFraction float64 // fraction of accesses that go to the CWSS
+	Streaming   bool    // cold accesses scan sequentially instead of randomly
+	MAPI        float64 // memory accesses per instruction
+	MLP         float64
+	BaseCPI     float64
+}
+
+// Validate checks profile sanity.
+func (p SpecProfile) Validate() error {
+	if p.Benchmark == "" {
+		return fmt.Errorf("workload: spec profile without name")
+	}
+	if p.CWSS == 0 || p.WSS < p.CWSS {
+		return fmt.Errorf("workload: %s: CWSS %d must be within WSS %d", p.Benchmark, p.CWSS, p.WSS)
+	}
+	if p.HotFraction < 0 || p.HotFraction > 1 {
+		return fmt.Errorf("workload: %s: hot fraction %f out of range", p.Benchmark, p.HotFraction)
+	}
+	return (Params{AccessesPerInstr: p.MAPI, MLP: p.MLP, BaseCPI: p.BaseCPI}).Validate()
+}
+
+// Profiles returns the 20 benchmark profiles used for the paper's
+// Fig 17 / Table 3 experiment. Working-set figures follow the published
+// characterizations; access mixes are synthetic but preserve each
+// benchmark's cache sensitivity class.
+func Profiles() []SpecProfile {
+	return []SpecProfile{
+		// High reuse, working set beyond a 4-way (9 MB) baseline: the
+		// big dCat winners.
+		{Benchmark: "omnetpp", WSS: 160 << 20, CWSS: 12 << 20, HotFraction: 0.95, MAPI: 0.35, MLP: 1.5, BaseCPI: 0.6},
+		{Benchmark: "astar", WSS: 30 << 20, CWSS: 14 << 20, HotFraction: 0.92, MAPI: 0.35, MLP: 1.2, BaseCPI: 0.6},
+		{Benchmark: "mcf", WSS: 680 << 20, CWSS: 20 << 20, HotFraction: 0.88, MAPI: 0.45, MLP: 1.2, BaseCPI: 0.7},
+		{Benchmark: "xalancbmk", WSS: 60 << 20, CWSS: 10 << 20, HotFraction: 0.85, MAPI: 0.35, MLP: 1.5, BaseCPI: 0.6},
+		{Benchmark: "soplex", WSS: 50 << 20, CWSS: 16 << 20, HotFraction: 0.82, MAPI: 0.4, MLP: 2, BaseCPI: 0.6},
+		{Benchmark: "sphinx3", WSS: 18 << 20, CWSS: 8 << 20, HotFraction: 0.8, MAPI: 0.35, MLP: 2, BaseCPI: 0.6},
+		// Moderate sensitivity: working sets near the baseline.
+		{Benchmark: "gcc", WSS: 80 << 20, CWSS: 6 << 20, HotFraction: 0.85, MAPI: 0.3, MLP: 2, BaseCPI: 0.6},
+		{Benchmark: "perlbench", WSS: 25 << 20, CWSS: 4 << 20, HotFraction: 0.9, MAPI: 0.3, MLP: 2, BaseCPI: 0.55},
+		{Benchmark: "bzip2", WSS: 8 << 20, CWSS: 4 << 20, HotFraction: 0.85, MAPI: 0.3, MLP: 2, BaseCPI: 0.55},
+		{Benchmark: "h264ref", WSS: 12 << 20, CWSS: 2 << 20, HotFraction: 0.9, MAPI: 0.3, MLP: 3, BaseCPI: 0.55},
+		{Benchmark: "zeusmp", WSS: 500 << 20, CWSS: 8 << 20, HotFraction: 0.5, MAPI: 0.35, MLP: 4, BaseCPI: 0.6},
+		{Benchmark: "cactusADM", WSS: 650 << 20, CWSS: 12 << 20, HotFraction: 0.6, MAPI: 0.35, MLP: 4, BaseCPI: 0.6},
+		{Benchmark: "leslie3d", WSS: 80 << 20, CWSS: 5 << 20, HotFraction: 0.3, Streaming: true, MAPI: 0.4, MLP: 6, BaseCPI: 0.6},
+		// Cache-insensitive: tiny hot sets that fit anywhere.
+		{Benchmark: "hmmer", WSS: 1 << 20, CWSS: 512 << 10, HotFraction: 0.95, MAPI: 0.25, MLP: 2, BaseCPI: 0.5},
+		{Benchmark: "sjeng", WSS: 170 << 20, CWSS: 1 << 20, HotFraction: 0.97, MAPI: 0.25, MLP: 2, BaseCPI: 0.5},
+		{Benchmark: "gobmk", WSS: 28 << 20, CWSS: 2 << 20, HotFraction: 0.95, MAPI: 0.25, MLP: 2, BaseCPI: 0.5},
+		// Streaming: no reuse, dCat should classify these Streaming.
+		{Benchmark: "libquantum", WSS: 32 << 20, CWSS: 1 << 20, HotFraction: 0.05, Streaming: true, MAPI: 0.45, MLP: 8, BaseCPI: 0.5},
+		{Benchmark: "lbm", WSS: 400 << 20, CWSS: 1 << 20, HotFraction: 0.05, Streaming: true, MAPI: 0.45, MLP: 8, BaseCPI: 0.5},
+		{Benchmark: "bwaves", WSS: 870 << 20, CWSS: 2 << 20, HotFraction: 0.1, Streaming: true, MAPI: 0.4, MLP: 7, BaseCPI: 0.55},
+		{Benchmark: "GemsFDTD", WSS: 800 << 20, CWSS: 2 << 20, HotFraction: 0.1, Streaming: true, MAPI: 0.4, MLP: 6, BaseCPI: 0.6},
+	}
+}
+
+// ProfileByName returns the named profile.
+func ProfileByName(name string) (SpecProfile, error) {
+	for _, p := range Profiles() {
+		if p.Benchmark == name {
+			return p, nil
+		}
+	}
+	return SpecProfile{}, fmt.Errorf("workload: unknown SPEC profile %q", name)
+}
+
+// Spec generates accesses according to a SpecProfile: hot accesses pick
+// random lines within the CWSS, cold accesses either scan the full
+// working set sequentially (Streaming) or pick random lines in it.
+type Spec struct {
+	profile SpecProfile
+	lines   []uint64 // whole (possibly capped) working set; CWSS is its prefix
+	hotN    int
+	pos     int // sequential cursor for streaming cold accesses
+	rng     *rand.Rand
+}
+
+// NewSpec instantiates a profile. Working sets beyond MaxSimWS are
+// capped (see MaxSimWS).
+func NewSpec(p SpecProfile, alloc addr.FrameAllocator, seed int64) (*Spec, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	ws := p.WSS
+	if ws > MaxSimWS {
+		ws = MaxSimWS
+	}
+	sp, err := space(ws, addr.PageSize4K, alloc)
+	if err != nil {
+		return nil, fmt.Errorf("workload: spec %s: %w", p.Benchmark, err)
+	}
+	lines := sp.PhysLines()
+	hotN := int(p.CWSS / addr.LineSize)
+	if hotN > len(lines) {
+		hotN = len(lines)
+	}
+	return &Spec{
+		profile: p,
+		lines:   lines,
+		hotN:    hotN,
+		rng:     rand.New(rand.NewSource(seed)),
+	}, nil
+}
+
+func (s *Spec) Name() string { return s.profile.Benchmark }
+
+func (s *Spec) Params() Params {
+	return Params{AccessesPerInstr: s.profile.MAPI, MLP: s.profile.MLP, BaseCPI: s.profile.BaseCPI}
+}
+
+func (s *Spec) NextLine() uint64 {
+	if s.rng.Float64() < s.profile.HotFraction {
+		return s.lines[s.rng.Intn(s.hotN)]
+	}
+	if s.profile.Streaming {
+		l := s.lines[s.pos]
+		s.pos++
+		if s.pos == len(s.lines) {
+			s.pos = 0
+		}
+		return l
+	}
+	return s.lines[s.rng.Intn(len(s.lines))]
+}
+
+func (s *Spec) Tick() {}
+
+// WorkingSetBytes implements Sized (reports the capped simulated size).
+func (s *Spec) WorkingSetBytes() uint64 {
+	return uint64(len(s.lines)) * addr.LineSize
+}
+
+// Profile returns the profile this generator was built from.
+func (s *Spec) Profile() SpecProfile { return s.profile }

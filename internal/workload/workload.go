@@ -1,0 +1,76 @@
+// Package workload models the memory behaviour of the applications the
+// dCat paper evaluates: the MLR/MLOAD microbenchmarks, lookbusy, the
+// SPEC CPU2006 suite (as synthetic profiles), and the cloud
+// applications (Redis, PostgreSQL, Elasticsearch).
+//
+// A Generator produces a stream of physical cache-line addresses plus a
+// small set of execution parameters (memory accesses per instruction,
+// memory-level parallelism, base CPI). The host simulator turns that
+// into interleaved cache traffic and per-core performance counters; the
+// dCat controller only ever sees the counters, exactly as on real
+// hardware.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/addr"
+)
+
+// Params are the execution characteristics of a workload phase.
+type Params struct {
+	// AccessesPerInstr is the number of data memory accesses issued
+	// per retired instruction (the paper estimates this from
+	// l1_ref/ret_ins).
+	AccessesPerInstr float64
+	// MLP divides memory stall cycles: overlapping misses (hardware
+	// prefetch, out-of-order execution) hide latency. A dependent
+	// pointer chase has MLP 1; a sequential scan has high MLP.
+	MLP float64
+	// BaseCPI is the cycles per instruction with a perfect memory
+	// system.
+	BaseCPI float64
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.AccessesPerInstr < 0 || p.AccessesPerInstr > 4 {
+		return fmt.Errorf("workload: accesses/instr %f out of range", p.AccessesPerInstr)
+	}
+	if p.MLP < 1 {
+		return fmt.Errorf("workload: MLP %f must be >= 1", p.MLP)
+	}
+	if p.BaseCPI <= 0 {
+		return fmt.Errorf("workload: base CPI %f must be positive", p.BaseCPI)
+	}
+	return nil
+}
+
+// Generator is a workload's memory access stream. Generators are used
+// by a single goroutine (the host simulation loop).
+type Generator interface {
+	// Name identifies the workload in telemetry.
+	Name() string
+	// Params returns the current phase's execution characteristics.
+	Params() Params
+	// NextLine returns the physical line address of the next access.
+	// It must not be called when Params().AccessesPerInstr is zero.
+	NextLine() uint64
+	// Tick advances internal time by one controller interval (used by
+	// phased workloads to switch behaviour).
+	Tick()
+}
+
+// Sized is implemented by generators with a fixed working-set size.
+type Sized interface {
+	WorkingSetBytes() uint64
+}
+
+// space builds an address space for a working set, defaulting to 4 KB
+// pages from the given allocator.
+func space(ws uint64, pageSize addr.PageSize, alloc addr.FrameAllocator) (*addr.Space, error) {
+	if alloc == nil {
+		return nil, fmt.Errorf("workload: nil frame allocator")
+	}
+	return addr.NewSpace(ws, pageSize, alloc)
+}

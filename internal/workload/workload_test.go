@@ -1,0 +1,310 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/addr"
+)
+
+func alloc() addr.FrameAllocator { return addr.NewSeqAllocator(0) }
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{AccessesPerInstr: 0.5, MLP: 1, BaseCPI: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+	bad := []Params{
+		{AccessesPerInstr: -1, MLP: 1, BaseCPI: 0.5},
+		{AccessesPerInstr: 5, MLP: 1, BaseCPI: 0.5},
+		{AccessesPerInstr: 0.5, MLP: 0.5, BaseCPI: 0.5},
+		{AccessesPerInstr: 0.5, MLP: 1, BaseCPI: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted", i)
+		}
+	}
+}
+
+func TestMLRStaysInWorkingSet(t *testing.T) {
+	ws := uint64(1 << 20)
+	m, err := NewMLR(ws, addr.PageSize4K, alloc(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.WorkingSetBytes() != ws {
+		t.Errorf("WorkingSetBytes=%d want %d", m.WorkingSetBytes(), ws)
+	}
+	maxLine := ws / addr.LineSize // sequential allocator from 0
+	for i := 0; i < 10000; i++ {
+		if l := m.NextLine(); l >= maxLine {
+			t.Fatalf("access %d beyond working set: line %d", i, l)
+		}
+	}
+	if m.Name() != "MLR-1MB" {
+		t.Errorf("Name()=%q", m.Name())
+	}
+}
+
+func TestMLRIsRandom(t *testing.T) {
+	m, _ := NewMLR(1<<20, addr.PageSize4K, alloc(), 1)
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[m.NextLine()] = true
+	}
+	if len(seen) < 500 {
+		t.Errorf("only %d distinct lines in 1000 random accesses", len(seen))
+	}
+}
+
+func TestMLRDeterministicBySeed(t *testing.T) {
+	a, _ := NewMLR(1<<20, addr.PageSize4K, alloc(), 42)
+	b, _ := NewMLR(1<<20, addr.PageSize4K, alloc(), 42)
+	for i := 0; i < 100; i++ {
+		if a.NextLine() != b.NextLine() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestMLOADIsSequentialAndCyclic(t *testing.T) {
+	ws := uint64(64 * addr.LineSize)
+	m, err := NewMLOAD(ws, addr.PageSize4K, alloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := m.NextLine()
+	for i := 1; i < 64; i++ {
+		if got := m.NextLine(); got != first+uint64(i) {
+			t.Fatalf("access %d: line %d not sequential", i, got)
+		}
+	}
+	if got := m.NextLine(); got != first {
+		t.Errorf("scan did not wrap: got %d want %d", got, first)
+	}
+}
+
+func TestLookbusyTinyFootprint(t *testing.T) {
+	l, err := NewLookbusy(alloc())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[l.NextLine()] = true
+	}
+	if len(seen) > 128 { // 8KB = 128 lines
+		t.Errorf("lookbusy touched %d lines, expected <=128", len(seen))
+	}
+	if p := l.Params(); p.AccessesPerInstr > 0.1 {
+		t.Errorf("lookbusy should be compute-bound, MAPI=%f", p.AccessesPerInstr)
+	}
+}
+
+func TestIdle(t *testing.T) {
+	var i Idle
+	if i.Params().AccessesPerInstr != 0 {
+		t.Error("idle should issue no accesses")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Idle.NextLine should panic")
+		}
+	}()
+	i.NextLine()
+}
+
+func TestPhasedSwitchesStages(t *testing.T) {
+	a, _ := NewMLR(1<<20, addr.PageSize4K, alloc(), 1)
+	p, err := NewPhased("job", Stage{Gen: Idle{}, Intervals: 2}, Stage{Gen: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Current().Name() != "idle" {
+		t.Fatal("should start idle")
+	}
+	p.Tick()
+	if p.Current().Name() != "idle" {
+		t.Fatal("should still be idle after 1 tick")
+	}
+	p.Tick()
+	if p.Current().Name() != "MLR-1MB" {
+		t.Fatalf("should have switched, at %q", p.Current().Name())
+	}
+	// Final stage runs forever.
+	for i := 0; i < 10; i++ {
+		p.Tick()
+	}
+	if p.Current().Name() != "MLR-1MB" {
+		t.Error("final stage should persist")
+	}
+	if p.Params() != a.Params() {
+		t.Error("Params should delegate to current stage")
+	}
+}
+
+func TestPhasedValidation(t *testing.T) {
+	if _, err := NewPhased("empty"); err == nil {
+		t.Error("empty phased should be rejected")
+	}
+	if _, err := NewPhased("nil", Stage{Gen: nil}); err == nil {
+		t.Error("nil generator should be rejected")
+	}
+	a, _ := NewMLR(1<<20, addr.PageSize4K, alloc(), 1)
+	if _, err := NewPhased("zero", Stage{Gen: Idle{}, Intervals: 0}, Stage{Gen: a}); err == nil {
+		t.Error("zero-duration non-final stage should be rejected")
+	}
+}
+
+func TestSpecProfilesAllValid(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 20 {
+		t.Fatalf("want 20 SPEC profiles, got %d", len(ps))
+	}
+	names := map[string]bool{}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("profile %s invalid: %v", p.Benchmark, err)
+		}
+		if names[p.Benchmark] {
+			t.Errorf("duplicate profile %s", p.Benchmark)
+		}
+		names[p.Benchmark] = true
+	}
+	// The paper's headline pair must be present and high-reuse.
+	for _, b := range []string{"omnetpp", "astar"} {
+		p, err := ProfileByName(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.HotFraction < 0.9 || p.CWSS < 9<<20 {
+			t.Errorf("%s should be a high-CWSS/WSS profile: %+v", b, p)
+		}
+	}
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("unknown profile should error")
+	}
+}
+
+func TestSpecWorkingSetCapped(t *testing.T) {
+	p, _ := ProfileByName("mcf") // 680 MB
+	s, err := NewSpec(p, addr.NewSeqAllocator(0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.WorkingSetBytes() != MaxSimWS {
+		t.Errorf("mcf sim WS=%d want cap %d", s.WorkingSetBytes(), MaxSimWS)
+	}
+	if s.Profile().WSS != 680<<20 {
+		t.Error("Profile() should keep the true WSS")
+	}
+}
+
+func TestSpecHotColdSplit(t *testing.T) {
+	p := SpecProfile{Benchmark: "t", WSS: 16 << 20, CWSS: 2 << 20, HotFraction: 0.9,
+		MAPI: 0.3, MLP: 2, BaseCPI: 0.5}
+	s, err := NewSpec(p, addr.NewSeqAllocator(0), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotLimit := uint64(2 << 20 / addr.LineSize)
+	hot := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if s.NextLine() < hotLimit {
+			hot++
+		}
+	}
+	frac := float64(hot) / n
+	// Hot fraction plus the cold accesses that land in the CWSS prefix.
+	want := 0.9 + 0.1*(2.0/16.0)
+	if frac < want-0.03 || frac > want+0.03 {
+		t.Errorf("hot access fraction %.3f want ~%.3f", frac, want)
+	}
+}
+
+func TestSpecStreamingColdIsSequential(t *testing.T) {
+	p := SpecProfile{Benchmark: "t", WSS: 4 << 20, CWSS: 64 << 10, HotFraction: 0,
+		Streaming: true, MAPI: 0.3, MLP: 4, BaseCPI: 0.5}
+	s, err := NewSpec(p, addr.NewSeqAllocator(0), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := s.NextLine()
+	for i := 0; i < 1000; i++ {
+		cur := s.NextLine()
+		if cur != prev+1 {
+			t.Fatalf("streaming access %d not sequential", i)
+		}
+		prev = cur
+	}
+}
+
+func TestSpecValidateRejects(t *testing.T) {
+	bad := SpecProfile{Benchmark: "x", WSS: 1 << 20, CWSS: 2 << 20, HotFraction: 0.5,
+		MAPI: 0.3, MLP: 2, BaseCPI: 0.5}
+	if _, err := NewSpec(bad, addr.NewSeqAllocator(0), 1); err == nil {
+		t.Error("CWSS > WSS should be rejected")
+	}
+}
+
+func TestAppsConstructAndStayInBounds(t *testing.T) {
+	builders := []func(addr.FrameAllocator, int64) (*App, error){
+		NewRedis, NewPostgres, NewElasticsearch,
+	}
+	for _, build := range builders {
+		a, err := build(addr.NewSeqAllocator(0), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Params().Validate(); err != nil {
+			t.Errorf("%s params invalid: %v", a.Name(), err)
+		}
+		if a.OpInstr <= 0 {
+			t.Errorf("%s per-op metadata missing", a.Name())
+		}
+		max := a.WorkingSetBytes() / addr.LineSize
+		for i := 0; i < 5000; i++ {
+			if l := a.NextLine(); l >= max {
+				t.Fatalf("%s access beyond data region", a.Name())
+			}
+		}
+	}
+}
+
+func TestAppZoneSkew(t *testing.T) {
+	// The first (hottest) Redis zone is 2MB of ~122MB but takes ~30%
+	// of accesses.
+	a, err := NewRedis(addr.NewSeqAllocator(0), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zone0Lines := uint64(2 << 20 / addr.LineSize)
+	hits := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		if a.NextLine() < zone0Lines {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.25 || frac > 0.35 {
+		t.Errorf("zone-0 fraction %.3f want ~0.30", frac)
+	}
+}
+
+func TestAppRejectsBadConfig(t *testing.T) {
+	p := Params{AccessesPerInstr: 0.3, MLP: 2, BaseCPI: 0.5}
+	if _, err := NewApp("x", p, nil, 1, alloc(), 1); err == nil {
+		t.Error("no zones should be rejected")
+	}
+	if _, err := NewApp("x", p, []Zone{{Bytes: 1 << 20, Weight: 1}}, 0, alloc(), 1); err == nil {
+		t.Error("zero opInstr should be rejected")
+	}
+	if _, err := NewApp("x", p, []Zone{{Bytes: 0, Weight: 1}}, 1, alloc(), 1); err == nil {
+		t.Error("empty zone should be rejected")
+	}
+	if _, err := NewApp("x", p, []Zone{{Bytes: MaxSimWS + 1, Weight: 1}}, 1, alloc(), 1); err == nil {
+		t.Error("oversized zones should be rejected")
+	}
+}
