@@ -1,0 +1,267 @@
+// Command dcat-agent is the per-host member of a dCat cluster: the
+// same control loop dcatd runs (resctrl + MSR on hardware, the
+// simulated socket in -demo mode), wrapped with cluster duties —
+// enrollment, periodic statistics reports, heartbeats, and application
+// of coordinator allocation hints.
+//
+// The coordinator is strictly optional at runtime: if it is down or
+// unreachable the agent keeps running its local dCat loop unchanged
+// and re-enrolls when the coordinator returns.
+//
+//	dcat-agent -coord http://coord:9400 -name host-a -demo
+//	dcat-agent -coord http://coord:9400 -name host-b \
+//	    -group web=0-3@4 -group batch=4-7@2 -period 1s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/httpstatus"
+	"repro/internal/msr"
+	"repro/internal/resctrl"
+)
+
+// groupFlag mirrors dcatd's repeated -group name=cpus@baseline flag.
+type groupFlag []groupSpec
+
+type groupSpec struct {
+	name     string
+	cores    []int
+	baseline int
+}
+
+func (g *groupFlag) String() string { return fmt.Sprintf("%d groups", len(*g)) }
+
+func (g *groupFlag) Set(v string) error {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=cpus@baseline, got %q", v)
+	}
+	cpus, baseStr, ok := strings.Cut(rest, "@")
+	if !ok {
+		return fmt.Errorf("want name=cpus@baseline, got %q", v)
+	}
+	cores, err := resctrl.ParseCPUList(cpus)
+	if err != nil {
+		return err
+	}
+	if len(cores) == 0 {
+		return fmt.Errorf("group %q has no cpus", name)
+	}
+	base, err := strconv.Atoi(baseStr)
+	if err != nil || base < 1 {
+		return fmt.Errorf("group %q: bad baseline %q", name, baseStr)
+	}
+	*g = append(*g, groupSpec{name: name, cores: cores, baseline: base})
+	return nil
+}
+
+func main() {
+	var groups groupFlag
+	var (
+		name      = flag.String("name", defaultName(), "agent name, unique per coordinator")
+		coord     = flag.String("coord", "", "coordinator base URL, e.g. http://coord:9400 (empty = standalone)")
+		period    = flag.Duration("period", time.Second, "controller period")
+		httpAddr  = flag.String("http", "", "serve local /status, /metrics, /healthz on this address")
+		demo      = flag.Bool("demo", false, "run the simulated socket instead of hardware")
+		intervals = flag.Int("intervals", 0, "demo length in periods (0 = until interrupted)")
+		root      = flag.String("resctrl", resctrl.DefaultRoot, "resctrl filesystem root (hardware mode)")
+		msrRoot   = flag.String("msr", "/dev/cpu", "msr device root (hardware mode)")
+		timeout   = flag.Duration("timeout", 2*time.Second, "per-request coordinator timeout")
+		retries   = flag.Int("retries", 3, "coordinator request retries (exponential backoff with jitter)")
+	)
+	flag.Var(&groups, "group", "managed group as name=cpus@baseline (repeatable, hardware mode)")
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	var client *cluster.Client
+	if *coord != "" {
+		var err error
+		client, err = cluster.NewClient(cluster.ClientConfig{
+			BaseURL:    *coord,
+			Timeout:    *timeout,
+			MaxRetries: *retries,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcat-agent:", err)
+			os.Exit(1)
+		}
+	}
+
+	var err error
+	if *demo {
+		err = runDemo(ctx, *name, client, *httpAddr, *period, *intervals)
+	} else {
+		err = runHardware(ctx, *name, client, *httpAddr, *period, *root, *msrRoot, groups)
+	}
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "dcat-agent:", err)
+		os.Exit(1)
+	}
+}
+
+func defaultName() string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return "dcat-agent"
+}
+
+// simLocal adapts a simulation to the agent's Local surface: each tick
+// advances the simulated socket one interval, then runs the
+// controller — the same path dcatd -demo drives.
+type simLocal struct {
+	sim *dcat.Simulation
+}
+
+func (s *simLocal) Tick() error             { return s.sim.Step() }
+func (s *simLocal) Ticks() int              { return s.sim.Controller().Ticks() }
+func (s *simLocal) Snapshot() []core.Status { return s.sim.Snapshot() }
+func (s *simLocal) TotalWays() int          { return s.sim.Controller().TotalWays() }
+func (s *simLocal) SetWayCap(name string, ways int) bool {
+	return s.sim.Controller().SetWayCap(name, ways)
+}
+
+// runDemo runs the agent over the simulated socket (MLR + MLOAD +
+// lookbusy tenants, as in dcatd -demo).
+func runDemo(ctx context.Context, name string, client *cluster.Client, httpAddr string, period time.Duration, intervals int) error {
+	sim, err := dcat.NewSimulation(dcat.SimConfig{})
+	if err != nil {
+		return err
+	}
+	mlr, err := sim.NewMLR(8<<20, 1)
+	if err != nil {
+		return err
+	}
+	mload, err := sim.NewMLOAD(60 << 20)
+	if err != nil {
+		return err
+	}
+	lb, err := sim.NewLookbusy()
+	if err != nil {
+		return err
+	}
+	for _, vm := range []struct {
+		name string
+		w    dcat.Workload
+	}{{"mlr", mlr}, {"mload", mload}, {"lookbusy", lb}} {
+		if err := sim.AddVM(vm.name, 2, vm.w); err != nil {
+			return err
+		}
+	}
+	baselines := make(map[string]int)
+	for _, vm := range sim.Host().VMs() {
+		baselines[vm.Name] = 3
+	}
+	if err := sim.Start(dcat.DefaultConfig(), baselines); err != nil {
+		return err
+	}
+	return runAgent(ctx, name, client, httpAddr, period, intervals, &simLocal{sim: sim})
+}
+
+// runHardware runs the agent over resctrl + MSR counters, dcatd's
+// production path.
+func runHardware(ctx context.Context, name string, client *cluster.Client, httpAddr string, period time.Duration, root, msrRoot string, groups groupFlag) error {
+	if len(groups) == 0 {
+		return fmt.Errorf("no -group flags; nothing to manage (did you mean -demo?)")
+	}
+	backend, err := dcat.NewResctrlBackend(root)
+	if err != nil {
+		return fmt.Errorf("opening resctrl (is it mounted?): %w", err)
+	}
+	var allCores []int
+	var targets []dcat.Target
+	for _, g := range groups {
+		allCores = append(allCores, g.cores...)
+		targets = append(targets, dcat.Target{Name: g.name, Cores: g.cores, BaselineWays: g.baseline})
+	}
+	counters, err := msr.Open(msr.DevFS{Root: msrRoot}, allCores)
+	if err != nil {
+		return fmt.Errorf("programming MSR counters (is the msr module loaded?): %w", err)
+	}
+	ctl, err := dcat.NewController(dcat.DefaultConfig(), backend, counters, targets)
+	if err != nil {
+		return err
+	}
+	return runAgent(ctx, name, client, httpAddr, period, 0, ctl)
+}
+
+// runAgent wraps the local loop in a cluster agent, serves local
+// status, and ticks until the context is canceled (or the demo
+// interval budget is spent).
+func runAgent(ctx context.Context, name string, client *cluster.Client, httpAddr string, period time.Duration, intervals int, local cluster.Local) error {
+	agent, err := cluster.NewAgent(cluster.AgentConfig{
+		Name:       name,
+		StatusAddr: httpAddr,
+		Client:     client,
+	}, local)
+	if err != nil {
+		return err
+	}
+	if httpAddr != "" {
+		src := httpstatus.Locked{Src: localSource{local}, Do: agent.Do}
+		srv := httpstatus.Serve(httpAddr, src)
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(sctx)
+		}()
+		fmt.Printf("dcat-agent: status on http://%s/status\n", httpAddr)
+	}
+	if client != nil {
+		fmt.Printf("dcat-agent: %q reporting to the coordinator every %s\n", name, period)
+	} else {
+		fmt.Printf("dcat-agent: %q running standalone every %s\n", name, period)
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	done := 0
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Println("dcat-agent: shutting down")
+			return nil
+		case <-ticker.C:
+			if err := agent.Tick(ctx); err != nil {
+				return err
+			}
+			if err := agent.LastErr(); err != nil {
+				fmt.Fprintln(os.Stderr, "dcat-agent: coordinator unreachable, continuing locally:", err)
+			}
+			if done++; intervals > 0 && done >= intervals {
+				return nil
+			}
+		}
+	}
+}
+
+// localSource adapts a cluster.Local to the httpstatus Source surface.
+type localSource struct {
+	l cluster.Local
+}
+
+func (s localSource) Snapshot() []core.Status { return s.l.Snapshot() }
+func (s localSource) Ticks() int              { return s.l.Ticks() }
+func (s localSource) Occupancy() (map[string]uint64, bool) {
+	type occ interface {
+		Occupancy() (map[string]uint64, bool)
+	}
+	if o, ok := s.l.(occ); ok {
+		return o.Occupancy()
+	}
+	return nil, false
+}

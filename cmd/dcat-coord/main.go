@@ -1,0 +1,69 @@
+// Command dcat-coord is the dCat cluster coordinator: one pane of
+// glass over a fleet of per-host dCat agents. Agents enroll over the
+// versioned HTTP/JSON protocol, report per-workload statistics every
+// controller period, and receive fleet-level allocation hints back.
+//
+//	dcat-coord -listen :9400 -expiry 10s
+//
+// Operators read:
+//
+//	GET /cluster             — every agent, liveness, workload categories
+//	GET /cluster/metrics     — Prometheus gauges
+//	GET /cluster/series.csv  — fleet time series
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/httpstatus"
+)
+
+func main() {
+	var (
+		listen      = flag.String("listen", ":9400", "address to serve the protocol and /cluster on")
+		expiry      = flag.Duration("expiry", 10*time.Second, "mark an agent dead after this long without a heartbeat")
+		reportEvery = flag.Int("report-every", 1, "report cadence (controller ticks) pushed to agents")
+		quorum      = flag.Int("streaming-quorum", 2, "agents that must see a workload Streaming before capping its replicas")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		HeartbeatExpiry: *expiry,
+		ReportEvery:     *reportEvery,
+		StreamingQuorum: *quorum,
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", coord.Handler())
+	mux.Handle("/cluster", httpstatus.ClusterHandler(coord))
+	mux.Handle("/cluster/", httpstatus.ClusterHandler(coord))
+
+	srv := &http.Server{Addr: *listen, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("dcat-coord: serving on %s (cluster state at /cluster, expiry %s)\n", *listen, *expiry)
+
+	select {
+	case <-ctx.Done():
+		fmt.Println("dcat-coord: shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "dcat-coord:", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -15,6 +15,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -95,23 +97,29 @@ func main() {
 		os.Exit(1)
 	}
 
+	// SIGINT/SIGTERM cancel the context; every run path winds down at
+	// the next tick and shuts its HTTP server down gracefully instead
+	// of dying mid-tick.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	var err error
 	switch {
 	case *confPath != "":
-		err = runFromConfig(*confPath)
+		err = runFromConfig(ctx, *confPath)
 	case *demo:
-		err = runDemo(cfg, *demoDir, *intervals, *httpAddr)
+		err = runDemo(ctx, cfg, *demoDir, *intervals, *httpAddr)
 	default:
-		err = runHardware(cfg, *root, *msrRoot, *period, groups, *httpAddr)
+		err = runHardware(ctx, cfg, *root, *msrRoot, *period, groups, *httpAddr)
 	}
-	if err != nil {
+	if err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "dcatd:", err)
 		os.Exit(1)
 	}
 }
 
 // runFromConfig runs hardware mode from a JSON configuration file.
-func runFromConfig(path string) error {
+func runFromConfig(ctx context.Context, path string) error {
 	f, err := daemoncfg.Load(path)
 	if err != nil {
 		return err
@@ -124,11 +132,11 @@ func runFromConfig(path string) error {
 	for _, g := range f.Groups {
 		groups = append(groups, groupSpec{name: g.Name, cores: g.Cores, baseline: g.BaselineWays})
 	}
-	return runHardware(cfg, f.ResctrlRoot, f.MSRRoot, f.PeriodDuration, groups, f.HTTP)
+	return runHardware(ctx, cfg, f.ResctrlRoot, f.MSRRoot, f.PeriodDuration, groups, f.HTTP)
 }
 
 // runHardware is the production loop: resctrl backend + MSR counters.
-func runHardware(cfg dcat.Config, root, msrRoot string, period time.Duration, groups groupFlag, httpAddr string) error {
+func runHardware(ctx context.Context, cfg dcat.Config, root, msrRoot string, period time.Duration, groups groupFlag, httpAddr string) error {
 	if len(groups) == 0 {
 		return fmt.Errorf("no -group flags; nothing to manage")
 	}
@@ -154,14 +162,12 @@ func runHardware(cfg dcat.Config, root, msrRoot string, period time.Duration, gr
 	stopHTTP := serveStatus(httpAddr, ctl, &mu)
 	defer stopHTTP()
 
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
 	ticker := time.NewTicker(period)
 	defer ticker.Stop()
 	fmt.Printf("dcatd: managing %d groups on %s every %s\n", len(groups), root, period)
 	for {
 		select {
-		case <-stop:
+		case <-ctx.Done():
 			fmt.Println("dcatd: shutting down")
 			return nil
 		case <-ticker.C:
@@ -179,7 +185,7 @@ func runHardware(cfg dcat.Config, root, msrRoot string, period time.Duration, gr
 
 // runDemo exercises the identical control path against a mock tree fed
 // by the simulator.
-func runDemo(cfg dcat.Config, dir string, intervals int, httpAddr string) error {
+func runDemo(ctx context.Context, cfg dcat.Config, dir string, intervals int, httpAddr string) error {
 	if dir == "" {
 		var err error
 		dir, err = os.MkdirTemp("", "dcatd-demo-*")
@@ -241,6 +247,10 @@ func runDemo(cfg dcat.Config, dir string, intervals int, httpAddr string) error 
 	defer stopHTTP()
 	fmt.Printf("dcatd demo: mock resctrl tree at %s\n", dir)
 	for i := 1; intervals == 0 || i <= intervals; i++ {
+		if ctx.Err() != nil {
+			fmt.Println("dcatd: shutting down")
+			return nil
+		}
 		sim.Host().RunInterval()
 		mu.Lock()
 		err := ctl.Tick()
@@ -282,7 +292,12 @@ func serveStatus(addr string, ctl *dcat.Controller, mu *sync.Mutex) func() {
 	}}
 	srv := httpstatus.Serve(addr, src)
 	fmt.Printf("dcatd: status on http://%s/status\n", addr)
-	return func() { srv.Close() }
+	return func() {
+		// Graceful shutdown: let in-flight scrapes finish.
+		sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(sctx)
+	}
 }
 
 func logSnapshot(snap []dcat.Status) {

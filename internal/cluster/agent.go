@@ -1,0 +1,287 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Local is the per-host control surface the agent drives — a
+// core.Controller (which implements it directly), or a wrapper that
+// advances a simulation before each controller tick.
+type Local interface {
+	Tick() error
+	Ticks() int
+	Snapshot() []core.Status
+	TotalWays() int
+	// SetWayCap applies a coordinator hint (0 clears); it reports
+	// whether the workload exists.
+	SetWayCap(name string, ways int) bool
+}
+
+// AgentConfig tunes a cluster agent.
+type AgentConfig struct {
+	// Name uniquely identifies this host to the coordinator.
+	Name string
+	// StatusAddr, when set, is advertised so operators can drill down
+	// from /cluster to this host's /status.
+	StatusAddr string
+	// Client talks to the coordinator. Nil means standalone: the agent
+	// is just the local loop (the degraded mode, permanently).
+	Client *Client
+	// ReportEvery is the tick cadence of full reports (default 1; the
+	// coordinator's enrollment response overrides it).
+	ReportEvery int
+	// HeartbeatEvery is the tick cadence of liveness pings on ticks
+	// with no report due (default 1).
+	HeartbeatEvery int
+}
+
+// Agent wraps a host's local dCat loop with cluster duties: enroll,
+// report, heartbeat, and hint application. The local loop never waits
+// on the coordinator — a network failure is recorded and retried, and
+// local allocation continues unchanged (graceful degradation).
+type Agent struct {
+	cfg   AgentConfig
+	local Local
+
+	// mu guards the local controller and the agent's cluster state. It
+	// is the lock the httpstatus.Locked adapter must use — Do exposes
+	// it.
+	mu       sync.Mutex
+	id       string
+	enrolled bool
+	failures int
+	lastErr  error
+	caps     map[string]int // workload -> applied cap, to clear stale ones
+}
+
+// NewAgent wires an agent around a local control loop.
+func NewAgent(cfg AgentConfig, local Local) (*Agent, error) {
+	if local == nil {
+		return nil, fmt.Errorf("cluster: agent needs a local controller")
+	}
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("cluster: agent needs a name")
+	}
+	if err := validName("agent", cfg.Name); err != nil {
+		return nil, err
+	}
+	if cfg.ReportEvery <= 0 {
+		cfg.ReportEvery = 1
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 1
+	}
+	return &Agent{cfg: cfg, local: local, caps: make(map[string]int)}, nil
+}
+
+// Do runs fn under the agent's lock — the mutual-exclusion contract
+// httpstatus.Locked needs for concurrent /status scrapes.
+func (a *Agent) Do(fn func()) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	fn()
+}
+
+// Enrolled reports whether the agent currently holds a coordinator
+// registration.
+func (a *Agent) Enrolled() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.enrolled
+}
+
+// LastErr returns the most recent cluster-communication error (nil
+// after a successful exchange). Local loop errors are returned by Tick
+// itself, not stored here.
+func (a *Agent) LastErr() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.lastErr
+}
+
+// ID returns the coordinator-assigned agent id ("" while unenrolled).
+func (a *Agent) ID() string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.id
+}
+
+// Tick runs one agent period: the local controller tick first (its
+// error is the loop's error), then cluster duties. Coordinator
+// failures never propagate — they set LastErr and the agent keeps
+// running its local dCat loop unchanged.
+func (a *Agent) Tick(ctx context.Context) error {
+	a.mu.Lock()
+	err := a.local.Tick()
+	ticks := a.local.Ticks()
+	var snap []core.Status
+	var totalWays int
+	if err == nil && a.cfg.Client != nil {
+		snap = a.local.Snapshot()
+		totalWays = a.local.TotalWays()
+	}
+	a.mu.Unlock()
+	if err != nil || a.cfg.Client == nil {
+		return err
+	}
+	a.clusterDuties(ctx, ticks, snap, totalWays)
+	return nil
+}
+
+// clusterDuties runs the network half of a tick, outside the lock.
+func (a *Agent) clusterDuties(ctx context.Context, ticks int, snap []core.Status, totalWays int) {
+	a.mu.Lock()
+	enrolled := a.enrolled
+	id := a.id
+	reportEvery, heartbeatEvery := a.cfg.ReportEvery, a.cfg.HeartbeatEvery
+	a.mu.Unlock()
+
+	if !enrolled {
+		if !a.enroll(ctx, snap, totalWays) {
+			return
+		}
+		a.mu.Lock()
+		id = a.id
+		reportEvery = a.cfg.ReportEvery
+		a.mu.Unlock()
+	}
+
+	switch {
+	case ticks%reportEvery == 0:
+		a.report(ctx, id, ticks, snap)
+	case ticks%heartbeatEvery == 0:
+		a.heartbeat(ctx, id, ticks)
+	}
+}
+
+// enroll registers with the coordinator; it reports success.
+func (a *Agent) enroll(ctx context.Context, snap []core.Status, totalWays int) bool {
+	req := &EnrollRequest{
+		Version:    ProtocolVersion,
+		Agent:      a.cfg.Name,
+		StatusAddr: a.cfg.StatusAddr,
+		TotalWays:  totalWays,
+	}
+	for _, st := range snap {
+		req.Workloads = append(req.Workloads, WorkloadSpec{Name: st.Name, BaselineWays: st.Baseline})
+	}
+	resp, err := a.cfg.Client.Enroll(ctx, req)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err != nil {
+		a.lastErr = err
+		a.failures++
+		return false
+	}
+	a.id = resp.AgentID
+	a.enrolled = true
+	a.lastErr = nil
+	a.failures = 0
+	if resp.ReportEveryTicks > 0 {
+		a.cfg.ReportEvery = resp.ReportEveryTicks
+	}
+	return true
+}
+
+// report sends one period's statistics and applies returned hints.
+func (a *Agent) report(ctx context.Context, id string, ticks int, snap []core.Status) {
+	req := &ReportRequest{Version: ProtocolVersion, AgentID: id, Tick: ticks}
+	for _, st := range snap {
+		req.Workloads = append(req.Workloads, WorkloadReport{
+			Name:         st.Name,
+			Category:     st.State.String(),
+			Ways:         st.Ways,
+			BaselineWays: st.Baseline,
+			IPC:          st.IPC,
+			NormIPC:      st.NormIPC,
+			MissRate:     st.MissRate,
+		})
+	}
+	resp, err := a.cfg.Client.Report(ctx, req)
+	if err != nil {
+		a.noteFailure(err)
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lastErr = nil
+	a.failures = 0
+	a.applyHintsLocked(resp.Hints)
+}
+
+// heartbeat sends a liveness ping.
+func (a *Agent) heartbeat(ctx context.Context, id string, ticks int) {
+	_, err := a.cfg.Client.Heartbeat(ctx, &HeartbeatRequest{
+		Version: ProtocolVersion, AgentID: id, Tick: ticks,
+	})
+	if err != nil {
+		a.noteFailure(err)
+		return
+	}
+	a.mu.Lock()
+	a.lastErr = nil
+	a.failures = 0
+	a.mu.Unlock()
+}
+
+// noteFailure records a coordinator error. ErrUnknownAgent drops the
+// enrollment so the next tick re-enrolls (the coordinator restarted);
+// anything else just counts — the existing registration may still be
+// good once the network heals.
+func (a *Agent) noteFailure(err error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lastErr = err
+	a.failures++
+	if errors.Is(err, ErrUnknownAgent) {
+		a.enrolled = false
+		a.id = ""
+	}
+}
+
+// applyHintsLocked reconciles coordinator caps with the controller:
+// new caps are installed, hints with MaxWays 0 (and workloads missing
+// from the hint set) clear previously applied caps.
+func (a *Agent) applyHintsLocked(hints []AllocationHint) {
+	desired := make(map[string]int, len(hints))
+	for _, h := range hints {
+		if h.MaxWays > 0 {
+			desired[h.Workload] = h.MaxWays
+		}
+	}
+	for name := range a.caps {
+		if _, keep := desired[name]; !keep {
+			a.local.SetWayCap(name, 0)
+			delete(a.caps, name)
+		}
+	}
+	for name, ways := range desired {
+		if a.caps[name] != ways && a.local.SetWayCap(name, ways) {
+			a.caps[name] = ways
+		}
+	}
+}
+
+// Run drives the agent on a wall-clock period until ctx is canceled.
+// A local controller error stops the loop (it means the CAT backend
+// rejected an allocation); coordinator trouble does not.
+func (a *Agent) Run(ctx context.Context, period time.Duration) error {
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			if err := a.Tick(ctx); err != nil {
+				return err
+			}
+		}
+	}
+}

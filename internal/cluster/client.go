@@ -1,0 +1,234 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ErrUnknownAgent is returned when the coordinator does not recognize
+// the caller's agent id — typically because the coordinator restarted
+// and lost its registry. The agent responds by re-enrolling.
+var ErrUnknownAgent = errors.New("cluster: coordinator does not know this agent")
+
+// ClientConfig tunes the coordinator client. The zero value gets
+// production-shaped defaults.
+type ClientConfig struct {
+	// BaseURL is the coordinator root, e.g. "http://coord:9400".
+	BaseURL string
+	// Timeout bounds each individual request attempt (default 2s).
+	Timeout time.Duration
+	// MaxRetries is how many times a failed request is retried on top
+	// of the first attempt (default 3). Only transport errors and 5xx
+	// responses retry; 4xx responses are terminal.
+	MaxRetries int
+	// Backoff is the first retry delay (default 100ms); each retry
+	// doubles it up to MaxBackoff (default 2s), plus up to 50% jitter
+	// so a fleet of agents does not retry in lockstep.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Seed drives the jitter (default 1, for reproducible tests).
+	Seed int64
+	// HTTPClient overrides the transport (default: http.Client with
+	// Timeout). Tests inject httptest clients here.
+	HTTPClient *http.Client
+	// sleep overrides the retry delay for tests.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Client speaks the agent side of the cluster protocol.
+type Client struct {
+	base  string
+	hc    *http.Client
+	cfg   ClientConfig
+	mu    sync.Mutex // guards rng
+	rng   *rand.Rand
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// NewClient builds a coordinator client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, fmt.Errorf("cluster: client needs a coordinator base URL")
+	}
+	// Catch "coord:9400" (no scheme) at construction rather than as a
+	// parse failure on every request.
+	if u, err := url.Parse(cfg.BaseURL); err != nil {
+		return nil, fmt.Errorf("cluster: coordinator URL %q: %w", cfg.BaseURL, err)
+	} else if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("cluster: coordinator URL %q must start with http:// or https://", cfg.BaseURL)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = 0
+	} else if cfg.MaxRetries == 0 {
+		cfg.MaxRetries = 3
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 2 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{}
+	}
+	sleep := cfg.sleep
+	if sleep == nil {
+		sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	return &Client{
+		base:  strings.TrimRight(cfg.BaseURL, "/"),
+		hc:    hc,
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		sleep: sleep,
+	}, nil
+}
+
+// Enroll registers the agent.
+func (c *Client) Enroll(ctx context.Context, req *EnrollRequest) (*EnrollResponse, error) {
+	var resp EnrollResponse
+	if err := c.post(ctx, PathEnroll, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Report sends one period's statistics and returns the coordinator's
+// current hints.
+func (c *Client) Report(ctx context.Context, req *ReportRequest) (*ReportResponse, error) {
+	var resp ReportResponse
+	if err := c.post(ctx, PathReport, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Heartbeat sends a liveness ping.
+func (c *Client) Heartbeat(ctx context.Context, req *HeartbeatRequest) (*HeartbeatResponse, error) {
+	var resp HeartbeatResponse
+	if err := c.post(ctx, PathHeartbeat, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// post sends one JSON request with per-attempt timeouts and
+// exponential-backoff retries.
+func (c *Client) post(ctx context.Context, path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("cluster: encoding request: %w", err)
+	}
+	var lastErr error
+	delay := c.cfg.Backoff
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.jittered(delay)); err != nil {
+				return err
+			}
+			if delay *= 2; delay > c.cfg.MaxBackoff {
+				delay = c.cfg.MaxBackoff
+			}
+		}
+		retryable, err := c.attempt(ctx, path, body, resp)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if !retryable {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+	return fmt.Errorf("cluster: %s failed after %d attempts: %w", path, c.cfg.MaxRetries+1, lastErr)
+}
+
+// attempt runs one request; the bool reports whether a failure may be
+// retried.
+func (c *Client) attempt(ctx context.Context, path string, body []byte, out any) (bool, error) {
+	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	res, err := c.hc.Do(req)
+	if err != nil {
+		return true, err // transport error: coordinator down, DNS, timeout
+	}
+	defer res.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(res.Body, MaxBodyBytes))
+	if err != nil {
+		return true, err
+	}
+	switch {
+	case res.StatusCode == http.StatusOK:
+		if err := json.Unmarshal(data, out); err != nil {
+			return false, fmt.Errorf("cluster: decoding %s response: %w", path, err)
+		}
+		return false, nil
+	case res.StatusCode == http.StatusNotFound:
+		return false, ErrUnknownAgent
+	case res.StatusCode >= 500:
+		return true, fmt.Errorf("cluster: %s: coordinator returned %d: %s",
+			path, res.StatusCode, errorMessage(data))
+	default:
+		return false, fmt.Errorf("cluster: %s: coordinator rejected request (%d): %s",
+			path, res.StatusCode, errorMessage(data))
+	}
+}
+
+// jittered adds up to 50% random slack to a retry delay.
+func (c *Client) jittered(d time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d <= 0 {
+		return d
+	}
+	return d + time.Duration(c.rng.Int63n(int64(d)/2+1))
+}
+
+// errorMessage extracts the error envelope from a response body.
+func errorMessage(data []byte) string {
+	var eb errorBody
+	if err := json.Unmarshal(data, &eb); err == nil && eb.Error != "" {
+		return eb.Error
+	}
+	s := strings.TrimSpace(string(data))
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	if s == "" {
+		s = "(no body)"
+	}
+	return s
+}

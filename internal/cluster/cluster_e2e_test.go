@@ -1,0 +1,268 @@
+// End-to-end exercise of the cluster control plane: a coordinator and
+// two agents wrapping real core.Controllers over scripted counters,
+// wired through real HTTP servers, including the operator-facing
+// /cluster endpoint. Lives in an external test package so it can
+// import httpstatus (which itself imports cluster).
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bits"
+	"repro/internal/cat"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/httpstatus"
+	"repro/internal/perf"
+)
+
+type e2eClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *e2eClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *e2eClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+type e2eBackend struct{ ways int }
+
+func (b *e2eBackend) TotalWays() int                               { return b.ways }
+func (b *e2eBackend) Apply(cos int, m bits.CBM, cores []int) error { return nil }
+
+// behavior scripts one workload's counter deltas per interval as a
+// function of its current allocation.
+type behavior func(ways int) perf.Sample
+
+// fittedBehavior is a cache-friendly workload: low miss rate, steady
+// IPC — the controller keeps it a Keeper/Donor around its baseline.
+func fittedBehavior() behavior {
+	return func(ways int) perf.Sample {
+		const retIns = 1_000_000
+		return perf.Sample{
+			L1Ref:   500_000,
+			LLCRef:  400_000,
+			LLCMiss: 4_000, // 1% — below the 3% threshold
+			RetIns:  retIns,
+			Cycles:  retIns, // IPC 1.0 regardless of ways
+		}
+	}
+}
+
+// streamBehavior never improves with more cache: high miss rate and
+// flat IPC, so the controller classifies it Streaming.
+func streamBehavior() behavior {
+	return func(ways int) perf.Sample {
+		const retIns = 1_000_000
+		return perf.Sample{
+			L1Ref:   800_000,
+			LLCRef:  600_000,
+			LLCMiss: 540_000, // 90%
+			RetIns:  retIns,
+			Cycles:  retIns * 3,
+		}
+	}
+}
+
+// host is one simulated machine: counters, a real controller, and a
+// cluster agent pointed at the coordinator.
+type host struct {
+	t         *testing.T
+	file      *perf.File
+	ctl       *core.Controller
+	agent     *cluster.Agent
+	order     []string
+	behaviors map[string]behavior
+}
+
+func newHost(t *testing.T, name, coordURL string, names []string, behaviors map[string]behavior) *host {
+	t.Helper()
+	file := perf.NewFile(len(names))
+	mgr, err := cat.NewManager(&e2eBackend{ways: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := make([]core.Target, len(names))
+	for i, n := range names {
+		targets[i] = core.Target{Name: n, Cores: []int{i}, BaselineWays: 3}
+	}
+	ctl, err := core.New(core.DefaultConfig(), mgr, file, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := cluster.NewClient(cluster.ClientConfig{
+		BaseURL: coordURL, Timeout: 2 * time.Second, MaxRetries: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := cluster.NewAgent(cluster.AgentConfig{Name: name, Client: cli}, ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &host{t: t, file: file, ctl: ctl, agent: agent, order: names, behaviors: behaviors}
+}
+
+// tick feeds one interval of counters and runs the agent (local
+// controller tick + cluster duties).
+func (h *host) tick(ctx context.Context) {
+	h.t.Helper()
+	for i, name := range h.order {
+		s := h.behaviors[name](h.ctl.Ways(name))
+		bank := h.file.Core(i)
+		bank.Add(perf.L1Hits, s.L1Ref)
+		bank.Add(perf.LLCReferences, s.LLCRef)
+		bank.Add(perf.LLCMisses, s.LLCMiss)
+		bank.Add(perf.RetiredInstructions, s.RetIns)
+		bank.Add(perf.UnhaltedCycles, s.Cycles)
+	}
+	if err := h.agent.Tick(ctx); err != nil {
+		h.t.Fatalf("agent tick: %v", err)
+	}
+}
+
+func getClusterState(t *testing.T, url string) cluster.State {
+	t.Helper()
+	resp, err := http.Get(url + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /cluster: status %d", resp.StatusCode)
+	}
+	var st cluster.State
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestClusterEndToEnd(t *testing.T) {
+	clock := &e2eClock{now: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)}
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		HeartbeatExpiry: 5 * time.Second,
+		StreamingQuorum: 2,
+		Now:             clock.Now,
+	})
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", coord.Handler())
+	mux.Handle("/cluster", httpstatus.ClusterHandler(coord))
+	mux.Handle("/cluster/", httpstatus.ClusterHandler(coord))
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	ctx := context.Background()
+	hostA := newHost(t, "host-a", srv.URL, []string{"web", "batch"},
+		map[string]behavior{"web": fittedBehavior(), "batch": streamBehavior()})
+	hostB := newHost(t, "host-b", srv.URL, []string{"web", "batch"},
+		map[string]behavior{"web": fittedBehavior(), "batch": streamBehavior()})
+
+	// Drive both hosts long enough for the Streaming classification
+	// (baseline x StreamingMult growth plus probation) to settle.
+	for i := 0; i < 15; i++ {
+		hostA.tick(ctx)
+		hostB.tick(ctx)
+	}
+
+	// (a) /cluster reports both agents' workload categories and ways.
+	st := getClusterState(t, srv.URL)
+	if st.AgentsAlive != 2 || st.AgentsTotal != 2 {
+		t.Fatalf("cluster state: alive %d total %d, want 2/2", st.AgentsAlive, st.AgentsTotal)
+	}
+	if len(st.Agents) != 2 || st.Agents[0].Name != "host-a" || st.Agents[1].Name != "host-b" {
+		t.Fatalf("agent rows: %+v", st.Agents)
+	}
+	for _, row := range st.Agents {
+		if row.TotalWays != 20 {
+			t.Errorf("%s: total ways %d, want 20", row.Name, row.TotalWays)
+		}
+		cats := map[string]cluster.WorkloadReport{}
+		for _, w := range row.Workloads {
+			cats[w.Name] = w
+		}
+		if len(cats) != 2 {
+			t.Fatalf("%s: reported workloads %+v", row.Name, row.Workloads)
+		}
+		if got := cats["batch"].Category; got != core.StateStreaming.String() {
+			t.Errorf("%s: batch category %q, want Streaming", row.Name, got)
+		}
+		if cats["web"].Ways < 1 || cats["batch"].Ways < 1 {
+			t.Errorf("%s: way counts missing: %+v", row.Name, row.Workloads)
+		}
+		// The /cluster ways must match the owning controller's view.
+		ctl := hostA.ctl
+		if row.Name == "host-b" {
+			ctl = hostB.ctl
+		}
+		for name, w := range cats {
+			if w.Ways != ctl.Ways(name) {
+				t.Errorf("%s/%s: /cluster says %d ways, controller says %d",
+					row.Name, name, w.Ways, ctl.Ways(name))
+			}
+		}
+	}
+	// Both hosts classify batch Streaming, so the quorum hint caps it
+	// at baseline on both.
+	if gotA, gotB := hostA.ctl.WayCap("batch"), hostB.ctl.WayCap("batch"); gotA != 3 || gotB != 3 {
+		t.Errorf("streaming quorum caps: host-a %d, host-b %d, want 3/3", gotA, gotB)
+	}
+
+	// (b) Killing host-b: it stops ticking, the clock passes the
+	// heartbeat expiry, and host-a keeps reporting.
+	clock.Advance(6 * time.Second)
+	tickBefore := 0
+	for i := 0; i < 3; i++ {
+		hostA.tick(ctx)
+	}
+	st = getClusterState(t, srv.URL)
+	byName := map[string]cluster.AgentState{}
+	for _, row := range st.Agents {
+		byName[row.Name] = row
+	}
+	if byName["host-b"].Alive {
+		t.Error("host-b still alive after heartbeat expiry")
+	}
+	if !byName["host-a"].Alive {
+		t.Error("host-a marked dead despite fresh reports")
+	}
+	if st.AgentsAlive != 1 {
+		t.Errorf("agents alive %d, want 1", st.AgentsAlive)
+	}
+	tickBefore = byName["host-a"].Tick
+	hostA.tick(ctx)
+	st = getClusterState(t, srv.URL)
+	for _, row := range st.Agents {
+		if row.Name == "host-a" && row.Tick <= tickBefore {
+			t.Errorf("host-a tick stuck at %d after another report", row.Tick)
+		}
+	}
+
+	// (c) Coordinator outage: host-a's local allocation loop keeps
+	// running even though every exchange now fails.
+	srv.Close()
+	localBefore := hostA.ctl.Ticks()
+	for i := 0; i < 5; i++ {
+		hostA.tick(ctx)
+	}
+	if got := hostA.ctl.Ticks(); got != localBefore+5 {
+		t.Errorf("local loop ran %d ticks during the outage, want %d", got-localBefore, 5)
+	}
+	if hostA.agent.LastErr() == nil {
+		t.Error("coordinator outage not surfaced in LastErr")
+	}
+}

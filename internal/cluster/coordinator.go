@@ -1,0 +1,357 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// CoordinatorConfig tunes the control plane. The zero value gets
+// production-shaped defaults.
+type CoordinatorConfig struct {
+	// HeartbeatExpiry is how long an agent may stay silent before the
+	// coordinator marks it dead (default 10s).
+	HeartbeatExpiry time.Duration
+	// ReportEvery is the report cadence (in controller ticks) pushed to
+	// agents at enrollment (default 1: report every tick).
+	ReportEvery int
+	// StreamingQuorum is the minimum number of alive agents that must
+	// classify a same-named workload Streaming before the coordinator
+	// hints the remaining replicas to cap at baseline (default 2).
+	StreamingQuorum int
+	// Now supplies the clock; tests inject a manual one (default
+	// time.Now).
+	Now func() time.Time
+}
+
+func (c *CoordinatorConfig) fill() {
+	if c.HeartbeatExpiry <= 0 {
+		c.HeartbeatExpiry = 10 * time.Second
+	}
+	if c.ReportEvery <= 0 {
+		c.ReportEvery = 1
+	}
+	if c.StreamingQuorum <= 0 {
+		c.StreamingQuorum = 2
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+}
+
+// agentRecord is the coordinator's view of one enrolled host.
+type agentRecord struct {
+	id         string
+	name       string
+	statusAddr string
+	totalWays  int
+	enrolledAt time.Time
+	lastSeen   time.Time
+	lastTick   int
+	workloads  []WorkloadReport
+}
+
+// Coordinator is the cluster control plane: the registry of agents,
+// their latest reports, liveness tracking, hint computation, and fleet
+// telemetry. All methods are safe for concurrent use — the HTTP
+// handlers run on server goroutines while operators read State.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu      sync.Mutex
+	agents  map[string]*agentRecord // by agent id
+	byName  map[string]string       // agent name -> current id
+	nextID  int
+	reports int // total reports accepted; also the telemetry x-axis
+	rec     *telemetry.Recorder
+}
+
+// NewCoordinator builds an empty control plane.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	cfg.fill()
+	return &Coordinator{
+		cfg:    cfg,
+		agents: make(map[string]*agentRecord),
+		byName: make(map[string]string),
+		rec:    telemetry.NewRecorder(),
+	}
+}
+
+// AgentState is one agent's row in the cluster view.
+type AgentState struct {
+	ID         string           `json:"id"`
+	Name       string           `json:"name"`
+	StatusAddr string           `json:"status_addr,omitempty"`
+	Alive      bool             `json:"alive"`
+	LastSeen   time.Time        `json:"last_seen"`
+	Tick       int              `json:"tick"`
+	TotalWays  int              `json:"total_ways"`
+	Workloads  []WorkloadReport `json:"workloads"`
+}
+
+// State is the cluster-wide snapshot served at /cluster.
+type State struct {
+	Version       int          `json:"version"`
+	AgentsAlive   int          `json:"agents_alive"`
+	AgentsTotal   int          `json:"agents_total"`
+	TotalWays     int          `json:"total_ways"`     // across alive agents
+	AllocatedWays int          `json:"allocated_ways"` // across alive agents
+	Reports       int          `json:"reports"`
+	Agents        []AgentState `json:"agents"`
+}
+
+// ClusterState snapshots the fleet, computing liveness against the
+// configured clock. Agents are sorted by name for stable output.
+func (c *Coordinator) ClusterState() State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.cfg.Now()
+	st := State{Version: ProtocolVersion, Reports: c.reports}
+	for _, rec := range c.agents {
+		alive := c.aliveLocked(rec, now)
+		as := AgentState{
+			ID:         rec.id,
+			Name:       rec.name,
+			StatusAddr: rec.statusAddr,
+			Alive:      alive,
+			LastSeen:   rec.lastSeen,
+			Tick:       rec.lastTick,
+			TotalWays:  rec.totalWays,
+			Workloads:  append([]WorkloadReport(nil), rec.workloads...),
+		}
+		st.Agents = append(st.Agents, as)
+		st.AgentsTotal++
+		if alive {
+			st.AgentsAlive++
+			st.TotalWays += rec.totalWays
+			for _, w := range rec.workloads {
+				st.AllocatedWays += w.Ways
+			}
+		}
+	}
+	sort.Slice(st.Agents, func(i, j int) bool { return st.Agents[i].Name < st.Agents[j].Name })
+	return st
+}
+
+// WriteSeriesCSV renders the fleet time series (one x per accepted
+// report) as CSV — agents alive, allocated ways, per-category workload
+// counts.
+func (c *Coordinator) WriteSeriesCSV(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rec.WriteCSV(w)
+}
+
+// WriteFleetMetrics renders the latest fleet series values as
+// Prometheus gauges.
+func (c *Coordinator) WriteFleetMetrics(w io.Writer) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rec.WritePrometheus(w, "dcat_fleet")
+}
+
+func (c *Coordinator) aliveLocked(rec *agentRecord, now time.Time) bool {
+	return now.Sub(rec.lastSeen) <= c.cfg.HeartbeatExpiry
+}
+
+// Handler returns the protocol endpoint tree (mount at "/").
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathEnroll, c.handleEnroll)
+	mux.HandleFunc(PathReport, c.handleReport)
+	mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
+	return mux
+}
+
+// readBody enforces method and size limits; nil means the response has
+// already been written.
+func readBody(w http.ResponseWriter, r *http.Request) []byte {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("cluster: %s not allowed", r.Method))
+		return nil
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, MaxBodyBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("cluster: reading body: %w", err))
+		return nil
+	}
+	if len(data) > MaxBodyBytes {
+		writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("cluster: body exceeds %d bytes", MaxBodyBytes))
+		return nil
+	}
+	return data
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) handleEnroll(w http.ResponseWriter, r *http.Request) {
+	data := readBody(w, r)
+	if data == nil {
+		return
+	}
+	req, err := DecodeEnrollRequest(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c.mu.Lock()
+	now := c.cfg.Now()
+	// Re-enrollment under the same name supersedes the old record: the
+	// agent restarted (or lost us and came back) and its previous id is
+	// dead.
+	if oldID, ok := c.byName[req.Agent]; ok {
+		delete(c.agents, oldID)
+	}
+	c.nextID++
+	id := fmt.Sprintf("agent-%d", c.nextID)
+	rec := &agentRecord{
+		id:         id,
+		name:       req.Agent,
+		statusAddr: req.StatusAddr,
+		totalWays:  req.TotalWays,
+		enrolledAt: now,
+		lastSeen:   now,
+	}
+	for _, ws := range req.Workloads {
+		rec.workloads = append(rec.workloads, WorkloadReport{
+			Name:         ws.Name,
+			Category:     "Unknown",
+			Ways:         ws.BaselineWays,
+			BaselineWays: ws.BaselineWays,
+		})
+	}
+	c.agents[id] = rec
+	c.byName[req.Agent] = id
+	expiry := c.cfg.HeartbeatExpiry
+	every := c.cfg.ReportEvery
+	c.mu.Unlock()
+	writeJSON(w, EnrollResponse{
+		Version:               ProtocolVersion,
+		AgentID:               id,
+		ReportEveryTicks:      every,
+		HeartbeatExpiryMillis: expiry.Milliseconds(),
+	})
+}
+
+func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
+	data := readBody(w, r)
+	if data == nil {
+		return
+	}
+	req, err := DecodeReportRequest(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c.mu.Lock()
+	rec, ok := c.agents[req.AgentID]
+	if !ok {
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, ErrUnknownAgent)
+		return
+	}
+	rec.lastSeen = c.cfg.Now()
+	rec.lastTick = req.Tick
+	rec.workloads = append(rec.workloads[:0], req.Workloads...)
+	c.reports++
+	c.recordFleetLocked()
+	hints := c.hintsForLocked(rec)
+	c.mu.Unlock()
+	writeJSON(w, ReportResponse{Version: ProtocolVersion, Hints: hints})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	data := readBody(w, r)
+	if data == nil {
+		return
+	}
+	req, err := DecodeHeartbeatRequest(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c.mu.Lock()
+	rec, ok := c.agents[req.AgentID]
+	if !ok {
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, ErrUnknownAgent)
+		return
+	}
+	rec.lastSeen = c.cfg.Now()
+	rec.lastTick = req.Tick
+	c.mu.Unlock()
+	writeJSON(w, HeartbeatResponse{Version: ProtocolVersion})
+}
+
+// recordFleetLocked appends one x to every fleet series. The x-axis is
+// the accepted-report sequence number, so hermetic tests need no clock.
+func (c *Coordinator) recordFleetLocked() {
+	now := c.cfg.Now()
+	x := float64(c.reports)
+	alive, allocated := 0, 0
+	categories := make(map[string]int)
+	for _, rec := range c.agents {
+		if !c.aliveLocked(rec, now) {
+			continue
+		}
+		alive++
+		for _, wl := range rec.workloads {
+			allocated += wl.Ways
+			categories[wl.Category]++
+		}
+	}
+	c.rec.Record("agents_alive", x, float64(alive))
+	c.rec.Record("ways_allocated", x, float64(allocated))
+	for cat, n := range categories {
+		c.rec.Record("category_"+cat, x, float64(n))
+	}
+}
+
+// hintsForLocked computes the coordinator's advice for one agent from
+// the fleet-wide view — the global perspective Com-CAS and LFOC argue
+// for. Current policy: when a quorum of alive agents classify a
+// same-named workload (a replicated service) as Streaming, the
+// remaining replicas are hinted to cap at their baseline instead of
+// probing up to streaming_mult x baseline on every host independently.
+// Hints always cover every workload (MaxWays 0 = no cap) so a cleared
+// condition also clears the cap on the agent.
+func (c *Coordinator) hintsForLocked(target *agentRecord) []AllocationHint {
+	now := c.cfg.Now()
+	streaming := make(map[string]int)
+	for _, rec := range c.agents {
+		if !c.aliveLocked(rec, now) {
+			continue
+		}
+		for _, wl := range rec.workloads {
+			if wl.Category == "Streaming" {
+				streaming[wl.Name]++
+			}
+		}
+	}
+	hints := make([]AllocationHint, 0, len(target.workloads))
+	for _, wl := range target.workloads {
+		h := AllocationHint{Workload: wl.Name}
+		if streaming[wl.Name] >= c.cfg.StreamingQuorum {
+			h.MaxWays = wl.BaselineWays
+			h.Reason = fmt.Sprintf("workload %q is Streaming on %d agents", wl.Name, streaming[wl.Name])
+		}
+		hints = append(hints, h)
+	}
+	return hints
+}

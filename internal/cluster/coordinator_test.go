@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// manualClock is an injectable, advanceable time source.
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{now: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+// coordRig is a coordinator behind a real HTTP server with a fake
+// clock and a protocol client.
+type coordRig struct {
+	clock *manualClock
+	coord *Coordinator
+	srv   *httptest.Server
+	cli   *Client
+}
+
+func newCoordRig(t *testing.T, cfg CoordinatorConfig) *coordRig {
+	t.Helper()
+	clock := newManualClock()
+	cfg.Now = clock.Now
+	coord := NewCoordinator(cfg)
+	srv := httptest.NewServer(coord.Handler())
+	t.Cleanup(srv.Close)
+	cli, err := NewClient(ClientConfig{BaseURL: srv.URL, Backoff: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &coordRig{clock: clock, coord: coord, srv: srv, cli: cli}
+}
+
+func (r *coordRig) enroll(t *testing.T, name string) string {
+	t.Helper()
+	req := validEnroll()
+	req.Agent = name
+	resp, err := r.cli.Enroll(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.AgentID
+}
+
+func TestCoordinatorEnrollAndState(t *testing.T) {
+	r := newCoordRig(t, CoordinatorConfig{HeartbeatExpiry: 5 * time.Second})
+	id := r.enroll(t, "host-a")
+	if id == "" {
+		t.Fatal("no agent id assigned")
+	}
+	st := r.coord.ClusterState()
+	if st.AgentsTotal != 1 || st.AgentsAlive != 1 {
+		t.Fatalf("state after enroll: %+v", st)
+	}
+	if st.Agents[0].Name != "host-a" || len(st.Agents[0].Workloads) != 2 {
+		t.Errorf("agent row wrong: %+v", st.Agents[0])
+	}
+}
+
+func TestCoordinatorReenrollSupersedes(t *testing.T) {
+	r := newCoordRig(t, CoordinatorConfig{})
+	id1 := r.enroll(t, "host-a")
+	id2 := r.enroll(t, "host-a")
+	if id1 == id2 {
+		t.Fatal("re-enrollment reused the old id")
+	}
+	st := r.coord.ClusterState()
+	if st.AgentsTotal != 1 {
+		t.Fatalf("re-enrollment duplicated the agent: %+v", st)
+	}
+	// The superseded id is dead.
+	rep := validReport()
+	rep.AgentID = id1
+	if _, err := r.cli.Report(context.Background(), rep); err == nil {
+		t.Error("superseded agent id still accepted")
+	}
+}
+
+func TestCoordinatorLivenessExpiry(t *testing.T) {
+	r := newCoordRig(t, CoordinatorConfig{HeartbeatExpiry: 5 * time.Second})
+	id := r.enroll(t, "host-a")
+	r.clock.Advance(4 * time.Second)
+	if st := r.coord.ClusterState(); st.AgentsAlive != 1 {
+		t.Fatalf("agent died before expiry: %+v", st)
+	}
+	r.clock.Advance(2 * time.Second) // 6s > 5s
+	if st := r.coord.ClusterState(); st.AgentsAlive != 0 {
+		t.Fatalf("agent alive past expiry: %+v", st)
+	}
+	// A heartbeat revives it.
+	if _, err := r.cli.Heartbeat(context.Background(), &HeartbeatRequest{
+		Version: ProtocolVersion, AgentID: id, Tick: 9,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	st := r.coord.ClusterState()
+	if st.AgentsAlive != 1 || st.Agents[0].Tick != 9 {
+		t.Fatalf("heartbeat did not revive the agent: %+v", st)
+	}
+}
+
+func TestCoordinatorStreamingQuorumHints(t *testing.T) {
+	r := newCoordRig(t, CoordinatorConfig{StreamingQuorum: 2})
+	ids := []string{r.enroll(t, "host-a"), r.enroll(t, "host-b"), r.enroll(t, "host-c")}
+
+	// Two hosts classify the replicated "batch" workload Streaming.
+	for _, id := range ids[:2] {
+		rep := &ReportRequest{
+			Version: ProtocolVersion, AgentID: id, Tick: 1,
+			Workloads: []WorkloadReport{
+				{Name: "batch", Category: "Streaming", Ways: 1, BaselineWays: 2, MissRate: 0.9},
+			},
+		}
+		if _, err := r.cli.Report(context.Background(), rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The third host still probes it as Unknown: its report response
+	// should cap "batch" at baseline.
+	rep := &ReportRequest{
+		Version: ProtocolVersion, AgentID: ids[2], Tick: 1,
+		Workloads: []WorkloadReport{
+			{Name: "batch", Category: "Unknown", Ways: 5, BaselineWays: 2, MissRate: 0.8},
+			{Name: "web", Category: "Keeper", Ways: 4, BaselineWays: 3, MissRate: 0.01},
+		},
+	}
+	resp, err := r.cli.Report(context.Background(), rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AllocationHint{}
+	for _, h := range resp.Hints {
+		byName[h.Workload] = h
+	}
+	if h := byName["batch"]; h.MaxWays != 2 {
+		t.Errorf("streaming quorum should cap batch at baseline 2, got %+v", h)
+	}
+	if h := byName["web"]; h.MaxWays != 0 {
+		t.Errorf("web should be uncapped, got %+v", h)
+	}
+}
+
+func TestCoordinatorRejectsGarbage(t *testing.T) {
+	r := newCoordRig(t, CoordinatorConfig{})
+	for _, body := range []string{"", "junk", `{"version":99}`} {
+		resp, err := r.srv.Client().Post(r.srv.URL+PathEnroll, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 400 {
+			t.Errorf("body %q got status %d, want 400", body, resp.StatusCode)
+		}
+	}
+	// Oversized body.
+	big := bytes.Repeat([]byte("x"), MaxBodyBytes+1)
+	resp, err := r.srv.Client().Post(r.srv.URL+PathEnroll, "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 413 {
+		t.Errorf("oversized body got status %d, want 413", resp.StatusCode)
+	}
+	// Wrong method.
+	get, err := r.srv.Client().Get(r.srv.URL + PathEnroll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if get.StatusCode != 405 {
+		t.Errorf("GET got status %d, want 405", get.StatusCode)
+	}
+}
+
+func TestCoordinatorFleetTelemetry(t *testing.T) {
+	r := newCoordRig(t, CoordinatorConfig{})
+	id := r.enroll(t, "host-a")
+	for tick := 1; tick <= 3; tick++ {
+		rep := validReport()
+		rep.AgentID = id
+		rep.Tick = tick
+		if _, err := r.cli.Report(context.Background(), rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var csv bytes.Buffer
+	if err := r.coord.WriteSeriesCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	out := csv.String()
+	if !strings.Contains(out, "agents_alive") || !strings.Contains(out, "ways_allocated") {
+		t.Errorf("fleet CSV missing series:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines != 4 { // header + 3 reports
+		t.Errorf("fleet CSV has %d lines, want 4:\n%s", lines, out)
+	}
+	var prom bytes.Buffer
+	if err := r.coord.WriteFleetMetrics(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), "dcat_fleet_agents_alive 1") {
+		t.Errorf("fleet metrics missing gauge:\n%s", prom.String())
+	}
+}

@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeProtocol locks in the protocol decoder's contract:
+// arbitrary bytes either decode into a message that re-validates and
+// re-encodes cleanly, or return an error — never a panic. The
+// coordinator feeds network input straight into these functions.
+func FuzzDecodeProtocol(f *testing.F) {
+	f.Add([]byte(`{"version":1,"agent":"host-a","total_ways":20,"workloads":[{"name":"web","baseline_ways":3}]}`))
+	f.Add([]byte(`{"version":1,"agent_id":"agent-1","tick":7,"workloads":[{"name":"web","category":"Receiver","ways":5,"baseline_ways":3,"ipc":1.2,"normalized_ipc":1.4,"miss_rate":0.02}]}`))
+	f.Add([]byte(`{"version":1,"agent_id":"agent-1","tick":3}`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`[{"version":1}]`))
+	f.Add([]byte(`{"version":1,"agent":"a","total_ways":1e300,"workloads":[]}`))
+	f.Add([]byte(`{"version":1,"agent":"\u0000","total_ways":2,"workloads":[{"name":"w","baseline_ways":1}]}`))
+	f.Add([]byte(`{"version":1,"agent_id":"a","tick":0,"workloads":[{"name":"w","miss_rate":-1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if req, err := DecodeEnrollRequest(data); err == nil {
+			if err := req.Validate(); err != nil {
+				t.Fatalf("decoded enrollment fails revalidation: %v", err)
+			}
+			if _, err := json.Marshal(req); err != nil {
+				t.Fatalf("decoded enrollment fails re-encoding: %v", err)
+			}
+		}
+		if req, err := DecodeReportRequest(data); err == nil {
+			if err := req.Validate(); err != nil {
+				t.Fatalf("decoded report fails revalidation: %v", err)
+			}
+			if _, err := json.Marshal(req); err != nil {
+				t.Fatalf("decoded report fails re-encoding: %v", err)
+			}
+		}
+		if req, err := DecodeHeartbeatRequest(data); err == nil {
+			if err := req.Validate(); err != nil {
+				t.Fatalf("decoded heartbeat fails revalidation: %v", err)
+			}
+		}
+	})
+}

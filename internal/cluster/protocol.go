@@ -1,0 +1,300 @@
+// Package cluster is the fleet control plane above per-host dCat
+// controllers: a coordinator that enrolls many agents (each wrapping a
+// core.Controller over a real or simulated CAT backend), collects their
+// periodic statistics reports, tracks liveness through heartbeats, and
+// pushes fleet-level allocation hints back.
+//
+// The wire protocol is versioned HTTP/JSON. Agents POST to the
+// coordinator:
+//
+//	POST /v1/enroll     — register (or re-register) a host
+//	POST /v1/report     — per-workload stats; response carries hints
+//	POST /v1/heartbeat  — cheap liveness between reports
+//
+// The protocol is strictly one-directional (agent dials coordinator),
+// so agents behind NAT or firewalls work, and a coordinator outage
+// degrades gracefully: the agent's local dCat loop never depends on a
+// round trip.
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// ProtocolVersion is the wire version both sides must speak. Version
+// mismatches are rejected at decode time; incompatible revisions bump
+// this and the /v1/ path prefix together.
+const ProtocolVersion = 1
+
+// Versioned endpoint paths.
+const (
+	PathEnroll    = "/v1/enroll"
+	PathReport    = "/v1/report"
+	PathHeartbeat = "/v1/heartbeat"
+)
+
+// MaxBodyBytes bounds any protocol message body; bigger payloads are
+// rejected before decoding.
+const MaxBodyBytes = 1 << 20
+
+// Limits on message contents, enforced by Validate.
+const (
+	maxNameLen  = 128
+	maxWorkload = 256
+	maxWays     = 1024
+)
+
+// WorkloadSpec announces one managed workload at enrollment.
+type WorkloadSpec struct {
+	Name         string `json:"name"`
+	BaselineWays int    `json:"baseline_ways"`
+}
+
+// EnrollRequest registers an agent with the coordinator.
+type EnrollRequest struct {
+	Version int    `json:"version"`
+	Agent   string `json:"agent"`
+	// StatusAddr, when set, advertises the agent's local httpstatus
+	// endpoint so operators can drill down from /cluster.
+	StatusAddr string         `json:"status_addr,omitempty"`
+	TotalWays  int            `json:"total_ways"`
+	Workloads  []WorkloadSpec `json:"workloads"`
+}
+
+// EnrollResponse acknowledges enrollment and pushes loop settings.
+type EnrollResponse struct {
+	Version int    `json:"version"`
+	AgentID string `json:"agent_id"`
+	// ReportEveryTicks is how often (in controller ticks) the
+	// coordinator wants full reports; 0 means the agent's default.
+	ReportEveryTicks int `json:"report_every_ticks"`
+	// HeartbeatExpiryMillis is the liveness window the coordinator
+	// enforces; an agent silent for longer is marked dead.
+	HeartbeatExpiryMillis int64 `json:"heartbeat_expiry_millis"`
+}
+
+// WorkloadReport is one workload's per-interval statistics, the fleet
+// counterpart of core.Status.
+type WorkloadReport struct {
+	Name         string  `json:"name"`
+	Category     string  `json:"category"` // core.State string
+	Ways         int     `json:"ways"`
+	BaselineWays int     `json:"baseline_ways"`
+	IPC          float64 `json:"ipc"`
+	NormIPC      float64 `json:"normalized_ipc"`
+	MissRate     float64 `json:"miss_rate"`
+}
+
+// ReportRequest carries one controller period's statistics.
+type ReportRequest struct {
+	Version   int              `json:"version"`
+	AgentID   string           `json:"agent_id"`
+	Tick      int              `json:"tick"`
+	Workloads []WorkloadReport `json:"workloads"`
+}
+
+// AllocationHint is coordinator advice for one workload. MaxWays caps
+// the workload's allocation (never below its contracted baseline —
+// core.SetWayCap enforces that); 0 clears a previously pushed cap.
+type AllocationHint struct {
+	Workload string `json:"workload"`
+	MaxWays  int    `json:"max_ways"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// ReportResponse acknowledges a report and returns current hints for
+// the reporting agent's workloads.
+type ReportResponse struct {
+	Version int              `json:"version"`
+	Hints   []AllocationHint `json:"hints,omitempty"`
+}
+
+// HeartbeatRequest is the cheap liveness ping between reports.
+type HeartbeatRequest struct {
+	Version int    `json:"version"`
+	AgentID string `json:"agent_id"`
+	Tick    int    `json:"tick"`
+}
+
+// HeartbeatResponse acknowledges a heartbeat.
+type HeartbeatResponse struct {
+	Version int `json:"version"`
+}
+
+// errorBody is the JSON error envelope every endpoint returns on
+// failure.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// validName rejects empty, oversized, and control-character names —
+// they end up in URLs, metrics labels, and log lines.
+func validName(kind, s string) error {
+	if s == "" {
+		return fmt.Errorf("cluster: empty %s name", kind)
+	}
+	if len(s) > maxNameLen {
+		return fmt.Errorf("cluster: %s name longer than %d bytes", kind, maxNameLen)
+	}
+	for _, r := range s {
+		if r < 0x20 || r == 0x7f {
+			return fmt.Errorf("cluster: %s name contains control character %q", kind, r)
+		}
+	}
+	return nil
+}
+
+func validVersion(v int) error {
+	if v != ProtocolVersion {
+		return fmt.Errorf("cluster: protocol version %d, want %d", v, ProtocolVersion)
+	}
+	return nil
+}
+
+// Validate checks an enrollment for protocol sanity.
+func (r *EnrollRequest) Validate() error {
+	if err := validVersion(r.Version); err != nil {
+		return err
+	}
+	if err := validName("agent", r.Agent); err != nil {
+		return err
+	}
+	if r.TotalWays < 1 || r.TotalWays > maxWays {
+		return fmt.Errorf("cluster: total ways %d out of [1,%d]", r.TotalWays, maxWays)
+	}
+	if len(r.Workloads) == 0 {
+		return fmt.Errorf("cluster: enrollment with no workloads")
+	}
+	if len(r.Workloads) > maxWorkload {
+		return fmt.Errorf("cluster: %d workloads exceeds the %d limit", len(r.Workloads), maxWorkload)
+	}
+	seen := make(map[string]bool, len(r.Workloads))
+	for _, w := range r.Workloads {
+		if err := validName("workload", w.Name); err != nil {
+			return err
+		}
+		if seen[w.Name] {
+			return fmt.Errorf("cluster: duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.BaselineWays < 1 || w.BaselineWays > r.TotalWays {
+			return fmt.Errorf("cluster: workload %q baseline %d out of [1,%d]",
+				w.Name, w.BaselineWays, r.TotalWays)
+		}
+	}
+	return nil
+}
+
+// Validate checks a stats report.
+func (r *ReportRequest) Validate() error {
+	if err := validVersion(r.Version); err != nil {
+		return err
+	}
+	if err := validName("agent id", r.AgentID); err != nil {
+		return err
+	}
+	if r.Tick < 0 {
+		return fmt.Errorf("cluster: negative tick %d", r.Tick)
+	}
+	if len(r.Workloads) > maxWorkload {
+		return fmt.Errorf("cluster: %d workloads exceeds the %d limit", len(r.Workloads), maxWorkload)
+	}
+	seen := make(map[string]bool, len(r.Workloads))
+	for _, w := range r.Workloads {
+		if err := validName("workload", w.Name); err != nil {
+			return err
+		}
+		if seen[w.Name] {
+			return fmt.Errorf("cluster: duplicate workload %q", w.Name)
+		}
+		seen[w.Name] = true
+		if w.Ways < 0 || w.Ways > maxWays {
+			return fmt.Errorf("cluster: workload %q ways %d out of [0,%d]", w.Name, w.Ways, maxWays)
+		}
+		if w.BaselineWays < 0 || w.BaselineWays > maxWays {
+			return fmt.Errorf("cluster: workload %q baseline %d out of [0,%d]",
+				w.Name, w.BaselineWays, maxWays)
+		}
+		for _, v := range []struct {
+			name string
+			val  float64
+		}{{"ipc", w.IPC}, {"normalized_ipc", w.NormIPC}, {"miss_rate", w.MissRate}} {
+			if math.IsNaN(v.val) || math.IsInf(v.val, 0) || v.val < 0 {
+				return fmt.Errorf("cluster: workload %q %s %f not a finite non-negative number",
+					w.Name, v.name, v.val)
+			}
+		}
+		if w.MissRate > 1 {
+			return fmt.Errorf("cluster: workload %q miss rate %f above 1", w.Name, w.MissRate)
+		}
+	}
+	return nil
+}
+
+// Validate checks a heartbeat.
+func (r *HeartbeatRequest) Validate() error {
+	if err := validVersion(r.Version); err != nil {
+		return err
+	}
+	if err := validName("agent id", r.AgentID); err != nil {
+		return err
+	}
+	if r.Tick < 0 {
+		return fmt.Errorf("cluster: negative tick %d", r.Tick)
+	}
+	return nil
+}
+
+// decodeStrict unmarshals one JSON message, rejecting unknown fields
+// and trailing garbage. Malformed input returns an error — never a
+// panic — which the fuzz tests lock in.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("cluster: decoding message: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("cluster: trailing data after message")
+	}
+	return nil
+}
+
+// DecodeEnrollRequest parses and validates an enrollment body.
+func DecodeEnrollRequest(data []byte) (*EnrollRequest, error) {
+	var r EnrollRequest
+	if err := decodeStrict(data, &r); err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// DecodeReportRequest parses and validates a stats-report body.
+func DecodeReportRequest(data []byte) (*ReportRequest, error) {
+	var r ReportRequest
+	if err := decodeStrict(data, &r); err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// DecodeHeartbeatRequest parses and validates a heartbeat body.
+func DecodeHeartbeatRequest(data []byte) (*HeartbeatRequest, error) {
+	var r HeartbeatRequest
+	if err := decodeStrict(data, &r); err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

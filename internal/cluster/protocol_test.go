@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func validEnroll() *EnrollRequest {
+	return &EnrollRequest{
+		Version:   ProtocolVersion,
+		Agent:     "host-a",
+		TotalWays: 20,
+		Workloads: []WorkloadSpec{{Name: "web", BaselineWays: 3}, {Name: "batch", BaselineWays: 2}},
+	}
+}
+
+func validReport() *ReportRequest {
+	return &ReportRequest{
+		Version: ProtocolVersion,
+		AgentID: "agent-1",
+		Tick:    7,
+		Workloads: []WorkloadReport{
+			{Name: "web", Category: "Receiver", Ways: 5, BaselineWays: 3, IPC: 1.2, NormIPC: 1.4, MissRate: 0.02},
+		},
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestDecodeEnrollRoundtrip(t *testing.T) {
+	req, err := DecodeEnrollRequest(mustJSON(t, validEnroll()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Agent != "host-a" || len(req.Workloads) != 2 || req.TotalWays != 20 {
+		t.Errorf("roundtrip mangled the request: %+v", req)
+	}
+}
+
+func TestDecodeEnrollRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*EnrollRequest)
+	}{
+		{"wrong version", func(r *EnrollRequest) { r.Version = 99 }},
+		{"empty agent", func(r *EnrollRequest) { r.Agent = "" }},
+		{"control chars in name", func(r *EnrollRequest) { r.Agent = "a\nb" }},
+		{"oversized name", func(r *EnrollRequest) { r.Agent = strings.Repeat("x", 200) }},
+		{"zero ways", func(r *EnrollRequest) { r.TotalWays = 0 }},
+		{"no workloads", func(r *EnrollRequest) { r.Workloads = nil }},
+		{"duplicate workloads", func(r *EnrollRequest) { r.Workloads[1].Name = r.Workloads[0].Name }},
+		{"baseline above total", func(r *EnrollRequest) { r.Workloads[0].BaselineWays = 21 }},
+		{"baseline zero", func(r *EnrollRequest) { r.Workloads[0].BaselineWays = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := validEnroll()
+			tc.mutate(req)
+			if _, err := DecodeEnrollRequest(mustJSON(t, req)); err == nil {
+				t.Error("invalid enrollment accepted")
+			}
+		})
+	}
+}
+
+func TestDecodeReportRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*ReportRequest)
+	}{
+		{"wrong version", func(r *ReportRequest) { r.Version = 0 }},
+		{"empty agent id", func(r *ReportRequest) { r.AgentID = "" }},
+		{"negative tick", func(r *ReportRequest) { r.Tick = -1 }},
+		{"negative ways", func(r *ReportRequest) { r.Workloads[0].Ways = -1 }},
+		{"huge ways", func(r *ReportRequest) { r.Workloads[0].Ways = 5000 }},
+		{"negative ipc", func(r *ReportRequest) { r.Workloads[0].IPC = -0.5 }},
+		{"miss rate above 1", func(r *ReportRequest) { r.Workloads[0].MissRate = 1.5 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := validReport()
+			tc.mutate(req)
+			if _, err := DecodeReportRequest(mustJSON(t, req)); err == nil {
+				t.Error("invalid report accepted")
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsMalformedFraming(t *testing.T) {
+	good := mustJSON(t, validReport())
+	for name, data := range map[string][]byte{
+		"empty":          []byte(""),
+		"junk":           []byte("not json at all"),
+		"truncated":      good[:len(good)/2],
+		"trailing data":  append(append([]byte{}, good...), []byte(`{"version":1}`)...),
+		"unknown fields": []byte(`{"version":1,"agent_id":"a","tick":0,"workloads":[],"extra":true}`),
+		"wrong type":     []byte(`{"version":"one","agent_id":"a","tick":0}`),
+		"nan miss rate":  []byte(`{"version":1,"agent_id":"a","tick":0,"workloads":[{"name":"w","miss_rate":NaN}]}`),
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := DecodeReportRequest(data); err == nil {
+				t.Errorf("malformed body accepted: %q", data)
+			}
+		})
+	}
+}
+
+func TestDecodeHeartbeat(t *testing.T) {
+	hb := &HeartbeatRequest{Version: ProtocolVersion, AgentID: "agent-1", Tick: 3}
+	got, err := DecodeHeartbeatRequest(mustJSON(t, hb))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AgentID != "agent-1" || got.Tick != 3 {
+		t.Errorf("roundtrip mangled the heartbeat: %+v", got)
+	}
+	if _, err := DecodeHeartbeatRequest([]byte(`{"version":1,"agent_id":""}`)); err == nil {
+		t.Error("empty agent id accepted")
+	}
+}

@@ -9,6 +9,19 @@ func (c *Controller) allocate() map[string]int {
 	total := c.mgr.TotalWays()
 	alloc := make(map[string]int, len(c.order))
 
+	// 0. Advisory caps (SetWayCap): clamp desires before anything else.
+	// Reclaims are exempt — restoring the baseline guarantee outranks
+	// any external hint — and a cap below baseline acts as baseline.
+	for _, name := range c.order {
+		w := c.ws[name]
+		if w.capWays <= 0 || w.state == StateReclaim {
+			continue
+		}
+		if limit := max(w.capWays, w.baseline); w.desire > limit {
+			w.desire = limit
+		}
+	}
+
 	// 1. Fixed assignments: reclaims at baseline, everyone else at
 	// min(desire, current) — growth is granted separately so a tight
 	// pool never lets a grower displace someone else's guarantee.
@@ -149,6 +162,15 @@ func (c *Controller) optimizeAlloc(alloc map[string]int, pool *int, total int) {
 		if max > total {
 			max = total
 		}
+		if w.capWays > 0 {
+			limit := w.capWays
+			if limit < w.baseline {
+				limit = w.baseline
+			}
+			if max > limit {
+				max = limit
+			}
+		}
 		if max < w.baseline {
 			max = w.baseline
 		}
@@ -194,7 +216,9 @@ func (c *Controller) Snapshot() []Status {
 			Baseline: w.baseline,
 			IPC:      w.lastIPC,
 			NormIPC:  norm,
+			MissRate: w.lastMiss,
 			MAPI:     w.phaseMAPI,
+			LLCRef:   w.lastLLCRef,
 		})
 	}
 	return out

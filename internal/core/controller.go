@@ -36,9 +36,15 @@ type wstate struct {
 	table       PerfTable
 	history     map[phaseKey]PerfTable
 
-	lastIPC float64
-	denied  bool // allocator could not grant last round's growth
-	jumpTo  int  // >0: performance-table reuse target (Fig 12)
+	lastIPC    float64
+	lastMiss   float64
+	lastLLCRef uint64
+	denied     bool // allocator could not grant last round's growth
+	jumpTo     int  // >0: performance-table reuse target (Fig 12)
+	// capWays, when >0, is an advisory upper bound on this workload's
+	// allocation pushed by an external authority (the cluster control
+	// plane). It never cuts into the contracted baseline.
+	capWays int
 
 	desire int // this round's requested ways
 }
@@ -115,6 +121,36 @@ func New(cfg Config, mgr *cat.Manager, counters perf.Reader, targets []Target) (
 // Ticks returns how many controller periods have run.
 func (c *Controller) Ticks() int { return c.ticks }
 
+// TotalWays returns the managed socket's LLC associativity.
+func (c *Controller) TotalWays() int { return c.mgr.TotalWays() }
+
+// SetWayCap installs an advisory upper bound on a workload's
+// allocation; ways <= 0 clears it. The cap constrains how far the
+// workload may grow (or hold) above its contracted baseline — it never
+// cuts into the baseline itself, so the §3.4 guarantee is unaffected.
+// It reports whether the workload exists. The cluster control plane
+// uses this to push fleet-level allocation hints (e.g. a workload
+// classified Streaming on most other hosts).
+func (c *Controller) SetWayCap(name string, ways int) bool {
+	w, ok := c.ws[name]
+	if !ok {
+		return false
+	}
+	if ways < 0 {
+		ways = 0
+	}
+	w.capWays = ways
+	return true
+}
+
+// WayCap returns a workload's advisory cap (0 = none).
+func (c *Controller) WayCap(name string) int {
+	if w, ok := c.ws[name]; ok {
+		return w.capWays
+	}
+	return 0
+}
+
 // observation is one interval's derived statistics for a workload.
 type observation struct {
 	sample perf.Sample
@@ -161,6 +197,8 @@ func (c *Controller) Tick() error {
 	for _, name := range c.order {
 		w := c.ws[name]
 		w.lastIPC = obs[name].ipc
+		w.lastMiss = obs[name].miss
+		w.lastLLCRef = obs[name].sample.LLCRef
 		w.prevWays = w.ways
 		w.ways = alloc[name]
 	}

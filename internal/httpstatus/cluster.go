@@ -1,0 +1,99 @@
+package httpstatus
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// ClusterSource is the coordinator-side surface the /cluster endpoints
+// read. cluster.Coordinator implements it (its methods are internally
+// locked, so no Locked adapter is needed).
+type ClusterSource interface {
+	ClusterState() cluster.State
+}
+
+// SeriesSource is optionally implemented by sources that keep fleet
+// time series (cluster.Coordinator does); it enables
+// /cluster/series.csv.
+type SeriesSource interface {
+	WriteSeriesCSV(w io.Writer) error
+}
+
+// FleetMetricsSource is optionally implemented by sources that render
+// fleet telemetry gauges; its output is appended to /cluster/metrics.
+type FleetMetricsSource interface {
+	WriteFleetMetrics(w io.Writer) error
+}
+
+// ClusterHandler serves cluster-wide state for operators and scrapers:
+//
+//	GET /cluster             — JSON: every agent, liveness, per-workload
+//	                           category / ways / IPC / miss rate
+//	GET /cluster/metrics     — Prometheus gauges for the same
+//	GET /cluster/healthz     — liveness (200 once any agent is alive)
+//	GET /cluster/series.csv  — fleet time series (when available)
+func ClusterHandler(src ClusterSource) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+		type body struct {
+			cluster.State
+			Time time.Time `json:"time"`
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(body{State: src.ClusterState(), Time: time.Now().UTC()}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/cluster/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if src.ClusterState().AgentsAlive == 0 {
+			http.Error(w, "no live agents", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/cluster/metrics", func(w http.ResponseWriter, r *http.Request) {
+		st := src.ClusterState()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fmt.Fprintln(w, "# TYPE dcat_cluster_agents gauge")
+		fmt.Fprintf(w, "dcat_cluster_agents{alive=\"true\"} %d\n", st.AgentsAlive)
+		fmt.Fprintf(w, "dcat_cluster_agents{alive=\"false\"} %d\n", st.AgentsTotal-st.AgentsAlive)
+		fmt.Fprintf(w, "# TYPE dcat_cluster_reports_total counter\ndcat_cluster_reports_total %d\n", st.Reports)
+		fmt.Fprintf(w, "# TYPE dcat_cluster_total_ways gauge\ndcat_cluster_total_ways %d\n", st.TotalWays)
+		fmt.Fprintf(w, "# TYPE dcat_cluster_allocated_ways gauge\ndcat_cluster_allocated_ways %d\n", st.AllocatedWays)
+		fmt.Fprintln(w, "# TYPE dcat_cluster_agent_tick gauge")
+		for _, a := range st.Agents {
+			fmt.Fprintf(w, "dcat_cluster_agent_tick{agent=%q,alive=\"%t\"} %d\n", a.Name, a.Alive, a.Tick)
+		}
+		fmt.Fprintln(w, "# TYPE dcat_cluster_ways gauge")
+		for _, a := range st.Agents {
+			for _, wl := range a.Workloads {
+				fmt.Fprintf(w, "dcat_cluster_ways{agent=%q,workload=%q,category=%q} %d\n",
+					a.Name, wl.Name, wl.Category, wl.Ways)
+			}
+		}
+		fmt.Fprintln(w, "# TYPE dcat_cluster_normalized_ipc gauge")
+		for _, a := range st.Agents {
+			for _, wl := range a.Workloads {
+				fmt.Fprintf(w, "dcat_cluster_normalized_ipc{agent=%q,workload=%q} %g\n",
+					a.Name, wl.Name, wl.NormIPC)
+			}
+		}
+		if fm, ok := src.(FleetMetricsSource); ok {
+			_ = fm.WriteFleetMetrics(w)
+		}
+	})
+	if ss, ok := src.(SeriesSource); ok {
+		mux.HandleFunc("/cluster/series.csv", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/csv")
+			if err := ss.WriteSeriesCSV(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+	}
+	return mux
+}

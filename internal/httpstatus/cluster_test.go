@@ -1,0 +1,160 @@
+package httpstatus
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// fakeCluster is a canned coordinator view; seriesCluster adds the
+// optional fleet-telemetry surfaces.
+type fakeCluster struct{ st cluster.State }
+
+func (f *fakeCluster) ClusterState() cluster.State { return f.st }
+
+type seriesCluster struct{ fakeCluster }
+
+func (s *seriesCluster) WriteSeriesCSV(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "x,agents_alive\n1,2")
+	return err
+}
+
+func (s *seriesCluster) WriteFleetMetrics(w io.Writer) error {
+	_, err := fmt.Fprintln(w, "dcat_fleet_agents_alive 2")
+	return err
+}
+
+func testClusterState() cluster.State {
+	return cluster.State{
+		Version:       cluster.ProtocolVersion,
+		AgentsAlive:   1,
+		AgentsTotal:   2,
+		TotalWays:     20,
+		AllocatedWays: 9,
+		Reports:       12,
+		Agents: []cluster.AgentState{
+			{
+				ID: "agent-1", Name: "host-a", Alive: true, Tick: 7, TotalWays: 20,
+				LastSeen: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC),
+				Workloads: []cluster.WorkloadReport{
+					{Name: "web", Category: "Receiver", Ways: 6, BaselineWays: 3, NormIPC: 1.4, MissRate: 0.02},
+					{Name: "batch", Category: "Streaming", Ways: 3, BaselineWays: 3, NormIPC: 1.0, MissRate: 0.9},
+				},
+			},
+			{ID: "agent-2", Name: "host-b", Alive: false, Tick: 3, TotalWays: 20},
+		},
+	}
+}
+
+func TestClusterJSON(t *testing.T) {
+	srv := httptest.NewServer(ClusterHandler(&fakeCluster{st: testClusterState()}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var body struct {
+		cluster.State
+		Time time.Time `json:"time"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.AgentsAlive != 1 || body.AgentsTotal != 2 || len(body.Agents) != 2 {
+		t.Fatalf("cluster body: %+v", body.State)
+	}
+	if body.Agents[0].Workloads[0].Category != "Receiver" {
+		t.Errorf("workload category lost: %+v", body.Agents[0].Workloads)
+	}
+	if body.Time.IsZero() {
+		t.Error("time not stamped")
+	}
+}
+
+func TestClusterMetrics(t *testing.T) {
+	src := &seriesCluster{fakeCluster{st: testClusterState()}}
+	srv := httptest.NewServer(ClusterHandler(src))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/cluster/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`dcat_cluster_agents{alive="true"} 1`,
+		`dcat_cluster_agents{alive="false"} 1`,
+		"dcat_cluster_reports_total 12",
+		"dcat_cluster_total_ways 20",
+		"dcat_cluster_allocated_ways 9",
+		`dcat_cluster_ways{agent="host-a",workload="web",category="Receiver"} 6`,
+		`dcat_cluster_normalized_ipc{agent="host-a",workload="batch"} 1`,
+		"dcat_fleet_agents_alive 2", // appended FleetMetricsSource output
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestClusterHealthz(t *testing.T) {
+	st := testClusterState()
+	src := &fakeCluster{st: st}
+	srv := httptest.NewServer(ClusterHandler(src))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/cluster/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("healthy cluster: status %d", resp.StatusCode)
+	}
+	src.st.AgentsAlive = 0
+	resp, err = srv.Client().Get(srv.URL + "/cluster/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 503 {
+		t.Errorf("dead cluster: status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestClusterSeriesCSV(t *testing.T) {
+	srv := httptest.NewServer(ClusterHandler(&seriesCluster{fakeCluster{st: testClusterState()}}))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/cluster/series.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != 200 || !strings.Contains(string(out), "agents_alive") {
+		t.Errorf("series.csv: status %d body %q", resp.StatusCode, out)
+	}
+	// Without the optional SeriesSource the endpoint 404s.
+	plain := httptest.NewServer(ClusterHandler(&fakeCluster{st: testClusterState()}))
+	defer plain.Close()
+	resp, err = plain.Client().Get(plain.URL + "/cluster/series.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Errorf("series.csv without source: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,60 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRecorder()
+	r.Record("agents_alive", 1, 2)
+	r.Record("agents_alive", 2, 3)
+	r.Record("ways allocated", 1, 17) // space must be sanitized
+	r.Record("category_Streaming", 1, 4)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf, "dcat_fleet"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE dcat_fleet_agents_alive gauge",
+		"dcat_fleet_agents_alive 3", // last value, not first
+		"dcat_fleet_ways_allocated 17",
+		"dcat_fleet_category_Streaming 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// First-recorded order is preserved.
+	if strings.Index(out, "agents_alive") > strings.Index(out, "ways_allocated") {
+		t.Errorf("series not in recorded order:\n%s", out)
+	}
+}
+
+func TestWritePrometheusEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewRecorder().WritePrometheus(&buf, "x"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("empty recorder produced output: %q", buf.String())
+	}
+}
+
+func TestSanitizeMetric(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"agents_alive", "agents_alive"},
+		{"ways allocated", "ways_allocated"},
+		{"ipc/web-0", "ipc_web_0"},
+		{"9lives", "_lives"},
+		{"a:b", "a:b"},
+	}
+	for _, tt := range tests {
+		if got := sanitizeMetric(tt.in); got != tt.want {
+			t.Errorf("sanitizeMetric(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

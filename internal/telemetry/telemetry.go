@@ -113,6 +113,43 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 	return nil
 }
 
+// WritePrometheus renders the most recent value of every series as a
+// Prometheus gauge named prefix_<series>, sanitizing series names to
+// the metric character set. Series are emitted in first-recorded
+// order. Scrapers poll it for fleet dashboards while WriteCSV keeps
+// the full history.
+func (r *Recorder) WritePrometheus(w io.Writer, prefix string) error {
+	for _, name := range r.order {
+		s := r.series[name]
+		if len(s.Points) == 0 {
+			continue
+		}
+		metric := sanitizeMetric(prefix + "_" + name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", metric, metric, s.Last().Y); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sanitizeMetric maps a series name onto [a-zA-Z0-9_:], the Prometheus
+// metric-name alphabet.
+func sanitizeMetric(s string) string {
+	out := []byte(s)
+	for i, c := range out {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out[i] = '_'
+			}
+		default:
+			out[i] = '_'
+		}
+	}
+	return string(out)
+}
+
 // Table is a paper-style results table.
 type Table struct {
 	Title   string
