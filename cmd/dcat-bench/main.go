@@ -4,52 +4,94 @@
 //
 //	dcat-bench                 # run everything at full fidelity
 //	dcat-bench -quick          # reduced scale (~4x faster)
+//	dcat-bench -j 8            # run up to 8 experiments in parallel
 //	dcat-bench -run fig10,fig17
 //	dcat-bench -out results/   # also save one file per experiment
+//	dcat-bench -json           # write per-experiment timings to BENCH_bench.json
 //	dcat-bench -list
+//
+// Experiment text goes to stdout in paper order (byte-identical for
+// any -j, since experiments are seed-isolated and results are rendered
+// in registry order); progress, timings, and the run summary go to
+// stderr. Failing experiments do not abort the run — every failure is
+// collected and reported, and the exit status is non-zero if any
+// experiment failed. -failfast restores stop-at-first-error behaviour
+// by cancelling unstarted experiments once one fails.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
 )
 
+// jsonReportPath is where -json writes per-experiment timings; the CI
+// bench step uploads it so the perf trajectory is tracked across PRs.
+const jsonReportPath = "BENCH_bench.json"
+
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "reduced simulation scale")
-		run   = flag.String("run", "", "comma-separated experiment ids (default: all)")
-		out   = flag.String("out", "", "directory to save per-experiment outputs")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		quick    = flag.Bool("quick", false, "reduced simulation scale")
+		run      = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		out      = flag.String("out", "", "directory to save per-experiment outputs")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "experiments to run in parallel")
+		jsonOut  = flag.Bool("json", false, "write per-experiment timings to "+jsonReportPath)
+		failFast = flag.Bool("failfast", false, "cancel pending experiments after the first failure")
 	)
 	flag.Parse()
-	if err := realMain(*quick, *run, *out, *list); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := realMain(ctx, config{
+		quick:    *quick,
+		run:      *run,
+		out:      *out,
+		list:     *list,
+		jobs:     *jobs,
+		jsonOut:  *jsonOut,
+		failFast: *failFast,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dcat-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(quick bool, run, out string, list bool) error {
-	if list {
+type config struct {
+	quick    bool
+	run      string
+	out      string
+	list     bool
+	jobs     int
+	jsonOut  bool
+	failFast bool
+}
+
+func realMain(ctx context.Context, cfg config) error {
+	if cfg.list {
 		for _, r := range experiments.All() {
 			fmt.Printf("%-20s %s\n", r.ID, r.Title)
 		}
 		return nil
 	}
 	opts := experiments.Default()
-	if quick {
+	if cfg.quick {
 		opts = experiments.Quick()
 	}
+	opts.Jobs = cfg.jobs // sweep-style experiments parallelize inside too
 	var runners []experiments.Runner
-	if run == "" {
+	if cfg.run == "" {
 		runners = experiments.All()
 	} else {
-		for _, id := range strings.Split(run, ",") {
+		for _, id := range strings.Split(cfg.run, ",") {
 			r, err := experiments.ByID(strings.TrimSpace(id))
 			if err != nil {
 				return err
@@ -57,25 +99,57 @@ func realMain(quick bool, run, out string, list bool) error {
 			runners = append(runners, r)
 		}
 	}
-	if out != "" {
-		if err := os.MkdirAll(out, 0o755); err != nil {
+	if cfg.out != "" {
+		if err := os.MkdirAll(cfg.out, 0o755); err != nil {
 			return err
 		}
 	}
-	for _, r := range runners {
-		start := time.Now()
-		text, err := r.Run(opts)
-		if err != nil {
-			return fmt.Errorf("%s: %w", r.ID, err)
+
+	start := time.Now()
+	results := experiments.RunAll(ctx, runners, opts, experiments.EngineConfig{
+		Jobs:     cfg.jobs,
+		FailFast: cfg.failFast,
+		Progress: func(r experiments.RunResult) {
+			if r.Err != nil {
+				fmt.Fprintf(os.Stderr, "dcat-bench: %s failed after %.1fs: %v\n",
+					r.Runner.ID, r.Elapsed.Seconds(), r.Err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "dcat-bench: %s done in %.1fs\n",
+				r.Runner.ID, r.Elapsed.Seconds())
+		},
+	})
+	total := time.Since(start)
+
+	var failed []experiments.RunResult
+	for _, r := range results {
+		if r.Err != nil {
+			failed = append(failed, r)
+			continue
 		}
-		fmt.Print(text)
-		fmt.Printf("(%s took %.1fs)\n\n", r.ID, time.Since(start).Seconds())
-		if out != "" {
-			path := filepath.Join(out, r.ID+".txt")
-			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		fmt.Print(r.Output)
+		if cfg.out != "" {
+			path := filepath.Join(cfg.out, r.Runner.ID+".txt")
+			if err := os.WriteFile(path, []byte(r.Output), 0o644); err != nil {
 				return err
 			}
 		}
+	}
+
+	if cfg.jsonOut {
+		if err := writeReport(jsonReportPath, cfg, results, total); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "dcat-bench: wrote %s\n", jsonReportPath)
+	}
+
+	fmt.Fprintf(os.Stderr, "dcat-bench: %d experiments, %d failed, %.1fs total (j=%d)\n",
+		len(results), len(failed), total.Seconds(), cfg.jobs)
+	if len(failed) > 0 {
+		for _, r := range failed {
+			fmt.Fprintf(os.Stderr, "dcat-bench: FAILED %s: %v\n", r.Runner.ID, r.Err)
+		}
+		return fmt.Errorf("%d of %d experiments failed", len(failed), len(results))
 	}
 	return nil
 }

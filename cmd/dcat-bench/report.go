@@ -1,0 +1,58 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// report is the BENCH_bench.json schema: one timing entry per
+// experiment plus enough run metadata (scale, parallelism) to compare
+// numbers across PRs.
+type report struct {
+	Timestamp    string        `json:"timestamp"`
+	Quick        bool          `json:"quick"`
+	Jobs         int           `json:"jobs"`
+	TotalSeconds float64       `json:"total_seconds"`
+	Experiments  []reportEntry `json:"experiments"`
+}
+
+type reportEntry struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+	OK      bool    `json:"ok"`
+	Error   string  `json:"error,omitempty"`
+}
+
+func buildReport(cfg config, results []experiments.RunResult, total time.Duration) report {
+	rep := report{
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+		Quick:        cfg.quick,
+		Jobs:         cfg.jobs,
+		TotalSeconds: total.Seconds(),
+	}
+	for _, r := range results {
+		e := reportEntry{
+			ID:      r.Runner.ID,
+			Title:   r.Runner.Title,
+			Seconds: r.Elapsed.Seconds(),
+			OK:      r.Err == nil,
+		}
+		if r.Err != nil {
+			e.Error = r.Err.Error()
+		}
+		rep.Experiments = append(rep.Experiments, e)
+	}
+	return rep
+}
+
+func writeReport(path string, cfg config, results []experiments.RunResult, total time.Duration) error {
+	data, err := json.MarshalIndent(buildReport(cfg, results, total), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

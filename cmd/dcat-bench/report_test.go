@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func TestWriteReport(t *testing.T) {
+	results := []experiments.RunResult{
+		{Runner: experiments.Runner{ID: "fig1", Title: "one"}, Output: "x", Elapsed: 1500 * time.Millisecond},
+		{Runner: experiments.Runner{ID: "fig2", Title: "two"}, Err: errors.New("boom"), Elapsed: time.Second},
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_bench.json")
+	cfg := config{quick: true, jobs: 4}
+	if err := writeReport(path, cfg, results, 3*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if !rep.Quick || rep.Jobs != 4 || rep.TotalSeconds != 3 {
+		t.Fatalf("metadata wrong: %+v", rep)
+	}
+	if len(rep.Experiments) != 2 {
+		t.Fatalf("got %d entries, want 2", len(rep.Experiments))
+	}
+	if e := rep.Experiments[0]; e.ID != "fig1" || !e.OK || e.Seconds != 1.5 || e.Error != "" {
+		t.Fatalf("entry 0 wrong: %+v", e)
+	}
+	if e := rep.Experiments[1]; e.ID != "fig2" || e.OK || e.Error != "boom" {
+		t.Fatalf("entry 1 wrong: %+v", e)
+	}
+}

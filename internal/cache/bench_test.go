@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"testing"
+
+	"repro/internal/bits"
+)
+
+// benchCache is an L1-like pow2 geometry (64 sets, 8 ways) so the hit
+// benchmark exercises the masked-index fast path the hierarchy takes
+// on every single access.
+func benchCache(b *testing.B, repl Replacement) *Cache {
+	b.Helper()
+	c, err := New(Config{Name: "bench", SizeBytes: 32 << 10, Ways: 8, Repl: repl})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	b.Run("hit", func(b *testing.B) {
+		c := benchCache(b, ReplLRU)
+		full := bits.FullMask(c.Ways())
+		c.Access(7, full, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Access(7, full, 0)
+		}
+		if c.Stats().Hits == 0 {
+			b.Fatal("expected hits")
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		c := benchCache(b, ReplLRU)
+		full := bits.FullMask(c.Ways())
+		// Stream over 4x the capacity so every access misses and takes
+		// the victim-selection path.
+		lines := uint64(c.Sets()*c.Ways()) * 4
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Access(uint64(i)%lines*uint64(c.Sets()), full, 0)
+		}
+	})
+	b.Run("masked", func(b *testing.B) {
+		c := benchCache(b, ReplLRU)
+		narrow := bits.MustCBM(0, 2)
+		lines := uint64(c.Sets()*c.Ways()) * 4
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Access(uint64(i)%lines*uint64(c.Sets()), narrow, 0)
+		}
+	})
+	b.Run("nonpow2-hit", func(b *testing.B) {
+		// The paper's Xeon E5 LLC geometry scaled down: 20 ways with a
+		// non-power-of-two set count, exercising the modulo path.
+		c, err := New(Config{Name: "llc", SizeBytes: 45 << 15, Ways: 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		full := bits.FullMask(c.Ways())
+		c.Access(7, full, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Access(7, full, 0)
+		}
+	})
+}
+
+func BenchmarkCacheAccessMany(b *testing.B) {
+	c := benchCache(b, ReplLRU)
+	full := bits.FullMask(c.Ways())
+	lines := make([]uint64, 4096)
+	for i := range lines {
+		lines[i] = uint64(i % 1024)
+	}
+	b.SetBytes(int64(len(lines) * LineSize))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.AccessMany(lines, full, 0)
+	}
+}
+
+// TestAccessHitPathNoAllocs pins the acceptance criterion that the hot
+// hit path never touches the heap.
+func TestAccessHitPathNoAllocs(t *testing.T) {
+	c := MustNew(Config{Name: "t", SizeBytes: 32 << 10, Ways: 8})
+	full := bits.FullMask(c.Ways())
+	c.Access(3, full, 1)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Access(3, full, 1)
+	}); n != 0 {
+		t.Fatalf("hit path allocates %v times per access, want 0", n)
+	}
+}
+
+// TestAccessSteadyMissNoAllocs guards the miss path once every mask's
+// way list is memoized: steady-state victim selection must not allocate
+// either.
+func TestAccessSteadyMissNoAllocs(t *testing.T) {
+	c := MustNew(Config{Name: "t", SizeBytes: 32 << 10, Ways: 8})
+	mask := bits.MustCBM(0, 4)
+	var i uint64
+	c.Access(0, mask, 0) // memoize the mask's way list
+	if n := testing.AllocsPerRun(1000, func() {
+		i++
+		c.Access(i*uint64(c.Sets()), mask, 0) // same set, always a miss
+	}); n != 0 {
+		t.Fatalf("steady miss path allocates %v times per access, want 0", n)
+	}
+}

@@ -60,11 +60,18 @@ type Config struct {
 }
 
 // Sets returns the number of sets implied by the geometry.
+//
+// Power-of-two set counts get a masked set-index fast path; any other
+// count falls back to a modulo per access. Both are valid geometries —
+// real parts ship both (the paper's Xeon E5 LLC has 36864 sets, 4096*9)
+// — they only differ in simulator speed.
 func (c Config) Sets() int {
 	return int(c.SizeBytes / uint64(LineSize) / uint64(c.Ways))
 }
 
-// Validate checks the geometry is usable.
+// Validate checks the geometry is usable. Non-power-of-two set counts
+// are accepted (see Sets); only zero/indivisible capacities are
+// rejected.
 func (c Config) Validate() error {
 	if c.Ways <= 0 || c.Ways > bits.MaxWays {
 		return fmt.Errorf("cache %s: ways %d out of range", c.Name, c.Ways)
@@ -119,6 +126,9 @@ type Result struct {
 type Cache struct {
 	cfg  Config
 	sets int
+	// setMask is sets-1 when sets is a power of two (masked indexing);
+	// -1 flags the modulo slow path for other geometries.
+	setMask int64
 
 	// Flat arrays indexed by set*ways+way. tags stores line+1 so the
 	// zero value means invalid.
@@ -131,6 +141,15 @@ type Cache struct {
 	clock    uint64
 	rngState uint64 // xorshift state for ReplRandom
 	stats    Stats
+
+	// Victim selection iterates the ways a CBM allows; deriving that
+	// list per miss dominates the miss path, so it is memoized per
+	// mask. lastMask/lastWays short-circuit the common case (the same
+	// core missing repeatedly under one mask); wayLists keeps every
+	// mask ever seen (a handful per socket — one per class of service).
+	lastMask bits.CBM
+	lastWays []uint8
+	wayLists map[bits.CBM][]uint8
 }
 
 // New builds a cache from cfg.
@@ -142,11 +161,16 @@ func New(cfg Config) (*Cache, error) {
 	c := &Cache{
 		cfg:      cfg,
 		sets:     cfg.Sets(),
+		setMask:  -1,
 		tags:     make([]uint64, n),
 		tick:     make([]uint64, n),
 		owner:    make([]uint16, n),
 		sharers:  make([]uint32, n),
 		rngState: uint64(cfg.Seed)*2685821657736338717 + 88172645463325252,
+		wayLists: make(map[bits.CBM][]uint8),
+	}
+	if s := c.sets; s > 0 && s&(s-1) == 0 {
+		c.setMask = int64(s - 1)
 	}
 	if cfg.Repl == ReplSRRIP {
 		c.rrpv = make([]uint8, n)
@@ -178,8 +202,38 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats clears counters without touching contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
-// SetIndex maps a line address to its set.
-func (c *Cache) SetIndex(line uint64) int { return int(line % uint64(c.sets)) }
+// Pow2Sets reports whether the set count is a power of two, i.e.
+// whether set indexing takes the masked fast path.
+func (c *Cache) Pow2Sets() bool { return c.setMask >= 0 }
+
+// SetIndex maps a line address to its set: a mask for power-of-two set
+// counts, a modulo otherwise. Both agree with line % sets.
+func (c *Cache) SetIndex(line uint64) int {
+	if c.setMask >= 0 {
+		return int(line & uint64(c.setMask))
+	}
+	return int(line % uint64(c.sets))
+}
+
+// allowedWays returns the ascending indices of the ways mask allows,
+// memoized per mask. The returned slice is shared: callers must not
+// mutate it.
+func (c *Cache) allowedWays(mask bits.CBM) []uint8 {
+	if mask == c.lastMask {
+		return c.lastWays
+	}
+	ways, ok := c.wayLists[mask]
+	if !ok {
+		for w := 0; w < c.cfg.Ways; w++ {
+			if mask.Contains(w) {
+				ways = append(ways, uint8(w))
+			}
+		}
+		c.wayLists[mask] = ways
+	}
+	c.lastMask, c.lastWays = mask, ways
+	return ways
+}
 
 // Access looks up the line (an address divided by LineSize). On a miss
 // it fills the line, evicting the least-recently-used line among the
@@ -235,6 +289,24 @@ func (c *Cache) Access(line uint64, mask bits.CBM, core uint16) Result {
 	return res
 }
 
+// AccessMany performs Access for every line in order under one mask
+// and core, and returns the stats delta for the batch. It is the
+// amortized entry point for callers that replay a burst of traffic
+// against a single cache and only need aggregate outcomes; callers
+// that react to individual evictions (e.g. inclusive hierarchies) use
+// Access per line.
+func (c *Cache) AccessMany(lines []uint64, mask bits.CBM, core uint16) Stats {
+	before := c.stats
+	for _, l := range lines {
+		c.Access(l, mask, core)
+	}
+	return Stats{
+		Hits:      c.stats.Hits - before.Hits,
+		Misses:    c.stats.Misses - before.Misses,
+		Evictions: c.stats.Evictions - before.Evictions,
+	}
+}
+
 // SRRIP constants: 2-bit RRPVs; new lines predicted "long" (2), hits
 // promoted to "near" (0), victims taken at "distant" (3).
 const (
@@ -243,45 +315,34 @@ const (
 )
 
 // selectVictim picks the way to fill within the mask, or -1 when the
-// mask is empty. Invalid ways are always preferred.
+// mask is empty. Invalid ways are always preferred. Iteration order
+// over allowed ways is ascending (via the memoized list), matching a
+// direct scan of the mask bit by bit.
 func (c *Cache) selectVictim(base int, mask bits.CBM) int {
-	allowed := 0
-	for w := 0; w < c.cfg.Ways; w++ {
-		if !mask.Contains(w) {
-			continue
-		}
-		allowed++
-		if c.tags[base+w] == 0 {
-			return w
-		}
-	}
-	if allowed == 0 {
+	ways := c.allowedWays(mask)
+	if len(ways) == 0 {
 		return -1
+	}
+	for _, w := range ways {
+		if c.tags[base+int(w)] == 0 {
+			return int(w)
+		}
 	}
 	switch c.cfg.Repl {
 	case ReplRandom:
-		k := int(c.xorshift() % uint64(allowed))
-		for w := 0; w < c.cfg.Ways; w++ {
-			if !mask.Contains(w) {
-				continue
-			}
-			if k == 0 {
-				return w
-			}
-			k--
-		}
+		return int(ways[c.xorshift()%uint64(len(ways))])
 	case ReplSRRIP:
 		for {
-			for w := 0; w < c.cfg.Ways; w++ {
-				if mask.Contains(w) && c.rrpv[base+w] == srripMax {
-					return w
+			for _, w := range ways {
+				if c.rrpv[base+int(w)] == srripMax {
+					return int(w)
 				}
 			}
 			// Age every allowed line and retry (bounded: at most
 			// srripMax rounds reach the max value).
-			for w := 0; w < c.cfg.Ways; w++ {
-				if mask.Contains(w) && c.rrpv[base+w] < srripMax {
-					c.rrpv[base+w]++
+			for _, w := range ways {
+				if c.rrpv[base+int(w)] < srripMax {
+					c.rrpv[base+int(w)]++
 				}
 			}
 		}
@@ -289,12 +350,9 @@ func (c *Cache) selectVictim(base int, mask bits.CBM) int {
 	// LRU (and the default path): oldest tick among allowed ways.
 	victim := -1
 	var victimTick uint64 = ^uint64(0)
-	for w := 0; w < c.cfg.Ways; w++ {
-		if !mask.Contains(w) {
-			continue
-		}
-		if i := base + w; c.tick[i] < victimTick {
-			victim = w
+	for _, w := range ways {
+		if i := base + int(w); c.tick[i] < victimTick {
+			victim = int(w)
 			victimTick = c.tick[i]
 		}
 	}

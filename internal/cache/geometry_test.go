@@ -1,0 +1,104 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+)
+
+// TestSetIndexGeometries pins the pow2/non-pow2 indexing split: the
+// masked fast path and the modulo fallback must both agree with
+// line % sets, on exactly the geometries the memsys presets use (the
+// pow2 L1 and the Xeon E5's non-pow2 36864-set LLC).
+func TestSetIndexGeometries(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		pow2 bool
+	}{
+		{"l1-pow2", Config{Name: "L1d", SizeBytes: 32 << 10, Ways: 8}, true},
+		{"llc-nonpow2", Config{Name: "LLC", SizeBytes: 45 << 20, Ways: 20}, false},
+		{"llc-pow2", Config{Name: "LLC", SizeBytes: 32 << 20, Ways: 16}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := MustNew(tc.cfg)
+			if got := c.Pow2Sets(); got != tc.pow2 {
+				t.Fatalf("Pow2Sets() = %v, want %v (sets=%d)", got, tc.pow2, c.Sets())
+			}
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < 10000; i++ {
+				line := rng.Uint64()
+				want := int(line % uint64(c.Sets()))
+				if got := c.SetIndex(line); got != want {
+					t.Fatalf("SetIndex(%d) = %d, want %d", line, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestAccessBehaviourMatchesAcrossGeometries replays one trace on a
+// pow2 and a same-capacity non-pow2 cache and checks both stay
+// self-consistent: every access outcome must be reproduced exactly by
+// a second identical cache fed the same trace. This guards the fast
+// paths (masked indexing, memoized way lists) against divergence from
+// the reference behaviour under mask churn.
+func TestAccessBehaviourMatchesAcrossGeometries(t *testing.T) {
+	for _, cfg := range []Config{
+		{Name: "pow2", SizeBytes: 64 << 10, Ways: 4},
+		{Name: "nonpow2", SizeBytes: 60 << 10, Ways: 4},
+	} {
+		t.Run(cfg.Name, func(t *testing.T) {
+			a, b := MustNew(cfg), MustNew(cfg)
+			masks := []bits.CBM{
+				bits.FullMask(cfg.Ways),
+				bits.MustCBM(0, 2),
+				bits.MustCBM(2, 2),
+				bits.MustCBM(1, 3),
+			}
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 50000; i++ {
+				line := rng.Uint64() % uint64(cfg.Sets()*cfg.Ways*2)
+				m := masks[rng.Intn(len(masks))]
+				core := uint16(rng.Intn(4))
+				ra, rb := a.Access(line, m, core), b.Access(line, m, core)
+				if ra != rb {
+					t.Fatalf("access %d diverged: %+v vs %+v", i, ra, rb)
+				}
+			}
+			if a.Stats() != b.Stats() {
+				t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+			}
+		})
+	}
+}
+
+// TestAccessManyMatchesAccess checks the batched entry point leaves the
+// cache in exactly the state a per-line loop produces.
+func TestAccessManyMatchesAccess(t *testing.T) {
+	cfg := Config{Name: "t", SizeBytes: 32 << 10, Ways: 8}
+	one, batch := MustNew(cfg), MustNew(cfg)
+	mask := bits.MustCBM(0, 4)
+	rng := rand.New(rand.NewSource(3))
+	lines := make([]uint64, 20000)
+	for i := range lines {
+		lines[i] = rng.Uint64() % 4096
+	}
+	for _, l := range lines {
+		one.Access(l, mask, 2)
+	}
+	delta := batch.AccessMany(lines, mask, 2)
+	if one.Stats() != batch.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", one.Stats(), batch.Stats())
+	}
+	if delta != one.Stats() {
+		t.Fatalf("batch delta %+v != total stats %+v", delta, one.Stats())
+	}
+	for _, l := range lines {
+		if one.Probe(l) != batch.Probe(l) {
+			t.Fatalf("residency diverged for line %d", l)
+		}
+	}
+}

@@ -61,6 +61,12 @@ type Options struct {
 	SteadyIntervals int
 	// Seed drives frame placement and workload randomness.
 	Seed int64
+	// Jobs bounds intra-experiment parallelism for sweep-style
+	// experiments (the SPEC sweep runs 60 independent simulations);
+	// <=1 means serial. Each sweep point builds its own host from Seed,
+	// and results are collected in sweep order, so rendered output is
+	// independent of Jobs.
+	Jobs int
 }
 
 // Default returns full-fidelity settings (dcat-bench).

@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// determinismSubset is a representative, fast slice of the registry:
+// pure set-conflict analysis (fig3), a replacement-policy sweep
+// (ablation-replacement), CAT capacity effects (fig2), the performance
+// table (table1), and a dCat-controlled streaming timeline (fig13).
+var determinismSubset = []string{"fig3", "ablation-replacement", "fig2", "table1", "fig13"}
+
+// TestParallelOutputMatchesSerial is the determinism guard for the
+// golden files under results/: the engine at -j 4 must render byte-
+// identical output to a serial run, in registry order.
+func TestParallelOutputMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	opts := Quick()
+	runners := make([]Runner, 0, len(determinismSubset))
+	for _, id := range determinismSubset {
+		r, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runners = append(runners, r)
+	}
+	render := func(jobs int) string {
+		var sb strings.Builder
+		for _, res := range RunAll(context.Background(), runners, opts, EngineConfig{Jobs: jobs}) {
+			if res.Err != nil {
+				t.Fatalf("%s: %v", res.Runner.ID, res.Err)
+			}
+			sb.WriteString(res.Output)
+		}
+		return sb.String()
+	}
+	serial := render(1)
+	parallel := render(4)
+	if serial != parallel {
+		t.Fatalf("parallel output diverges from serial:\nserial:\n%s\nparallel:\n%s",
+			serial, parallel)
+	}
+}
+
+func fakeRunner(id string, err error) Runner {
+	return Runner{ID: id, Title: id, Run: func(Options) (string, error) {
+		if err != nil {
+			return "", err
+		}
+		return id + "\n", nil
+	}}
+}
+
+// TestRunAllCollectsAllFailures checks the engine keeps going past
+// failures and reports every one, in input order.
+func TestRunAllCollectsAllFailures(t *testing.T) {
+	boom1, boom2 := errors.New("boom1"), errors.New("boom2")
+	runners := []Runner{
+		fakeRunner("a", nil),
+		fakeRunner("b", boom1),
+		fakeRunner("c", nil),
+		fakeRunner("d", boom2),
+	}
+	results := RunAll(context.Background(), runners, Quick(), EngineConfig{Jobs: 2})
+	if len(results) != len(runners) {
+		t.Fatalf("got %d results, want %d", len(results), len(runners))
+	}
+	for i, r := range results {
+		if r.Runner.ID != runners[i].ID {
+			t.Fatalf("result %d is %s, want %s (order lost)", i, r.Runner.ID, runners[i].ID)
+		}
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("healthy runners failed: %v, %v", results[0].Err, results[2].Err)
+	}
+	if !errors.Is(results[1].Err, boom1) || !errors.Is(results[3].Err, boom2) {
+		t.Fatalf("failures not preserved: %v, %v", results[1].Err, results[3].Err)
+	}
+	if results[0].Output != "a\n" || results[2].Output != "c\n" {
+		t.Fatalf("outputs lost: %q, %q", results[0].Output, results[2].Output)
+	}
+}
+
+// TestRunAllFailFast checks FailFast cancels unstarted experiments
+// after the first failure.
+func TestRunAllFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	var ran atomic.Int32
+	runners := []Runner{fakeRunner("fails", boom)}
+	for i := 0; i < 16; i++ {
+		id := fmt.Sprintf("r%d", i)
+		runners = append(runners, Runner{ID: id, Title: id, Run: func(Options) (string, error) {
+			ran.Add(1)
+			return "ok\n", nil
+		}})
+	}
+	results := RunAll(context.Background(), runners, Quick(), EngineConfig{Jobs: 1, FailFast: true})
+	if !errors.Is(results[0].Err, boom) {
+		t.Fatalf("first result: %v, want boom", results[0].Err)
+	}
+	if got := ran.Load(); got != 0 {
+		t.Fatalf("%d experiments ran after the failure with Jobs=1, want 0", got)
+	}
+	for i := 1; i < len(results); i++ {
+		if !errors.Is(results[i].Err, context.Canceled) {
+			t.Fatalf("result %d: %v, want context.Canceled", i, results[i].Err)
+		}
+	}
+}
+
+// TestSweepParallel checks every index runs exactly once for any job
+// count and that the reported error is the lowest-index failure.
+func TestSweepParallel(t *testing.T) {
+	for _, jobs := range []int{0, 1, 3, 8, 100} {
+		var ran [37]atomic.Int32
+		if err := sweepParallel(jobs, len(ran), func(i int) error {
+			ran[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		for i := range ran {
+			if got := ran[i].Load(); got != 1 {
+				t.Fatalf("jobs=%d: index %d ran %d times", jobs, i, got)
+			}
+		}
+	}
+	boom5, boom9 := errors.New("boom5"), errors.New("boom9")
+	err := sweepParallel(4, 12, func(i int) error {
+		switch i {
+		case 5:
+			return boom5
+		case 9:
+			return boom9
+		}
+		return nil
+	})
+	if !errors.Is(err, boom5) {
+		t.Fatalf("got %v, want lowest-index error boom5", err)
+	}
+}
+
+// TestFig17ParallelMatchesSerial guards the SPEC sweep's inner
+// parallelism: Jobs must not change the rendered table.
+func TestFig17ParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	opts := Quick()
+	// The smallest legal scale: this test compares two full SPEC
+	// sweeps, so fidelity is irrelevant — only equality matters.
+	opts.Cycles = 1_000_000
+	opts.SteadyIntervals = 5
+	run := func(jobs int) string {
+		o := opts
+		o.Jobs = jobs
+		res, err := Fig17SPEC(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		res.Render(&sb)
+		return sb.String()
+	}
+	if serial, parallel := run(1), run(4); serial != parallel {
+		t.Fatalf("fig17 diverges with Jobs=4:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+// TestRunAllHonoursCancelledContext checks a pre-cancelled context
+// yields no execution at all.
+func TestRunAllHonoursCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	runners := []Runner{{ID: "x", Title: "x", Run: func(Options) (string, error) {
+		ran.Add(1)
+		return "", nil
+	}}}
+	results := RunAll(ctx, runners, Quick(), EngineConfig{Jobs: 2})
+	if ran.Load() != 0 {
+		t.Fatal("experiment ran under a cancelled context")
+	}
+	if !errors.Is(results[0].Err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", results[0].Err)
+	}
+}

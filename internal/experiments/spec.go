@@ -59,32 +59,53 @@ func specRun(opts Options, profile workload.SpecProfile, mode Mode) (ipc float64
 // profiles under shared cache, static CAT, and dCat, with performance
 // (reciprocal runtime) normalized to the shared-cache run, plus the
 // ceiling way allocation dCat granted each benchmark.
+//
+// The sweep's 60 simulations (20 profiles x 3 modes) are independent —
+// each builds its own scenario from opts.Seed — so profiles run on
+// opts.Jobs workers, with rows assembled in profile order afterwards.
+// This experiment is the evaluation's long pole; without the inner
+// sweep going wide, experiment-level parallelism alone cannot beat its
+// wall time.
 func Fig17SPEC(opts Options) (*TableResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
 	}
 	tab := telemetry.NewTable("SPEC CPU2006 normalized performance (to shared cache)",
 		"benchmark", "static/shared", "dcat/shared", "dcat/static", "dcat ways (max)")
-	var statics, dcats []float64
-	for _, p := range workload.Profiles() {
+	profiles := workload.Profiles()
+	type specRow struct {
+		ns, nd float64
+		ways   int
+	}
+	rows := make([]specRow, len(profiles))
+	err := sweepParallel(opts.Jobs, len(profiles), func(i int) error {
+		p := profiles[i]
 		shared, _, err := specRun(opts, p, ModeShared)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		static, _, err := specRun(opts, p, ModeStatic)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		dcat, ways, err := specRun(opts, p, ModeDCat)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		ns, nd := static/shared, dcat/shared
-		statics = append(statics, ns)
-		dcats = append(dcats, nd)
+		rows[i] = specRow{ns: static / shared, nd: dcat / shared, ways: ways}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var statics, dcats []float64
+	for i, p := range profiles {
+		r := rows[i]
+		statics = append(statics, r.ns)
+		dcats = append(dcats, r.nd)
 		tab.AddRow(p.Benchmark,
-			fmt.Sprintf("%.2f", ns), fmt.Sprintf("%.2f", nd),
-			fmt.Sprintf("%.2f", nd/ns), fmt.Sprintf("%d", ways))
+			fmt.Sprintf("%.2f", r.ns), fmt.Sprintf("%.2f", r.nd),
+			fmt.Sprintf("%.2f", r.nd/r.ns), fmt.Sprintf("%d", r.ways))
 	}
 	gmStatic := telemetry.GeoMean(statics)
 	gmDcat := telemetry.GeoMean(dcats)

@@ -114,6 +114,7 @@ type Host struct {
 	vms      []*VM
 	nextCore int
 	interval int
+	lineBuf  []uint64 // reused per block for batched memory access
 }
 
 // New builds a host.
@@ -212,18 +213,23 @@ func (h *Host) runBlock(vm *VM) IntervalMetrics {
 		return m
 	}
 	accesses := uint64(float64(instr) * p.AccessesPerInstr)
-	var latSum uint64
+	// Draw the block's whole line stream first, then replay it through
+	// the hierarchy in one batched call: generators never read cache
+	// state, so the split is behaviourally identical to interleaving
+	// and lets memsys amortize its per-access bookkeeping.
+	if uint64(cap(h.lineBuf)) < accesses {
+		h.lineBuf = make([]uint64, accesses)
+	}
+	buf := h.lineBuf[:accesses]
+	for i := range buf {
+		buf[i] = vm.Gen.NextLine()
+	}
 	if vm.observer != nil {
-		for i := uint64(0); i < accesses; i++ {
-			line := vm.Gen.NextLine()
+		for _, line := range buf {
 			vm.observer.Observe(line)
-			latSum += h.sys.Access(core, line)
-		}
-	} else {
-		for i := uint64(0); i < accesses; i++ {
-			latSum += h.sys.Access(core, vm.Gen.NextLine())
 		}
 	}
+	latSum := h.sys.AccessMany(core, buf)
 	m.Accesses = accesses
 	m.LatencySum = latSum
 	stall := float64(latSum) / p.MLP

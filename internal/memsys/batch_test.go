@@ -1,0 +1,61 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/perf"
+)
+
+// TestAccessManyMatchesPerAccess replays one interleaved multi-core
+// trace through Access and through AccessMany and requires identical
+// latency sums, counter banks, and LLC statistics — the property the
+// host relies on when it batches each block's traffic.
+func TestAccessManyMatchesPerAccess(t *testing.T) {
+	cfg := XeonD()
+	one := MustNew(cfg)
+	batch := MustNew(cfg)
+	for core := 0; core < 4; core++ {
+		m := bits.MustCBM(core*3, 3)
+		if err := one.SetMask(core, m); err != nil {
+			t.Fatal(err)
+		}
+		if err := batch.SetMask(core, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(11))
+	for block := 0; block < 50; block++ {
+		core := block % 4
+		lines := make([]uint64, 2000)
+		for i := range lines {
+			// Overlapping working sets force cross-core LLC evictions
+			// and the inclusive back-invalidation path.
+			lines[i] = rng.Uint64() % 200_000
+		}
+		var wantLat uint64
+		for _, l := range lines {
+			wantLat += one.Access(core, l)
+		}
+		gotLat := batch.AccessMany(core, lines)
+		if gotLat != wantLat {
+			t.Fatalf("block %d: latency %d != %d", block, gotLat, wantLat)
+		}
+	}
+
+	for core := 0; core < cfg.Cores; core++ {
+		for e := perf.Event(0); int(e) < perf.NumEvents; e++ {
+			a := one.Counters().ReadCounter(core, e)
+			b := batch.Counters().ReadCounter(core, e)
+			if a != b {
+				t.Fatalf("core %d %s: %d != %d", core, e, a, b)
+			}
+		}
+	}
+	if one.LLC().Stats() != batch.LLC().Stats() {
+		t.Fatalf("LLC stats diverged: %+v vs %+v",
+			one.LLC().Stats(), batch.LLC().Stats())
+	}
+}

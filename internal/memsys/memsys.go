@@ -79,11 +79,12 @@ func (c Config) Validate() error {
 // System is one socket's memory hierarchy. Not safe for concurrent use;
 // the host interleaves core accesses deterministically.
 type System struct {
-	cfg   Config
-	l1    []*cache.Cache
-	llc   *cache.Cache
-	ctrs  *perf.File
-	masks []bits.CBM // per-core LLC fill mask (the CAT knob)
+	cfg    Config
+	l1     []*cache.Cache
+	llc    *cache.Cache
+	ctrs   *perf.File
+	masks  []bits.CBM // per-core LLC fill mask (the CAT knob)
+	l1Full bits.CBM   // full L1 mask, hoisted off the access path
 }
 
 // New builds the hierarchy. All cores start with the full LLC mask
@@ -93,11 +94,12 @@ func New(cfg Config) (*System, error) {
 		return nil, err
 	}
 	s := &System{
-		cfg:   cfg,
-		l1:    make([]*cache.Cache, cfg.Cores),
-		llc:   cache.MustNew(cfg.LLC),
-		ctrs:  perf.NewFile(cfg.Cores),
-		masks: make([]bits.CBM, cfg.Cores),
+		cfg:    cfg,
+		l1:     make([]*cache.Cache, cfg.Cores),
+		llc:    cache.MustNew(cfg.LLC),
+		ctrs:   perf.NewFile(cfg.Cores),
+		masks:  make([]bits.CBM, cfg.Cores),
+		l1Full: bits.FullMask(cfg.L1.Ways),
 	}
 	full := bits.FullMask(cfg.LLC.Ways)
 	for i := range s.l1 {
@@ -147,7 +149,7 @@ func (s *System) Mask(core int) bits.CBM { return s.masks[core] }
 func (s *System) Access(core int, line uint64) uint64 {
 	bank := s.ctrs.Core(core)
 	l1 := s.l1[core]
-	if r := l1.Access(line, bits.FullMask(s.cfg.L1.Ways), uint16(core)); r.Hit {
+	if r := l1.Access(line, s.l1Full, uint16(core)); r.Hit {
 		bank.Add(perf.L1Hits, 1)
 		return s.cfg.Lat.L1Hit
 	}
@@ -158,17 +160,58 @@ func (s *System) Access(core int, line uint64) uint64 {
 		return s.cfg.Lat.LLCHit
 	}
 	bank.Add(perf.LLCMisses, 1)
-	if r.Evicted {
-		// Inclusivity: drop the victim from the L1 of every core that
-		// touched it while it was LLC-resident.
-		for sh := r.EvictedSharers; sh != 0; sh &= sh - 1 {
-			c := mbits.TrailingZeros32(sh)
-			if c < len(s.l1) {
-				s.l1[c].Invalidate(r.EvictedLine)
-			}
+	s.backInvalidate(r)
+	return s.cfg.Lat.DRAM
+}
+
+// backInvalidate enforces inclusion after an LLC eviction: the victim
+// is dropped from the L1 of every core that touched it while resident.
+func (s *System) backInvalidate(r cache.Result) {
+	if !r.Evicted {
+		return
+	}
+	for sh := r.EvictedSharers; sh != 0; sh &= sh - 1 {
+		c := mbits.TrailingZeros32(sh)
+		if c < len(s.l1) {
+			s.l1[c].Invalidate(r.EvictedLine)
 		}
 	}
-	return s.cfg.Lat.DRAM
+}
+
+// AccessMany replays lines in order on core and returns the summed
+// latency. It is behaviourally identical to calling Access per line —
+// same cache state, same counter totals, same latency sum — but hoists
+// the per-access bank/L1/mask lookups and batches the counter updates,
+// which is what makes the host's interval loop cheap.
+func (s *System) AccessMany(core int, lines []uint64) uint64 {
+	bank := s.ctrs.Core(core)
+	l1 := s.l1[core]
+	l1Mask := s.l1Full
+	llcMask := s.masks[core]
+	c16 := uint16(core)
+	lat := s.cfg.Lat
+	var latSum, l1Hits, l1Misses, llcMisses uint64
+	for _, line := range lines {
+		if r := l1.Access(line, l1Mask, c16); r.Hit {
+			l1Hits++
+			latSum += lat.L1Hit
+			continue
+		}
+		l1Misses++
+		r := s.llc.Access(line, llcMask, c16)
+		if r.Hit {
+			latSum += lat.LLCHit
+			continue
+		}
+		llcMisses++
+		latSum += lat.DRAM
+		s.backInvalidate(r)
+	}
+	bank.Add(perf.L1Hits, l1Hits)
+	bank.Add(perf.L1Misses, l1Misses)
+	bank.Add(perf.LLCReferences, l1Misses)
+	bank.Add(perf.LLCMisses, llcMisses)
+	return latSum
 }
 
 // Retire accounts n retired instructions and the given unhalted cycles
