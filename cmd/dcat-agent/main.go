@@ -30,8 +30,20 @@ import (
 	"repro/internal/core"
 	"repro/internal/httpstatus"
 	"repro/internal/msr"
+	"repro/internal/obs"
 	"repro/internal/resctrl"
+	"repro/internal/telemetry"
 )
+
+// obsWiring carries the agent's observability selections: the metrics
+// registry (shared with the cluster client's RPC instrumentation) and
+// the decision-trace destinations.
+type obsWiring struct {
+	reg        *telemetry.Registry
+	traceFile  string
+	journalLen int
+	pprof      bool
+}
 
 // groupFlag mirrors dcatd's repeated -group name=cpus@baseline flag.
 type groupFlag []groupSpec
@@ -81,6 +93,9 @@ func main() {
 		msrRoot   = flag.String("msr", "/dev/cpu", "msr device root (hardware mode)")
 		timeout   = flag.Duration("timeout", 2*time.Second, "per-request coordinator timeout")
 		retries   = flag.Int("retries", 3, "coordinator request retries (exponential backoff with jitter)")
+		trace     = flag.String("trace-file", "", "append every controller decision event as JSON Lines to this file")
+		journal   = flag.Int("journal", obs.DefaultJournalSize, "in-memory decision journal capacity in events (served at /debug/journal)")
+		pprofOn   = flag.Bool("pprof", false, "expose /debug/pprof on the -http address")
 	)
 	flag.Var(&groups, "group", "managed group as name=cpus@baseline (repeatable, hardware mode)")
 	flag.Parse()
@@ -88,6 +103,12 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	ob := obsWiring{
+		reg:        telemetry.NewRegistry(),
+		traceFile:  *trace,
+		journalLen: *journal,
+		pprof:      *pprofOn,
+	}
 	var client *cluster.Client
 	if *coord != "" {
 		var err error
@@ -95,6 +116,7 @@ func main() {
 			BaseURL:    *coord,
 			Timeout:    *timeout,
 			MaxRetries: *retries,
+			Metrics:    cluster.NewRPCMetrics(ob.reg),
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcat-agent:", err)
@@ -104,9 +126,9 @@ func main() {
 
 	var err error
 	if *demo {
-		err = runDemo(ctx, *name, client, *httpAddr, *period, *intervals)
+		err = runDemo(ctx, *name, client, *httpAddr, *period, *intervals, ob)
 	} else {
-		err = runHardware(ctx, *name, client, *httpAddr, *period, *root, *msrRoot, groups)
+		err = runHardware(ctx, *name, client, *httpAddr, *period, *root, *msrRoot, groups, ob)
 	}
 	if err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "dcat-agent:", err)
@@ -138,7 +160,7 @@ func (s *simLocal) SetWayCap(name string, ways int) bool {
 
 // runDemo runs the agent over the simulated socket (MLR + MLOAD +
 // lookbusy tenants, as in dcatd -demo).
-func runDemo(ctx context.Context, name string, client *cluster.Client, httpAddr string, period time.Duration, intervals int) error {
+func runDemo(ctx context.Context, name string, client *cluster.Client, httpAddr string, period time.Duration, intervals int, ob obsWiring) error {
 	sim, err := dcat.NewSimulation(dcat.SimConfig{})
 	if err != nil {
 		return err
@@ -170,12 +192,12 @@ func runDemo(ctx context.Context, name string, client *cluster.Client, httpAddr 
 	if err := sim.Start(dcat.DefaultConfig(), baselines); err != nil {
 		return err
 	}
-	return runAgent(ctx, name, client, httpAddr, period, intervals, &simLocal{sim: sim})
+	return runAgent(ctx, name, client, httpAddr, period, intervals, &simLocal{sim: sim}, sim.Controller(), ob)
 }
 
 // runHardware runs the agent over resctrl + MSR counters, dcatd's
 // production path.
-func runHardware(ctx context.Context, name string, client *cluster.Client, httpAddr string, period time.Duration, root, msrRoot string, groups groupFlag) error {
+func runHardware(ctx context.Context, name string, client *cluster.Client, httpAddr string, period time.Duration, root, msrRoot string, groups groupFlag, ob obsWiring) error {
 	if len(groups) == 0 {
 		return fmt.Errorf("no -group flags; nothing to manage (did you mean -demo?)")
 	}
@@ -197,13 +219,15 @@ func runHardware(ctx context.Context, name string, client *cluster.Client, httpA
 	if err != nil {
 		return err
 	}
-	return runAgent(ctx, name, client, httpAddr, period, 0, ctl)
+	return runAgent(ctx, name, client, httpAddr, period, 0, ctl, ctl, ob)
 }
 
 // runAgent wraps the local loop in a cluster agent, serves local
 // status, and ticks until the context is canceled (or the demo
-// interval budget is spent).
-func runAgent(ctx context.Context, name string, client *cluster.Client, httpAddr string, period time.Duration, intervals int, local cluster.Local) error {
+// interval budget is spent). The controller's decision events fan out
+// to the in-memory journal, the optional trace file, and the agent's
+// tally so the coordinator sees fleet-wide transition rates.
+func runAgent(ctx context.Context, name string, client *cluster.Client, httpAddr string, period time.Duration, intervals int, local cluster.Local, ctl *dcat.Controller, ob obsWiring) error {
 	agent, err := cluster.NewAgent(cluster.AgentConfig{
 		Name:       name,
 		StatusAddr: httpAddr,
@@ -212,9 +236,28 @@ func runAgent(ctx context.Context, name string, client *cluster.Client, httpAddr
 	if err != nil {
 		return err
 	}
+	journal := obs.NewJournal(ob.journalLen)
+	sinks := []obs.Sink{journal}
+	if client != nil {
+		sinks = append(sinks, agent.EventSink())
+	}
+	if ob.traceFile != "" {
+		fs, err := obs.NewFileSink(ob.traceFile)
+		if err != nil {
+			return fmt.Errorf("opening trace file: %w", err)
+		}
+		defer fs.Close()
+		sinks = append(sinks, fs)
+	}
+	ctl.SetSink(obs.Multi(sinks...))
+	ctl.RegisterMetrics(ob.reg)
 	if httpAddr != "" {
 		src := httpstatus.Locked{Src: localSource{local}, Do: agent.Do}
-		srv := httpstatus.Serve(httpAddr, src)
+		srv := httpstatus.ServeOpts(httpAddr, src, httpstatus.Options{
+			Journal: journal,
+			Metrics: ob.reg,
+			Pprof:   ob.pprof,
+		})
 		defer func() {
 			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Regression gate: an experiment regresses when it takes more than
+// regressionRatio times its previous duration AND slows down by at
+// least regressionFloorSeconds. The absolute floor keeps scheduler
+// noise on sub-second experiments from failing CI; the ratio keeps the
+// gate scale-free for the long ones.
+const (
+	regressionRatio        = 2.0
+	regressionFloorSeconds = 0.25
+)
+
+// regression is one experiment that crossed the gate.
+type regression struct {
+	ID       string
+	Old, New float64
+	Ratio    float64
+}
+
+func loadReport(path string) (report, error) {
+	var rep report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return rep, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// compareReports writes a per-experiment old/new/ratio trend table to
+// w and returns the experiments that regressed past the gate.
+// Experiments absent from the old report (new since the baseline) and
+// experiments that failed in either run are reported but never gate.
+func compareReports(w io.Writer, oldRep, newRep report) []regression {
+	if oldRep.Quick != newRep.Quick {
+		fmt.Fprintf(w, "warning: comparing quick=%t against baseline quick=%t — timings are not like-for-like\n",
+			newRep.Quick, oldRep.Quick)
+	}
+	oldByID := make(map[string]reportEntry, len(oldRep.Experiments))
+	for _, e := range oldRep.Experiments {
+		oldByID[e.ID] = e
+	}
+	var regs []regression
+	fmt.Fprintf(w, "%-20s %10s %10s %8s\n", "experiment", "old (s)", "new (s)", "ratio")
+	for _, e := range newRep.Experiments {
+		prev, known := oldByID[e.ID]
+		switch {
+		case !known:
+			fmt.Fprintf(w, "%-20s %10s %10.2f %8s  (new)\n", e.ID, "-", e.Seconds, "-")
+		case !e.OK || !prev.OK:
+			fmt.Fprintf(w, "%-20s %10.2f %10.2f %8s  (failed, not gated)\n", e.ID, prev.Seconds, e.Seconds, "-")
+		default:
+			ratio := e.Seconds / prev.Seconds
+			mark := ""
+			if ratio > regressionRatio && e.Seconds-prev.Seconds > regressionFloorSeconds {
+				mark = "  REGRESSION"
+				regs = append(regs, regression{ID: e.ID, Old: prev.Seconds, New: e.Seconds, Ratio: ratio})
+			}
+			fmt.Fprintf(w, "%-20s %10.2f %10.2f %7.2fx%s\n", e.ID, prev.Seconds, e.Seconds, ratio, mark)
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
+	return regs
+}

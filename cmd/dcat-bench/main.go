@@ -47,6 +47,7 @@ func main() {
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "experiments to run in parallel")
 		jsonOut  = flag.Bool("json", false, "write per-experiment timings to "+jsonReportPath)
 		failFast = flag.Bool("failfast", false, "cancel pending experiments after the first failure")
+		compare  = flag.String("compare", "", "compare this run's timings against a previous "+jsonReportPath+"; exit non-zero on a >2x per-experiment regression")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -59,6 +60,7 @@ func main() {
 		jobs:     *jobs,
 		jsonOut:  *jsonOut,
 		failFast: *failFast,
+		compare:  *compare,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dcat-bench:", err)
 		os.Exit(1)
@@ -73,6 +75,7 @@ type config struct {
 	jobs     int
 	jsonOut  bool
 	failFast bool
+	compare  string
 }
 
 func realMain(ctx context.Context, cfg config) error {
@@ -86,7 +89,9 @@ func realMain(ctx context.Context, cfg config) error {
 	if cfg.quick {
 		opts = experiments.Quick()
 	}
-	opts.Jobs = cfg.jobs // sweep-style experiments parallelize inside too
+	// opts.Jobs stays unset: RunAll attaches the shared -j worker
+	// budget, so in-experiment sweeps widen onto idle slots instead of
+	// multiplying the parallelism per layer.
 	var runners []experiments.Runner
 	if cfg.run == "" {
 		runners = experiments.All()
@@ -150,6 +155,18 @@ func realMain(ctx context.Context, cfg config) error {
 			fmt.Fprintf(os.Stderr, "dcat-bench: FAILED %s: %v\n", r.Runner.ID, r.Err)
 		}
 		return fmt.Errorf("%d of %d experiments failed", len(failed), len(results))
+	}
+	if cfg.compare != "" {
+		old, err := loadReport(cfg.compare)
+		if err != nil {
+			return err
+		}
+		regs := compareReports(os.Stderr, old, buildReport(cfg, results, total))
+		if len(regs) > 0 {
+			return fmt.Errorf("%d experiments regressed more than %.0fx vs %s (worst: %s at %.2fx)",
+				len(regs), regressionRatio, cfg.compare, regs[0].ID, regs[0].Ratio)
+		}
+		fmt.Fprintf(os.Stderr, "dcat-bench: no regressions vs %s\n", cfg.compare)
 	}
 	return nil
 }

@@ -25,6 +25,8 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/httpstatus"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +35,9 @@ func main() {
 		expiry      = flag.Duration("expiry", 10*time.Second, "mark an agent dead after this long without a heartbeat")
 		reportEvery = flag.Int("report-every", 1, "report cadence (controller ticks) pushed to agents")
 		quorum      = flag.Int("streaming-quorum", 2, "agents that must see a workload Streaming before capping its replicas")
+		trace       = flag.String("trace-file", "", "append every coordinator event (enrollments, hints) as JSON Lines to this file")
+		journalLen  = flag.Int("journal", obs.DefaultJournalSize, "in-memory event journal capacity in events (served at /debug/journal)")
+		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof on the -listen address")
 	)
 	flag.Parse()
 
@@ -44,10 +49,28 @@ func main() {
 		ReportEvery:     *reportEvery,
 		StreamingQuorum: *quorum,
 	})
+	journal := obs.NewJournal(*journalLen)
+	reg := telemetry.NewRegistry()
+	coord.RegisterMetrics(reg)
+	sinks := []obs.Sink{journal}
+	if *trace != "" {
+		fs, err := obs.NewFileSink(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcat-coord: opening trace file:", err)
+			os.Exit(1)
+		}
+		defer fs.Close()
+		sinks = append(sinks, fs)
+	}
+	coord.SetSink(obs.Multi(sinks...))
+
+	opts := httpstatus.Options{Journal: journal, Metrics: reg, Pprof: *pprofOn}
+	status := httpstatus.ClusterHandlerOpts(coord, opts)
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", coord.Handler())
-	mux.Handle("/cluster", httpstatus.ClusterHandler(coord))
-	mux.Handle("/cluster/", httpstatus.ClusterHandler(coord))
+	mux.Handle("/cluster", status)
+	mux.Handle("/cluster/", status)
+	mux.Handle("/debug/", status)
 
 	srv := &http.Server{Addr: *listen, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	errc := make(chan error, 1)

@@ -32,8 +32,39 @@ import (
 	"repro/internal/daemoncfg"
 	"repro/internal/httpstatus"
 	"repro/internal/msr"
+	"repro/internal/obs"
 	"repro/internal/resctrl"
+	"repro/internal/telemetry"
 )
+
+// obsFlags carries the observability selections from the command line
+// into both run paths.
+type obsFlags struct {
+	traceFile  string
+	journalLen int
+	pprof      bool
+}
+
+// attach wires a decision-trace journal (plus the optional continuous
+// JSONL trace file) and the metrics registry into the controller, and
+// returns the HTTP surfaces plus a cleanup that flushes the trace.
+func (o obsFlags) attach(ctl *dcat.Controller) (httpstatus.Options, func(), error) {
+	journal := obs.NewJournal(o.journalLen)
+	reg := telemetry.NewRegistry()
+	sinks := []obs.Sink{journal}
+	closer := func() {}
+	if o.traceFile != "" {
+		fs, err := obs.NewFileSink(o.traceFile)
+		if err != nil {
+			return httpstatus.Options{}, nil, fmt.Errorf("opening trace file: %w", err)
+		}
+		sinks = append(sinks, fs)
+		closer = func() { _ = fs.Close() }
+	}
+	ctl.SetSink(obs.Multi(sinks...))
+	ctl.RegisterMetrics(reg)
+	return httpstatus.Options{Journal: journal, Metrics: reg, Pprof: o.pprof}, closer, nil
+}
 
 // groupFlag collects repeated -group name=cpus@baseline flags.
 type groupFlag []groupSpec
@@ -82,6 +113,9 @@ func main() {
 		intervals = flag.Int("intervals", 30, "demo length in periods (0 = until interrupted)")
 		httpAddr  = flag.String("http", "", "serve /status, /metrics, /healthz on this address (e.g. :9090)")
 		confPath  = flag.String("config", "", "JSON configuration file (hardware mode; overrides the flags above)")
+		trace     = flag.String("trace-file", "", "append every controller decision event as JSON Lines to this file")
+		journal   = flag.Int("journal", obs.DefaultJournalSize, "in-memory decision journal capacity in events (served at /debug/journal)")
+		pprofOn   = flag.Bool("pprof", false, "expose /debug/pprof on the -http address")
 	)
 	flag.Var(&groups, "group", "managed group as name=cpus@baseline (repeatable)")
 	flag.Parse()
@@ -103,14 +137,15 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	ob := obsFlags{traceFile: *trace, journalLen: *journal, pprof: *pprofOn}
 	var err error
 	switch {
 	case *confPath != "":
-		err = runFromConfig(ctx, *confPath)
+		err = runFromConfig(ctx, *confPath, ob)
 	case *demo:
-		err = runDemo(ctx, cfg, *demoDir, *intervals, *httpAddr)
+		err = runDemo(ctx, cfg, *demoDir, *intervals, *httpAddr, ob)
 	default:
-		err = runHardware(ctx, cfg, *root, *msrRoot, *period, groups, *httpAddr)
+		err = runHardware(ctx, cfg, *root, *msrRoot, *period, groups, *httpAddr, ob)
 	}
 	if err != nil && !errors.Is(err, context.Canceled) {
 		fmt.Fprintln(os.Stderr, "dcatd:", err)
@@ -119,7 +154,7 @@ func main() {
 }
 
 // runFromConfig runs hardware mode from a JSON configuration file.
-func runFromConfig(ctx context.Context, path string) error {
+func runFromConfig(ctx context.Context, path string, ob obsFlags) error {
 	f, err := daemoncfg.Load(path)
 	if err != nil {
 		return err
@@ -132,11 +167,11 @@ func runFromConfig(ctx context.Context, path string) error {
 	for _, g := range f.Groups {
 		groups = append(groups, groupSpec{name: g.Name, cores: g.Cores, baseline: g.BaselineWays})
 	}
-	return runHardware(ctx, cfg, f.ResctrlRoot, f.MSRRoot, f.PeriodDuration, groups, f.HTTP)
+	return runHardware(ctx, cfg, f.ResctrlRoot, f.MSRRoot, f.PeriodDuration, groups, f.HTTP, ob)
 }
 
 // runHardware is the production loop: resctrl backend + MSR counters.
-func runHardware(ctx context.Context, cfg dcat.Config, root, msrRoot string, period time.Duration, groups groupFlag, httpAddr string) error {
+func runHardware(ctx context.Context, cfg dcat.Config, root, msrRoot string, period time.Duration, groups groupFlag, httpAddr string, ob obsFlags) error {
 	if len(groups) == 0 {
 		return fmt.Errorf("no -group flags; nothing to manage")
 	}
@@ -158,8 +193,13 @@ func runHardware(ctx context.Context, cfg dcat.Config, root, msrRoot string, per
 	if err != nil {
 		return err
 	}
+	opts, closeTrace, err := ob.attach(ctl)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
 	var mu sync.Mutex
-	stopHTTP := serveStatus(httpAddr, ctl, &mu)
+	stopHTTP := serveStatus(httpAddr, ctl, &mu, opts)
 	defer stopHTTP()
 
 	ticker := time.NewTicker(period)
@@ -185,7 +225,7 @@ func runHardware(ctx context.Context, cfg dcat.Config, root, msrRoot string, per
 
 // runDemo exercises the identical control path against a mock tree fed
 // by the simulator.
-func runDemo(ctx context.Context, cfg dcat.Config, dir string, intervals int, httpAddr string) error {
+func runDemo(ctx context.Context, cfg dcat.Config, dir string, intervals int, httpAddr string, ob obsFlags) error {
 	if dir == "" {
 		var err error
 		dir, err = os.MkdirTemp("", "dcatd-demo-*")
@@ -242,8 +282,13 @@ func runDemo(ctx context.Context, cfg dcat.Config, dir string, intervals int, ht
 	if err != nil {
 		return err
 	}
+	opts, closeTrace, err := ob.attach(ctl)
+	if err != nil {
+		return err
+	}
+	defer closeTrace()
 	var mu sync.Mutex
-	stopHTTP := serveStatus(httpAddr, ctl, &mu)
+	stopHTTP := serveStatus(httpAddr, ctl, &mu, opts)
 	defer stopHTTP()
 	fmt.Printf("dcatd demo: mock resctrl tree at %s\n", dir)
 	for i := 1; intervals == 0 || i <= intervals; i++ {
@@ -281,7 +326,7 @@ func runDemo(ctx context.Context, cfg dcat.Config, dir string, intervals int, ht
 
 // serveStatus starts the HTTP status server when addr is set; the
 // returned function shuts it down.
-func serveStatus(addr string, ctl *dcat.Controller, mu *sync.Mutex) func() {
+func serveStatus(addr string, ctl *dcat.Controller, mu *sync.Mutex, opts httpstatus.Options) func() {
 	if addr == "" {
 		return func() {}
 	}
@@ -290,7 +335,7 @@ func serveStatus(addr string, ctl *dcat.Controller, mu *sync.Mutex) func() {
 		defer mu.Unlock()
 		fn()
 	}}
-	srv := httpstatus.Serve(addr, src)
+	srv := httpstatus.ServeOpts(addr, src, opts)
 	fmt.Printf("dcatd: status on http://%s/status\n", addr)
 	return func() {
 		// Graceful shutdown: let in-flight scrapes finish.

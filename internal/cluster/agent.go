@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // Local is the per-host control surface the agent drives — a
@@ -58,6 +59,11 @@ type Agent struct {
 	failures int
 	lastErr  error
 	caps     map[string]int // workload -> applied cap, to clear stale ones
+
+	// tally accumulates the local controller's decision events between
+	// reports (see EventSink); each accepted report drains it into the
+	// request's EventSummary.
+	tally *obs.TransitionTally
 }
 
 // NewAgent wires an agent around a local control loop.
@@ -77,8 +83,19 @@ func NewAgent(cfg AgentConfig, local Local) (*Agent, error) {
 	if cfg.HeartbeatEvery <= 0 {
 		cfg.HeartbeatEvery = 1
 	}
-	return &Agent{cfg: cfg, local: local, caps: make(map[string]int)}, nil
+	return &Agent{
+		cfg:   cfg,
+		local: local,
+		caps:  make(map[string]int),
+		tally: obs.NewTransitionTally(),
+	}, nil
 }
+
+// EventSink returns the sink that accumulates this host's decision
+// events for coordinator forwarding. Wire it into the controller's
+// sink chain (obs.Multi) alongside any journal or trace file; without
+// that wiring the agent simply reports no event summaries.
+func (a *Agent) EventSink() obs.Sink { return a.tally }
 
 // Do runs fn under the agent's lock — the mutual-exclusion contract
 // httpstatus.Locked needs for concurrent /status scrapes.
@@ -203,8 +220,15 @@ func (a *Agent) report(ctx context.Context, id string, ticks int, snap []core.St
 			MissRate:     st.MissRate,
 		})
 	}
+	transitions, phases := a.tally.Drain()
+	if len(transitions) > 0 || phases > 0 {
+		req.Events = &EventSummary{Transitions: transitions, PhaseChanges: phases}
+	}
 	resp, err := a.cfg.Client.Report(ctx, req)
 	if err != nil {
+		// The summary never made it: merge it back so the counts ride
+		// the next successful report instead of vanishing.
+		a.tally.Add(transitions, phases)
 		a.noteFailure(err)
 		return
 	}

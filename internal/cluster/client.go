@@ -13,7 +13,30 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/telemetry"
 )
+
+// RPCMetrics instruments the coordinator client: per-attempt latency,
+// retry volume, and requests that failed for good. Attach one to
+// ClientConfig.Metrics; nil disables instrumentation.
+type RPCMetrics struct {
+	Latency  *telemetry.Histogram
+	Retries  *telemetry.Counter
+	Failures *telemetry.Counter
+}
+
+// NewRPCMetrics registers the client's metrics on reg.
+func NewRPCMetrics(reg *telemetry.Registry) *RPCMetrics {
+	return &RPCMetrics{
+		Latency: reg.Histogram("dcat_cluster_rpc_seconds",
+			"Coordinator RPC attempt latency, including failed attempts.", nil),
+		Retries: reg.Counter("dcat_cluster_rpc_retries_total",
+			"Coordinator RPC retry attempts (attempts beyond each request's first)."),
+		Failures: reg.Counter("dcat_cluster_rpc_failures_total",
+			"Coordinator RPCs that failed terminally or exhausted their retries."),
+	}
+}
 
 // ErrUnknownAgent is returned when the coordinator does not recognize
 // the caller's agent id — typically because the coordinator restarted
@@ -41,6 +64,8 @@ type ClientConfig struct {
 	// HTTPClient overrides the transport (default: http.Client with
 	// Timeout). Tests inject httptest clients here.
 	HTTPClient *http.Client
+	// Metrics, when set, instruments every request (see RPCMetrics).
+	Metrics *RPCMetrics
 	// sleep overrides the retry delay for tests.
 	sleep func(ctx context.Context, d time.Duration) error
 }
@@ -139,8 +164,16 @@ func (c *Client) Heartbeat(ctx context.Context, req *HeartbeatRequest) (*Heartbe
 }
 
 // post sends one JSON request with per-attempt timeouts and
-// exponential-backoff retries.
+// exponential-backoff retries, counting terminal failures.
 func (c *Client) post(ctx context.Context, path string, req, resp any) error {
+	err := c.doPost(ctx, path, req, resp)
+	if err != nil && c.cfg.Metrics != nil {
+		c.cfg.Metrics.Failures.Inc()
+	}
+	return err
+}
+
+func (c *Client) doPost(ctx context.Context, path string, req, resp any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("cluster: encoding request: %w", err)
@@ -149,6 +182,9 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 	delay := c.cfg.Backoff
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
+			if c.cfg.Metrics != nil {
+				c.cfg.Metrics.Retries.Inc()
+			}
 			if err := c.sleep(ctx, c.jittered(delay)); err != nil {
 				return err
 			}
@@ -174,6 +210,10 @@ func (c *Client) post(ctx context.Context, path string, req, resp any) error {
 // attempt runs one request; the bool reports whether a failure may be
 // retried.
 func (c *Client) attempt(ctx context.Context, path string, body []byte, out any) (bool, error) {
+	if m := c.cfg.Metrics; m != nil {
+		start := time.Now()
+		defer func() { m.Latency.Observe(time.Since(start).Seconds()) }()
+	}
 	actx, cancel := context.WithTimeout(ctx, c.cfg.Timeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(actx, http.MethodPost, c.base+path, bytes.NewReader(body))

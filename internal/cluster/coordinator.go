@@ -6,9 +6,11 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
@@ -55,6 +57,10 @@ type agentRecord struct {
 	lastSeen   time.Time
 	lastTick   int
 	workloads  []WorkloadReport
+	// Cumulative decision-event counts forwarded in this agent's
+	// reports since enrollment.
+	transitions  map[string]uint64
+	phaseChanges uint64
 }
 
 // Coordinator is the cluster control plane: the registry of agents,
@@ -70,17 +76,67 @@ type Coordinator struct {
 	nextID  int
 	reports int // total reports accepted; also the telemetry x-axis
 	rec     *telemetry.Recorder
+
+	// Fleet-wide decision-event accumulation (across agent restarts —
+	// a superseded record's counts stay in these totals).
+	fleetTransitions map[string]uint64
+	fleetPhases      uint64
+
+	// Observability hooks, both optional.
+	sink    obs.Sink
+	metrics *coordMetrics
+}
+
+// coordMetrics holds the coordinator's registered metrics.
+type coordMetrics struct {
+	reports     *telemetry.Counter
+	transitions *telemetry.LabeledCounter
+	phases      *telemetry.Counter
+	enrolls     *telemetry.Counter
 }
 
 // NewCoordinator builds an empty control plane.
 func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	cfg.fill()
 	return &Coordinator{
-		cfg:    cfg,
-		agents: make(map[string]*agentRecord),
-		byName: make(map[string]string),
-		rec:    telemetry.NewRecorder(),
+		cfg:              cfg,
+		agents:           make(map[string]*agentRecord),
+		byName:           make(map[string]string),
+		rec:              telemetry.NewRecorder(),
+		fleetTransitions: make(map[string]uint64),
 	}
+}
+
+// SetSink installs a decision-trace sink for control-plane events
+// (agent enrollments, hints issued). Nil disables tracing. Events are
+// stamped with the accepted-report sequence number as their tick.
+func (c *Coordinator) SetSink(s obs.Sink) {
+	c.mu.Lock()
+	c.sink = s
+	c.mu.Unlock()
+}
+
+// RegisterMetrics registers the coordinator's counters on reg:
+//
+//	dcat_fleet_reports_total            reports accepted
+//	dcat_fleet_enrollments_total        agent (re-)enrollments
+//	dcat_fleet_state_transitions_total  counter{from,to} — forwarded
+//	                                    per-host category transitions
+//	dcat_fleet_phase_changes_total      forwarded phase changes
+func (c *Coordinator) RegisterMetrics(reg *telemetry.Registry) {
+	m := &coordMetrics{
+		reports: reg.Counter("dcat_fleet_reports_total",
+			"Statistics reports accepted from agents."),
+		enrolls: reg.Counter("dcat_fleet_enrollments_total",
+			"Agent enrollments, including re-enrollments after restarts."),
+		transitions: reg.LabeledCounter("dcat_fleet_state_transitions_total",
+			"Category transitions forwarded by agents, summed fleet-wide.", "from", "to"),
+		phases: reg.Counter("dcat_fleet_phase_changes_total",
+			"Phase changes forwarded by agents, summed fleet-wide."),
+	}
+	c.mu.Lock()
+	c.metrics = m
+	c.mu.Unlock()
 }
 
 // AgentState is one agent's row in the cluster view.
@@ -93,6 +149,10 @@ type AgentState struct {
 	Tick       int              `json:"tick"`
 	TotalWays  int              `json:"total_ways"`
 	Workloads  []WorkloadReport `json:"workloads"`
+	// Transitions and PhaseChanges are this agent's cumulative
+	// forwarded decision-event counts ("From->To" keys).
+	Transitions  map[string]uint64 `json:"transitions,omitempty"`
+	PhaseChanges uint64            `json:"phase_changes,omitempty"`
 }
 
 // State is the cluster-wide snapshot served at /cluster.
@@ -104,6 +164,10 @@ type State struct {
 	AllocatedWays int          `json:"allocated_ways"` // across alive agents
 	Reports       int          `json:"reports"`
 	Agents        []AgentState `json:"agents"`
+	// Transitions and PhaseChanges aggregate every agent's forwarded
+	// decision events fleet-wide, surviving agent restarts.
+	Transitions  map[string]uint64 `json:"transitions,omitempty"`
+	PhaseChanges uint64            `json:"phase_changes,omitempty"`
 }
 
 // ClusterState snapshots the fleet, computing liveness against the
@@ -112,18 +176,31 @@ func (c *Coordinator) ClusterState() State {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	now := c.cfg.Now()
-	st := State{Version: ProtocolVersion, Reports: c.reports}
+	st := State{Version: ProtocolVersion, Reports: c.reports, PhaseChanges: c.fleetPhases}
+	if len(c.fleetTransitions) > 0 {
+		st.Transitions = make(map[string]uint64, len(c.fleetTransitions))
+		for k, v := range c.fleetTransitions {
+			st.Transitions[k] = v
+		}
+	}
 	for _, rec := range c.agents {
 		alive := c.aliveLocked(rec, now)
 		as := AgentState{
-			ID:         rec.id,
-			Name:       rec.name,
-			StatusAddr: rec.statusAddr,
-			Alive:      alive,
-			LastSeen:   rec.lastSeen,
-			Tick:       rec.lastTick,
-			TotalWays:  rec.totalWays,
-			Workloads:  append([]WorkloadReport(nil), rec.workloads...),
+			ID:           rec.id,
+			Name:         rec.name,
+			StatusAddr:   rec.statusAddr,
+			Alive:        alive,
+			LastSeen:     rec.lastSeen,
+			Tick:         rec.lastTick,
+			TotalWays:    rec.totalWays,
+			Workloads:    append([]WorkloadReport(nil), rec.workloads...),
+			PhaseChanges: rec.phaseChanges,
+		}
+		if len(rec.transitions) > 0 {
+			as.Transitions = make(map[string]uint64, len(rec.transitions))
+			for k, v := range rec.transitions {
+				as.Transitions[k] = v
+			}
 		}
 		st.Agents = append(st.Agents, as)
 		st.AgentsTotal++
@@ -240,6 +317,18 @@ func (c *Coordinator) handleEnroll(w http.ResponseWriter, r *http.Request) {
 	c.byName[req.Agent] = id
 	expiry := c.cfg.HeartbeatExpiry
 	every := c.cfg.ReportEvery
+	if c.metrics != nil {
+		c.metrics.enrolls.Inc()
+	}
+	if c.sink != nil {
+		c.sink.Emit(obs.Event{
+			Tick:     c.reports,
+			Kind:     obs.KindAgentEnrolled,
+			Workload: req.Agent,
+			NewWays:  req.TotalWays,
+			Reason:   "agent enrolled with the coordinator",
+		})
+	}
 	c.mu.Unlock()
 	writeJSON(w, EnrollResponse{
 		Version:               ProtocolVersion,
@@ -270,8 +359,27 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	rec.lastTick = req.Tick
 	rec.workloads = append(rec.workloads[:0], req.Workloads...)
 	c.reports++
+	if req.Events != nil {
+		c.absorbEventsLocked(rec, req.Events)
+	}
+	if c.metrics != nil {
+		c.metrics.reports.Inc()
+	}
 	c.recordFleetLocked()
 	hints := c.hintsForLocked(rec)
+	if c.sink != nil {
+		for _, h := range hints {
+			if h.MaxWays > 0 {
+				c.sink.Emit(obs.Event{
+					Tick:     c.reports,
+					Kind:     obs.KindHintIssued,
+					Workload: h.Workload,
+					NewWays:  h.MaxWays,
+					Reason:   h.Reason,
+				})
+			}
+		}
+	}
 	c.mu.Unlock()
 	writeJSON(w, ReportResponse{Version: ProtocolVersion, Hints: hints})
 }
@@ -297,6 +405,28 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	rec.lastTick = req.Tick
 	c.mu.Unlock()
 	writeJSON(w, HeartbeatResponse{Version: ProtocolVersion})
+}
+
+// absorbEventsLocked folds one report's event summary into the
+// per-agent record, the fleet totals, and the registered counters.
+func (c *Coordinator) absorbEventsLocked(rec *agentRecord, ev *EventSummary) {
+	if len(ev.Transitions) > 0 && rec.transitions == nil {
+		rec.transitions = make(map[string]uint64, len(ev.Transitions))
+	}
+	for k, v := range ev.Transitions {
+		rec.transitions[k] += v
+		c.fleetTransitions[k] += v
+		if c.metrics != nil {
+			if from, to, ok := strings.Cut(k, "->"); ok {
+				c.metrics.transitions.With(from, to).Add(v)
+			}
+		}
+	}
+	rec.phaseChanges += ev.PhaseChanges
+	c.fleetPhases += ev.PhaseChanges
+	if c.metrics != nil && ev.PhaseChanges > 0 {
+		c.metrics.phases.Add(ev.PhaseChanges)
+	}
 }
 
 // recordFleetLocked appends one x to every fleet series. The x-axis is

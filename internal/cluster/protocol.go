@@ -45,6 +45,11 @@ const (
 	maxNameLen  = 128
 	maxWorkload = 256
 	maxWays     = 1024
+	// maxTransitionKinds bounds an event summary's transition map; the
+	// state machine has 6 states so 36 pairs exist, but the limit leaves
+	// room for protocol growth without letting a hostile agent ship an
+	// unbounded map.
+	maxTransitionKinds = 64
 )
 
 // WorkloadSpec announces one managed workload at enrollment.
@@ -88,12 +93,28 @@ type WorkloadReport struct {
 	MissRate     float64 `json:"miss_rate"`
 }
 
+// EventSummary aggregates a host's decision-trace events since its
+// last accepted report — counts only, so /cluster can show fleet-wide
+// transition rates without shipping whole journals over the wire.
+type EventSummary struct {
+	// Transitions counts category transitions keyed "From->To"
+	// (obs.TransitionKey).
+	Transitions map[string]uint64 `json:"transitions,omitempty"`
+	// PhaseChanges counts detected phase changes.
+	PhaseChanges uint64 `json:"phase_changes,omitempty"`
+}
+
 // ReportRequest carries one controller period's statistics.
 type ReportRequest struct {
 	Version   int              `json:"version"`
 	AgentID   string           `json:"agent_id"`
 	Tick      int              `json:"tick"`
 	Workloads []WorkloadReport `json:"workloads"`
+	// Events is the decision-event summary since the last accepted
+	// report. Optional (a pointer with omitempty) so agents that do not
+	// trace — and reports from older agents — stay valid against the
+	// strict decoder.
+	Events *EventSummary `json:"events,omitempty"`
 }
 
 // AllocationHint is coordinator advice for one workload. MaxWays caps
@@ -229,6 +250,17 @@ func (r *ReportRequest) Validate() error {
 		}
 		if w.MissRate > 1 {
 			return fmt.Errorf("cluster: workload %q miss rate %f above 1", w.Name, w.MissRate)
+		}
+	}
+	if r.Events != nil {
+		if len(r.Events.Transitions) > maxTransitionKinds {
+			return fmt.Errorf("cluster: %d transition kinds exceeds the %d limit",
+				len(r.Events.Transitions), maxTransitionKinds)
+		}
+		for k := range r.Events.Transitions {
+			if err := validName("transition", k); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/cat"
+	"repro/internal/obs"
 	"repro/internal/perf"
 )
 
@@ -61,6 +63,10 @@ type Controller struct {
 	// the available cache size is used").
 	poolEmpty bool
 	ticks     int
+
+	// Observability hooks; both nil by default (see observe.go).
+	sink    obs.Sink
+	metrics *coreMetrics
 }
 
 // New wires a controller to a CAT manager and a counter source, and
@@ -163,11 +169,15 @@ type observation struct {
 // Change → Categorize Workloads → Allocate Cache (paper Fig 4; Get
 // Baseline happens implicitly at each phase start).
 func (c *Controller) Tick() error {
-	obs := make(map[string]observation, len(c.order))
+	var start time.Time
+	if c.metrics != nil {
+		start = time.Now()
+	}
+	samples := make(map[string]observation, len(c.order))
 	for _, name := range c.order {
 		w := c.ws[name]
 		s := c.sampler.SampleCores(w.cores)
-		obs[name] = observation{
+		samples[name] = observation{
 			sample: s,
 			ipc:    s.IPC(),
 			miss:   s.LLCMissRate(),
@@ -177,7 +187,7 @@ func (c *Controller) Tick() error {
 
 	for _, name := range c.order {
 		w := c.ws[name]
-		o := obs[name]
+		o := samples[name]
 		c.observePhase(w, o)
 	}
 
@@ -187,22 +197,39 @@ func (c *Controller) Tick() error {
 			w.desire = w.baseline
 			continue
 		}
-		c.categorize(w, obs[name])
+		c.categorize(w, samples[name])
 	}
 
 	alloc := c.allocate()
 	if err := c.mgr.SetAllocation(alloc); err != nil {
 		return fmt.Errorf("core: tick %d: %w", c.ticks, err)
 	}
+	allocSum, churn := 0, 0
 	for _, name := range c.order {
 		w := c.ws[name]
-		w.lastIPC = obs[name].ipc
-		w.lastMiss = obs[name].miss
-		w.lastLLCRef = obs[name].sample.LLCRef
+		w.lastIPC = samples[name].ipc
+		w.lastMiss = samples[name].miss
+		w.lastLLCRef = samples[name].sample.LLCRef
 		w.prevWays = w.ways
-		w.ways = alloc[name]
+		if n := alloc[name]; n != w.ways {
+			if d := n - w.ways; d > 0 {
+				churn += d
+			} else {
+				churn -= d
+			}
+			c.emitWayChange(w, n)
+			w.ways = n
+		}
+		allocSum += w.ways
 	}
 	c.ticks++
+	if m := c.metrics; m != nil {
+		m.poolFree.Set(float64(c.mgr.TotalWays() - allocSum))
+		if churn > 0 {
+			m.churn.Add(uint64(churn))
+		}
+		m.tickSeconds.Observe(time.Since(start).Seconds())
+	}
 	return nil
 }
 
@@ -220,17 +247,19 @@ func (c *Controller) observePhase(w *wstate, o observation) {
 		w.det.Reset(mapi)
 		w.baselineIPC = o.ipc
 		w.table.Set(w.baseline, 1)
+		c.emitBaseline(w, o.ipc)
 
 	case w.det.Observe(mapi):
 		// Phase change: snapshot the table, enter Reclaim (§3.4 —
 		// highest priority, returns to baseline so the guarantee can
 		// be re-established), and stage any known table for reuse.
 		c.saveTable(w)
+		c.emitPhaseChange(w, w.phaseMAPI, mapi)
 		w.phase = phaseKeyOf(mapi)
 		w.phaseMAPI = mapi
 		w.det.Reset(mapi)
 		w.baselineIPC = 0
-		w.state = StateReclaim
+		c.setState(w, StateReclaim, reasonPhaseChange)
 		w.settled = false
 		w.jumpTo = 0
 		w.denied = false
@@ -256,13 +285,15 @@ func (c *Controller) observePhase(w *wstate, o observation) {
 		}
 		w.baselineIPC = o.ipc
 		w.table.Set(w.baseline, 1)
-		w.state = StateKeeper
+		c.setState(w, StateKeeper, reasonBaselineMeasured)
+		c.emitBaseline(w, o.ipc)
 		// Performance-table reuse (§3.5, Fig 12): if this phase was
 		// seen before, jump straight to its preferred allocation
 		// instead of rediscovering one way per round.
 		if pref, ok := w.table.Preferred(c.cfg.IPCImpThr / 2); ok && pref > w.baseline {
 			w.jumpTo = pref
 			w.settled = true
+			c.emitTableHit(w, pref)
 		}
 
 	case w.baselineIPC > 0:
@@ -299,7 +330,7 @@ func (c *Controller) categorize(w *wstate, o observation) {
 	case o.sample.L1Ref <= c.cfg.L1RefThr || o.sample.LLCRef <= c.cfg.LLCRefThr:
 		// Idle (l1_ref_thr: the VM is barely executing) or not using
 		// the LLC (llc_ref_thr): Donor at the minimum allocation.
-		w.state = StateDonor
+		c.setState(w, StateDonor, reasonIdle)
 		w.settled = true
 		w.desire = 1
 
@@ -315,7 +346,7 @@ func (c *Controller) categorize(w *wstate, o observation) {
 		// associativity raises conflict misses before the miss-rate
 		// threshold notices — the §2.1 pathology). Take the donation
 		// back and hold.
-		w.state = StateKeeper
+		c.setState(w, StateKeeper, reasonGuarantee)
 		w.settled = true
 		w.desire = w.baseline
 
@@ -324,24 +355,24 @@ func (c *Controller) categorize(w *wstate, o observation) {
 		case w.settled:
 			// A Keeper that already proved it suffers with less (or a
 			// reused-table jump target): hold.
-			w.state = StateKeeper
+			c.setState(w, StateKeeper, reasonSettledHold)
 			w.desire = c.holdOrJump(w)
 		case w.state == StateReceiver || w.state == StateUnknown:
 			// Growth drove the miss rate below threshold: the working
 			// set fits — the preferred state (§3.4: Receiver → Keeper
 			// when llc_miss_rate < llc_miss_rate_thr).
-			w.state = StateKeeper
+			c.setState(w, StateKeeper, reasonFits)
 			w.settled = true
 			w.desire = w.ways
 		case w.ways <= 1:
-			w.state = StateDonor
+			c.setState(w, StateDonor, reasonMinimalDonor)
 			w.settled = true
 			w.desire = 1
 		default:
 			// Phase-start Keeper or shrinking Donor that is not
 			// missing: give back one way per round until misses
 			// become non-trivial.
-			w.state = StateDonor
+			c.setState(w, StateDonor, reasonShrinking)
 			w.desire = w.ways - 1
 		}
 
@@ -349,7 +380,7 @@ func (c *Controller) categorize(w *wstate, o observation) {
 		switch w.state {
 		case StateDonor:
 			// Shrinking uncovered the working set: settle here.
-			w.state = StateKeeper
+			c.setState(w, StateKeeper, reasonUncovered)
 			w.settled = true
 			w.desire = w.ways
 		case StateKeeper:
@@ -358,21 +389,21 @@ func (c *Controller) categorize(w *wstate, o observation) {
 				return
 			}
 			// Might benefit from more cache: probe.
-			w.state = StateUnknown
+			c.setState(w, StateUnknown, reasonProbe)
 			w.desire = w.ways + c.cfg.GrowthStep
 		case StateUnknown:
 			switch {
 			case grew && imp >= c.cfg.IPCImpThr:
-				w.state = StateReceiver
+				c.setState(w, StateReceiver, reasonImproved)
 				w.desire = w.ways + c.cfg.GrowthStep
 			case grew && (w.ways >= c.cfg.StreamingMult*w.baseline || c.poolEmpty):
 				// Probed to the streaming threshold (or drained the
 				// pool) with nothing to show: cyclic access pattern.
-				w.state = StateStreaming
+				c.setState(w, StateStreaming, reasonStreamingProbe)
 				w.settled = true
 				w.desire = 1
 			case !grew && w.denied && w.ways >= c.cfg.StreamingMult*w.baseline:
-				w.state = StateStreaming
+				c.setState(w, StateStreaming, reasonStreamingDenied)
 				w.settled = true
 				w.desire = 1
 			default:
@@ -381,7 +412,7 @@ func (c *Controller) categorize(w *wstate, o observation) {
 		case StateReceiver:
 			if grew && imp < c.cfg.IPCImpThr {
 				// The last way added nothing: preferred state reached.
-				w.state = StateKeeper
+				c.setState(w, StateKeeper, reasonNoGain)
 				w.settled = true
 				w.desire = w.ways
 				return

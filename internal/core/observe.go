@@ -1,0 +1,208 @@
+package core
+
+import (
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// This file is the controller's observability surface: a decision-
+// trace sink (obs.Sink) that receives one structured event per
+// consequential decision, and a metrics registration hook that keeps
+// Prometheus-style aggregates (tick latency, transition counts, pool
+// size, churn) current every tick.
+//
+// Both are strictly optional and strictly additive: with no sink and
+// no registry the controller behaves exactly as before, and with them
+// the hot path performs no heap allocations — events are value structs
+// whose strings are the constants below, and metric updates are
+// atomics resolved outside the loop.
+
+// Reasons attached to decision-trace events. Each is a constant so the
+// emitting path allocates nothing; the structured fields of the event
+// (old/new state, ways, values) carry the variable parts.
+const (
+	reasonIdle = "references below l1_ref_thr or llc_ref_thr: idle or not using the LLC, donate down to the minimum"
+
+	reasonGuarantee = "IPC fell below the contracted baseline performance: taking donated ways back (§2.1 conflict-miss pathology)"
+
+	reasonSettledHold = "settled for this phase: holding the proven allocation"
+
+	reasonFits = "miss rate under llc_miss_rate_thr after growth: working set fits, preferred state reached"
+
+	reasonMinimalDonor = "at the minimum allocation with a trivial miss rate: plain Donor"
+
+	reasonShrinking = "trivial miss rate: returning one way per round until misses become non-trivial"
+
+	reasonUncovered = "shrinking uncovered the working set: settling at the current allocation"
+
+	reasonProbe = "non-trivial misses with untested headroom: probing with more cache (Unknown outranks Receiver)"
+
+	reasonImproved = "the granted way improved IPC beyond ipc_imp_thr: confirmed Receiver"
+
+	reasonStreamingProbe = "reached streaming_mult x baseline (or drained the pool) with no IPC improvement: cyclic access pattern"
+
+	reasonStreamingDenied = "growth denied at the streaming threshold with no improvement: cyclic access pattern"
+
+	reasonNoGain = "the last granted way added no measurable IPC: preferred allocation reached"
+
+	reasonPhaseChange = "memory accesses per instruction shifted beyond the phase threshold: reclaiming the contracted baseline"
+
+	reasonBaselineMeasured = "clean interval at the contracted allocation: phase baseline IPC measured"
+
+	reasonTableHit = "recurring phase matched a saved performance table: jumping to the remembered allocation"
+
+	reasonWayGrant = "allocator granted growth from the free pool"
+
+	reasonWayReclaim = "allocator lowered the allocation"
+)
+
+// numStates sizes the transition matrix.
+const numStates = int(StateReclaim) + 1
+
+// coreMetrics holds the controller's registered metrics. Transition
+// counters are resolved per from/to pair on first use and cached in
+// the matrix, so steady-state updates touch only an atomic.
+type coreMetrics struct {
+	tickSeconds  *telemetry.Histogram
+	transVec     *telemetry.LabeledCounter
+	transitions  [numStates][numStates]*telemetry.Counter
+	phaseChanges *telemetry.Counter
+	poolFree     *telemetry.Gauge
+	churn        *telemetry.Counter
+}
+
+// SetSink installs the decision-trace sink (nil disables tracing).
+// Install it before the first Tick; the controller emits events
+// synchronously from its loop goroutine.
+func (c *Controller) SetSink(s obs.Sink) { c.sink = s }
+
+// RegisterMetrics registers the controller's metrics on reg and keeps
+// them updated from every subsequent Tick:
+//
+//	dcat_tick_seconds                  histogram — full tick latency
+//	dcat_state_transitions_total       counter{from,to}
+//	dcat_phase_changes_total           counter
+//	dcat_pool_free_ways                gauge — unallocated ways
+//	dcat_allocation_churn_ways_total   counter — |Δways| summed
+//
+// Call it once per controller per registry (metric names collide on a
+// second registration, by design).
+func (c *Controller) RegisterMetrics(reg *telemetry.Registry) {
+	m := &coreMetrics{
+		tickSeconds: reg.Histogram("dcat_tick_seconds",
+			"Controller tick latency: sample, detect, categorize, allocate, apply.", nil),
+		transVec: reg.LabeledCounter("dcat_state_transitions_total",
+			"Workload category transitions (§3.4 state machine).", "from", "to"),
+		phaseChanges: reg.Counter("dcat_phase_changes_total",
+			"Phase changes detected across all workloads."),
+		poolFree: reg.Gauge("dcat_pool_free_ways",
+			"LLC ways left unallocated after the last tick."),
+		churn: reg.Counter("dcat_allocation_churn_ways_total",
+			"Total ways moved between workloads (sum of |delta| per tick)."),
+	}
+	c.metrics = m
+}
+
+// setState performs a category transition, emitting a trace event and
+// counting it; same-state calls are no-ops.
+func (c *Controller) setState(w *wstate, s State, reason string) {
+	if w.state == s {
+		return
+	}
+	if c.sink != nil {
+		c.sink.Emit(obs.Event{
+			Tick:     c.ticks,
+			Kind:     obs.KindStateTransition,
+			Workload: w.name,
+			From:     w.state.String(),
+			To:       s.String(),
+			OldWays:  w.ways,
+			NewWays:  w.ways,
+			Reason:   reason,
+		})
+	}
+	if m := c.metrics; m != nil {
+		ctr := m.transitions[w.state][s]
+		if ctr == nil {
+			ctr = m.transVec.With(w.state.String(), s.String())
+			m.transitions[w.state][s] = ctr
+		}
+		ctr.Inc()
+	}
+	w.state = s
+}
+
+// emitPhaseChange records a detected phase change: the old and new
+// MAPI land in OldVal/NewVal, the allocation held when it hit in
+// OldWays.
+func (c *Controller) emitPhaseChange(w *wstate, oldMAPI, newMAPI float64) {
+	if m := c.metrics; m != nil {
+		m.phaseChanges.Inc()
+	}
+	if c.sink == nil {
+		return
+	}
+	c.sink.Emit(obs.Event{
+		Tick:     c.ticks,
+		Kind:     obs.KindPhaseChange,
+		Workload: w.name,
+		OldWays:  w.ways,
+		OldVal:   oldMAPI,
+		NewVal:   newMAPI,
+		Reason:   reasonPhaseChange,
+	})
+}
+
+// emitBaseline records a (re-)measured phase baseline: the contracted
+// ways in NewWays, the measured IPC in NewVal.
+func (c *Controller) emitBaseline(w *wstate, ipc float64) {
+	if c.sink == nil {
+		return
+	}
+	c.sink.Emit(obs.Event{
+		Tick:     c.ticks,
+		Kind:     obs.KindBaselineSet,
+		Workload: w.name,
+		NewWays:  w.baseline,
+		NewVal:   ipc,
+		Reason:   reasonBaselineMeasured,
+	})
+}
+
+// emitTableHit records a performance-table reuse jump (§3.5): the
+// remembered preferred allocation in NewWays.
+func (c *Controller) emitTableHit(w *wstate, target int) {
+	if c.sink == nil {
+		return
+	}
+	c.sink.Emit(obs.Event{
+		Tick:     c.ticks,
+		Kind:     obs.KindTableHit,
+		Workload: w.name,
+		OldWays:  w.ways,
+		NewWays:  target,
+		Reason:   reasonTableHit,
+	})
+}
+
+// emitWayChange records the allocator's verdict for one workload when
+// it differs from the current allocation. From carries the category
+// that earned the change.
+func (c *Controller) emitWayChange(w *wstate, newWays int) {
+	if c.sink == nil || newWays == w.ways {
+		return
+	}
+	kind, reason := obs.KindWayGrant, reasonWayGrant
+	if newWays < w.ways {
+		kind, reason = obs.KindWayReclaim, reasonWayReclaim
+	}
+	c.sink.Emit(obs.Event{
+		Tick:     c.ticks,
+		Kind:     kind,
+		Workload: w.name,
+		From:     w.state.String(),
+		OldWays:  w.ways,
+		NewWays:  newWays,
+		Reason:   reason,
+	})
+}

@@ -62,11 +62,27 @@ type Options struct {
 	// Seed drives frame placement and workload randomness.
 	Seed int64
 	// Jobs bounds intra-experiment parallelism for sweep-style
-	// experiments (the SPEC sweep runs 60 independent simulations);
-	// <=1 means serial. Each sweep point builds its own host from Seed,
+	// experiments (the SPEC sweep runs 60 independent simulations) when
+	// the experiment is run directly; <=1 means serial. Under RunAll
+	// the engine's shared worker budget takes over instead — see
+	// Options.sweep. Each sweep point builds its own host from Seed,
 	// and results are collected in sweep order, so rendered output is
-	// independent of Jobs.
+	// independent of parallelism either way.
 	Jobs int
+
+	// pool, when set by RunAll, is the engine-wide worker budget that
+	// sweeps draw from instead of Jobs.
+	pool *workerPool
+}
+
+// sweep runs fn(0..n-1) for a sweep-style experiment: bounded by the
+// engine's shared worker budget when one is attached (the experiment's
+// own slot plus any idle slots), by Jobs otherwise.
+func (o Options) sweep(n int, fn func(i int) error) error {
+	if o.pool != nil {
+		return o.pool.sweep(n, fn)
+	}
+	return sweepParallel(o.Jobs, n, fn)
 }
 
 // Default returns full-fidelity settings (dcat-bench).

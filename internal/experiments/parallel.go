@@ -33,6 +33,13 @@ type EngineConfig struct {
 // order — so rendering the results in sequence reproduces the serial
 // paper-order output byte for byte.
 //
+// The Jobs budget is shared with the sweeps inside experiments: RunAll
+// attaches a token pool of cfg.Jobs workers to opts, every running
+// experiment holds one token, and opts.sweep grows onto whatever
+// tokens are left. -j therefore bounds the number of simulations in
+// flight across the whole run instead of multiplying per layer (j
+// experiments each sweeping j-wide used to mean j*j workers).
+//
 // Concurrency is safe because experiments are seed-isolated: each
 // Run(opts) builds its own host.Host, memory system, and workloads from
 // opts.Seed and shares nothing mutable with its siblings. Cancelling
@@ -43,11 +50,16 @@ func RunAll(ctx context.Context, runners []Runner, opts Options, cfg EngineConfi
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
-	if jobs > len(runners) {
-		jobs = len(runners)
-	}
 	if jobs < 1 {
 		jobs = 1
+	}
+	opts.pool = newWorkerPool(jobs)
+	workers := jobs
+	if workers > len(runners) {
+		workers = len(runners)
+	}
+	if workers < 1 {
+		workers = 1
 	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -63,8 +75,8 @@ func RunAll(ctx context.Context, runners []Runner, opts Options, cfg EngineConfi
 
 	var progressMu sync.Mutex
 	var wg sync.WaitGroup
-	wg.Add(jobs)
-	for w := 0; w < jobs; w++ {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
@@ -72,9 +84,11 @@ func RunAll(ctx context.Context, runners []Runner, opts Options, cfg EngineConfi
 				if err := ctx.Err(); err != nil {
 					res.Err = err
 				} else {
+					opts.pool.acquire()
 					start := time.Now()
 					res.Output, res.Err = runners[i].Run(opts)
 					res.Elapsed = time.Since(start)
+					opts.pool.release()
 					if res.Err != nil && cfg.FailFast {
 						cancel()
 					}
@@ -90,6 +104,71 @@ func RunAll(ctx context.Context, runners []Runner, opts Options, cfg EngineConfi
 	}
 	wg.Wait()
 	return results
+}
+
+// workerPool is the token semaphore behind the shared Jobs budget: one
+// token per allowed concurrent simulation.
+type workerPool struct {
+	tokens chan struct{}
+}
+
+func newWorkerPool(n int) *workerPool {
+	p := &workerPool{tokens: make(chan struct{}, n)}
+	for i := 0; i < n; i++ {
+		p.tokens <- struct{}{}
+	}
+	return p
+}
+
+func (p *workerPool) acquire() { <-p.tokens }
+
+func (p *workerPool) release() { p.tokens <- struct{}{} }
+
+// tryAcquire takes a token only if one is free.
+func (p *workerPool) tryAcquire() bool {
+	select {
+	case <-p.tokens:
+		return true
+	default:
+		return false
+	}
+}
+
+// sweep runs fn(0..n-1) on the caller's own token plus however many
+// extra tokens are free, re-checking before every point so the sweep
+// widens as sibling experiments finish. Every index runs regardless of
+// failures; the error reported is the lowest-index one, matching
+// sweepParallel.
+func (p *workerPool) sweep(n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	idx := make(chan int)
+	go func() {
+		defer close(idx)
+		for i := 0; i < n; i++ {
+			idx <- i
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := range idx {
+		for p.tryAcquire() {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer p.release()
+				for j := range idx {
+					errs[j] = fn(j)
+				}
+			}()
+		}
+		errs[i] = fn(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // sweepParallel runs fn(0..n-1) on min(jobs, n) workers and waits for

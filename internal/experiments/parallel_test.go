@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // determinismSubset is a representative, fast slice of the registry:
@@ -171,6 +172,122 @@ func TestFig17ParallelMatchesSerial(t *testing.T) {
 	}
 	if serial, parallel := run(1), run(4); serial != parallel {
 		t.Fatalf("fig17 diverges with Jobs=4:\nserial:\n%s\nparallel:\n%s", serial, parallel)
+	}
+}
+
+// gauge measures peak concurrency of the code section bracketed by
+// enter/exit.
+type gauge struct {
+	cur, max atomic.Int32
+}
+
+func (g *gauge) enter() {
+	c := g.cur.Add(1)
+	for {
+		m := g.max.Load()
+		if c <= m || g.max.CompareAndSwap(m, c) {
+			return
+		}
+	}
+}
+
+func (g *gauge) exit() { g.cur.Add(-1) }
+
+// TestSharedBudgetBoundsSweeps is the regression test for the -j
+// multiplication bug: several sweep-style experiments under RunAll
+// must never have more simulation points in flight than the engine's
+// Jobs budget, no matter how wide each inner sweep is.
+func TestSharedBudgetBoundsSweeps(t *testing.T) {
+	const (
+		budget   = 3
+		nRunners = 4
+		nPoints  = 12
+	)
+	var g gauge
+	var ran atomic.Int32
+	runners := make([]Runner, 0, nRunners)
+	for r := 0; r < nRunners; r++ {
+		id := fmt.Sprintf("sweep%d", r)
+		runners = append(runners, Runner{ID: id, Title: id, Run: func(opts Options) (string, error) {
+			return "", opts.sweep(nPoints, func(int) error {
+				g.enter()
+				defer g.exit()
+				ran.Add(1)
+				time.Sleep(2 * time.Millisecond)
+				return nil
+			})
+		}})
+	}
+	for _, res := range RunAll(context.Background(), runners, Quick(), EngineConfig{Jobs: budget}) {
+		if res.Err != nil {
+			t.Fatalf("%s: %v", res.Runner.ID, res.Err)
+		}
+	}
+	if got := ran.Load(); got != nRunners*nPoints {
+		t.Fatalf("%d sweep points ran, want %d", got, nRunners*nPoints)
+	}
+	if peak := g.max.Load(); peak > budget {
+		t.Fatalf("peak concurrency %d exceeds the shared budget %d", peak, budget)
+	}
+}
+
+// TestSweepWidensOntoIdleBudget: when one experiment has the engine to
+// itself, its sweep must grow past one worker by borrowing the idle
+// slots.
+func TestSweepWidensOntoIdleBudget(t *testing.T) {
+	const budget = 4
+	var g gauge
+	runners := []Runner{{ID: "solo", Title: "solo", Run: func(opts Options) (string, error) {
+		return "", opts.sweep(16, func(int) error {
+			g.enter()
+			defer g.exit()
+			time.Sleep(2 * time.Millisecond)
+			return nil
+		})
+	}}}
+	for _, res := range RunAll(context.Background(), runners, Quick(), EngineConfig{Jobs: budget}) {
+		if res.Err != nil {
+			t.Fatal(res.Err)
+		}
+	}
+	peak := g.max.Load()
+	if peak < 2 {
+		t.Fatalf("peak concurrency %d: the sweep never borrowed an idle worker", peak)
+	}
+	if peak > budget {
+		t.Fatalf("peak concurrency %d exceeds the budget %d", peak, budget)
+	}
+}
+
+// TestPoolSweepSemantics: the pooled sweep keeps sweepParallel's
+// contract — every index runs exactly once and the reported error is
+// the lowest-index one.
+func TestPoolSweepSemantics(t *testing.T) {
+	pool := newWorkerPool(4)
+	var ran [37]atomic.Int32
+	if err := pool.sweep(len(ran), func(i int) error {
+		ran[i].Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ran {
+		if got := ran[i].Load(); got != 1 {
+			t.Fatalf("index %d ran %d times", i, got)
+		}
+	}
+	boom5, boom9 := errors.New("boom5"), errors.New("boom9")
+	err := pool.sweep(12, func(i int) error {
+		switch i {
+		case 5:
+			return boom5
+		case 9:
+			return boom9
+		}
+		return nil
+	})
+	if !errors.Is(err, boom5) {
+		t.Fatalf("got %v, want lowest-index error boom5", err)
 	}
 }
 

@@ -62,10 +62,11 @@ func specRun(opts Options, profile workload.SpecProfile, mode Mode) (ipc float64
 //
 // The sweep's 60 simulations (20 profiles x 3 modes) are independent —
 // each builds its own scenario from opts.Seed — so profiles run on
-// opts.Jobs workers, with rows assembled in profile order afterwards.
-// This experiment is the evaluation's long pole; without the inner
-// sweep going wide, experiment-level parallelism alone cannot beat its
-// wall time.
+// whatever the shared worker budget allows (opts.Jobs when run
+// directly), with rows assembled in profile order afterwards. This
+// experiment is the evaluation's long pole; without the inner sweep
+// going wide, experiment-level parallelism alone cannot beat its wall
+// time.
 func Fig17SPEC(opts Options) (*TableResult, error) {
 	if err := opts.Validate(); err != nil {
 		return nil, err
@@ -78,7 +79,7 @@ func Fig17SPEC(opts Options) (*TableResult, error) {
 		ways   int
 	}
 	rows := make([]specRow, len(profiles))
-	err := sweepParallel(opts.Jobs, len(profiles), func(i int) error {
+	err := opts.sweep(len(profiles), func(i int) error {
 		p := profiles[i]
 		shared, _, err := specRun(opts, p, ModeShared)
 		if err != nil {

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/cluster"
@@ -38,6 +40,14 @@ type FleetMetricsSource interface {
 //	GET /cluster/healthz     — liveness (200 once any agent is alive)
 //	GET /cluster/series.csv  — fleet time series (when available)
 func ClusterHandler(src ClusterSource) http.Handler {
+	return ClusterHandlerOpts(src, Options{})
+}
+
+// ClusterHandlerOpts is ClusterHandler plus the optional surfaces in
+// Options: a registry appended to /cluster/metrics, and — for the
+// coordinator's own decision trace (enrollments, hints) — the
+// /debug/journal, /debug/explain, and pprof endpoints.
+func ClusterHandlerOpts(src ClusterSource, opts Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
 		type body struct {
@@ -83,8 +93,27 @@ func ClusterHandler(src ClusterSource) http.Handler {
 					a.Name, wl.Name, wl.NormIPC)
 			}
 		}
+		if len(st.Transitions) > 0 {
+			fmt.Fprintln(w, "# TYPE dcat_cluster_state_transitions_total counter")
+			keys := make([]string, 0, len(st.Transitions))
+			for k := range st.Transitions {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if from, to, ok := strings.Cut(k, "->"); ok {
+					fmt.Fprintf(w, "dcat_cluster_state_transitions_total{from=%q,to=%q} %d\n",
+						from, to, st.Transitions[k])
+				}
+			}
+		}
+		fmt.Fprintf(w, "# TYPE dcat_cluster_phase_changes_total counter\ndcat_cluster_phase_changes_total %d\n",
+			st.PhaseChanges)
 		if fm, ok := src.(FleetMetricsSource); ok {
 			_ = fm.WriteFleetMetrics(w)
+		}
+		if opts.Metrics != nil {
+			_ = opts.Metrics.WritePrometheus(w)
 		}
 	})
 	if ss, ok := src.(SeriesSource); ok {
@@ -95,5 +124,6 @@ func ClusterHandler(src ClusterSource) http.Handler {
 			}
 		})
 	}
+	mountDebug(mux, opts)
 	return mux
 }

@@ -1,0 +1,91 @@
+package httpstatus
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// Options selects the optional observability surfaces a status server
+// exposes on top of the always-on /status, /metrics, and /healthz:
+//
+//	GET /debug/journal            — decision-trace tail as JSON Lines
+//	                                (?n= bounds it; default 256, 0 = all)
+//	GET /debug/explain?w=<name>   — one workload's recent decision
+//	                                history, JSON Lines, oldest first
+//	GET /debug/pprof/...          — the standard Go profiler endpoints
+//
+// The zero value turns all of them off, which is what plain Handler
+// serves.
+type Options struct {
+	// Journal enables /debug/journal and /debug/explain. The journal
+	// is internally locked, so no Locked adapter is involved — scrapes
+	// never contend with anything but the emit path.
+	Journal *obs.Journal
+	// Metrics, when set, is rendered after the built-in gauges on
+	// /metrics (or /cluster/metrics for ClusterHandlerOpts).
+	Metrics *telemetry.Registry
+	// Pprof mounts net/http/pprof handlers under /debug/pprof/. Off by
+	// default: profiling endpoints can stall the process and belong
+	// behind an explicit flag.
+	Pprof bool
+}
+
+// defaultJournalTail bounds /debug/journal responses when the client
+// does not pass ?n=.
+const defaultJournalTail = 256
+
+// mountDebug adds the /debug tree selected by opts to mux.
+func mountDebug(mux *http.ServeMux, opts Options) {
+	if opts.Journal != nil {
+		j := opts.Journal
+		mux.HandleFunc("/debug/journal", func(w http.ResponseWriter, r *http.Request) {
+			n, ok := tailParam(w, r, defaultJournalTail)
+			if !ok {
+				return
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Header().Set("X-Dcat-Journal-Dropped", strconv.FormatUint(j.Dropped(), 10))
+			_ = j.WriteJSONL(w, n)
+		})
+		mux.HandleFunc("/debug/explain", func(w http.ResponseWriter, r *http.Request) {
+			name := r.URL.Query().Get("w")
+			if name == "" {
+				http.Error(w, "missing ?w=<workload>", http.StatusBadRequest)
+				return
+			}
+			n, ok := tailParam(w, r, 0)
+			if !ok {
+				return
+			}
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			_ = obs.WriteJSONL(w, j.Explain(name, n))
+		})
+	}
+	if opts.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// tailParam parses the ?n= event-count bound; false means an error
+// response has been written.
+func tailParam(w http.ResponseWriter, r *http.Request, def int) (int, bool) {
+	q := r.URL.Query().Get("n")
+	if q == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 0 {
+		http.Error(w, fmt.Sprintf("bad n %q: want a non-negative integer", q), http.StatusBadRequest)
+		return 0, false
+	}
+	return n, true
+}

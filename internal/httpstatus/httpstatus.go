@@ -72,8 +72,12 @@ type statusBody struct {
 	Workloads []statusEntry `json:"workloads"`
 }
 
-// Handler returns the HTTP handler tree.
-func Handler(src Source) http.Handler {
+// Handler returns the HTTP handler tree with no optional surfaces.
+func Handler(src Source) http.Handler { return HandlerOpts(src, Options{}) }
+
+// HandlerOpts returns the HTTP handler tree plus whatever Options
+// selects (decision-trace journal, metrics registry, pprof).
+func HandlerOpts(src Source, opts Options) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		if src.Ticks() == 0 {
@@ -121,14 +125,23 @@ func Handler(src Source) http.Handler {
 				fmt.Fprintf(w, "dcat_llc_occupancy_bytes{workload=%q} %d\n", st.Name, occ[st.Name])
 			}
 		}
+		if opts.Metrics != nil {
+			_ = opts.Metrics.WritePrometheus(w)
+		}
 	})
+	mountDebug(mux, opts)
 	return mux
 }
 
 // Serve starts the server on addr in a new goroutine and returns the
 // http.Server for shutdown.
 func Serve(addr string, src Source) *http.Server {
-	srv := &http.Server{Addr: addr, Handler: Handler(src), ReadHeaderTimeout: 5 * time.Second}
+	return ServeOpts(addr, src, Options{})
+}
+
+// ServeOpts is Serve with optional observability surfaces.
+func ServeOpts(addr string, src Source, opts Options) *http.Server {
+	srv := &http.Server{Addr: addr, Handler: HandlerOpts(src, opts), ReadHeaderTimeout: 5 * time.Second}
 	go func() {
 		// ErrServerClosed on shutdown is the expected exit.
 		_ = srv.ListenAndServe()

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// FileSink streams events as JSON Lines to a writer — the -trace-file
+// backing of the daemons. Unlike the Journal it keeps the full
+// history; unlike the Journal it allocates (JSON encoding) on every
+// event, so it is opt-in.
+//
+// Emit never fails loudly: the first write error is latched and every
+// later event is dropped, so a full disk degrades tracing instead of
+// the control loop. Check Err (or Close) to observe the failure.
+type FileSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	c   io.Closer
+	err error
+}
+
+// NewFileSink opens (creating or appending) a JSONL trace file.
+func NewFileSink(path string) (*FileSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: opening trace file: %w", err)
+	}
+	s := NewWriterSink(f)
+	s.c = f
+	return s, nil
+}
+
+// NewWriterSink wraps any writer as a JSONL sink (tests, pipes).
+func NewWriterSink(w io.Writer) *FileSink {
+	bw := bufio.NewWriter(w)
+	return &FileSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit implements Sink. Each event is flushed through the buffer so a
+// crashed daemon leaves at most the in-flight line unwritten.
+func (s *FileSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return
+	}
+	if err := s.enc.Encode(ev); err != nil {
+		s.err = err
+		return
+	}
+	s.err = s.bw.Flush()
+}
+
+// Err returns the latched write error, if any.
+func (s *FileSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Close flushes and closes the underlying file, returning the first
+// error the sink encountered.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.bw.Flush(); err != nil && s.err == nil {
+		s.err = err
+	}
+	if s.c != nil {
+		if err := s.c.Close(); err != nil && s.err == nil {
+			s.err = err
+		}
+		s.c = nil
+	}
+	return s.err
+}
+
+// TransitionTally is a Sink that counts category transitions and phase
+// changes — the event summary a cluster agent forwards to the
+// coordinator so /cluster can show fleet-wide transition rates without
+// shipping whole journals over the wire.
+type TransitionTally struct {
+	mu          sync.Mutex
+	transitions map[string]uint64 // "From->To" -> count
+	phases      uint64
+}
+
+// NewTransitionTally returns an empty tally.
+func NewTransitionTally() *TransitionTally {
+	return &TransitionTally{transitions: make(map[string]uint64)}
+}
+
+// TransitionKey is how a from/to category pair is keyed in summaries:
+// "Keeper->Donor".
+func TransitionKey(from, to string) string { return from + "->" + to }
+
+// Emit implements Sink.
+func (t *TransitionTally) Emit(ev Event) {
+	switch ev.Kind {
+	case KindStateTransition:
+		t.mu.Lock()
+		t.transitions[TransitionKey(ev.From, ev.To)]++
+		t.mu.Unlock()
+	case KindPhaseChange:
+		t.mu.Lock()
+		t.phases++
+		t.mu.Unlock()
+	}
+}
+
+// Drain returns the counts accumulated since the last drain and resets
+// them. The transition map is nil when nothing was counted.
+func (t *TransitionTally) Drain() (transitions map[string]uint64, phaseChanges uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	phaseChanges = t.phases
+	t.phases = 0
+	if len(t.transitions) == 0 {
+		return nil, phaseChanges
+	}
+	transitions = t.transitions
+	t.transitions = make(map[string]uint64)
+	return transitions, phaseChanges
+}
+
+// Add merges counts back in — the agent restores a drained summary
+// when the report carrying it failed, so no transitions are lost.
+func (t *TransitionTally) Add(transitions map[string]uint64, phaseChanges uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.phases += phaseChanges
+	for k, v := range transitions {
+		t.transitions[k] += v
+	}
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Journal is a bounded ring of the most recent decision-trace events.
+// It is the daemon's flight recorder: appends overwrite the oldest
+// entry once the ring is full, and an overflow counter records how
+// much history has been lost. One mutex guards the ring — appends copy
+// a value struct into a preallocated slot, so the critical section is
+// tens of nanoseconds and the controller hot path stays allocation-
+// free.
+type Journal struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64 // events ever appended
+}
+
+// DefaultJournalSize is the ring capacity daemons use unless
+// configured otherwise: large enough to hold several minutes of
+// multi-tenant decisions at one tick per second.
+const DefaultJournalSize = 4096
+
+// NewJournal returns a ring holding the last capacity events
+// (capacity <= 0 selects DefaultJournalSize).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalSize
+	}
+	return &Journal{buf: make([]Event, capacity)}
+}
+
+// Emit implements Sink.
+func (j *Journal) Emit(ev Event) {
+	j.mu.Lock()
+	j.buf[j.total%uint64(len(j.buf))] = ev
+	j.total++
+	j.mu.Unlock()
+}
+
+// Cap returns the ring capacity.
+func (j *Journal) Cap() int { return len(j.buf) }
+
+// Len returns how many events are currently held (<= Cap).
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.total < uint64(len(j.buf)) {
+		return int(j.total)
+	}
+	return len(j.buf)
+}
+
+// Total returns how many events were ever appended.
+func (j *Journal) Total() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.total
+}
+
+// Dropped returns how many events have been overwritten (lost to the
+// ring bound).
+func (j *Journal) Dropped() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.droppedLocked()
+}
+
+func (j *Journal) droppedLocked() uint64 {
+	if j.total <= uint64(len(j.buf)) {
+		return 0
+	}
+	return j.total - uint64(len(j.buf))
+}
+
+// Tail returns the most recent n events in append order (oldest
+// first). n <= 0 or n > Len returns everything held.
+func (j *Journal) Tail(n int) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	held := int(j.total)
+	if held > len(j.buf) {
+		held = len(j.buf)
+	}
+	if n <= 0 || n > held {
+		n = held
+	}
+	out := make([]Event, n)
+	for i := 0; i < n; i++ {
+		out[i] = j.buf[(j.total-uint64(n)+uint64(i))%uint64(len(j.buf))]
+	}
+	return out
+}
+
+// Explain reconstructs the last n decisions affecting one workload,
+// oldest first — the per-tenant audit trail: why did this workload
+// lose a way, when did it flip to Streaming, what was its measured
+// baseline. n <= 0 returns every matching event still in the ring.
+func (j *Journal) Explain(workload string, n int) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	held := j.total
+	if held > uint64(len(j.buf)) {
+		held = uint64(len(j.buf))
+	}
+	var out []Event
+	// Scan newest to oldest so the n limit keeps the most recent
+	// decisions, then reverse into chronological order.
+	for i := uint64(0); i < held; i++ {
+		ev := j.buf[(j.total-1-i)%uint64(len(j.buf))]
+		if ev.Workload != workload {
+			continue
+		}
+		out = append(out, ev)
+		if n > 0 && len(out) == n {
+			break
+		}
+	}
+	for l, r := 0, len(out)-1; l < r; l, r = l+1, r-1 {
+		out[l], out[r] = out[r], out[l]
+	}
+	return out
+}
+
+// WriteJSONL renders the most recent n events (n <= 0: all held) as
+// one JSON object per line, oldest first — the same format FileSink
+// writes continuously.
+func (j *Journal) WriteJSONL(w io.Writer, n int) error {
+	return WriteJSONL(w, j.Tail(n))
+}
+
+// WriteJSONL renders events as JSON Lines.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL event stream (a -trace-file, or the
+// /debug/journal response) back into events.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	dec := json.NewDecoder(r)
+	var out []Event
+	for dec.More() {
+		var ev Event
+		if err := dec.Decode(&ev); err != nil {
+			return out, err
+		}
+		out = append(out, ev)
+	}
+	return out, nil
+}

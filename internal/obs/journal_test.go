@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func ev(tick int, workload string, kind Kind) Event {
+	return Event{Tick: tick, Workload: workload, Kind: kind, Reason: "test"}
+}
+
+func TestJournalFillAndTail(t *testing.T) {
+	j := NewJournal(8)
+	if j.Cap() != 8 || j.Len() != 0 {
+		t.Fatalf("fresh journal: cap %d len %d", j.Cap(), j.Len())
+	}
+	for i := 0; i < 5; i++ {
+		j.Emit(ev(i, "web", KindStateTransition))
+	}
+	if j.Len() != 5 || j.Dropped() != 0 {
+		t.Fatalf("len %d dropped %d, want 5 and 0", j.Len(), j.Dropped())
+	}
+	tail := j.Tail(3)
+	if len(tail) != 3 || tail[0].Tick != 2 || tail[2].Tick != 4 {
+		t.Fatalf("Tail(3) = %+v, want ticks 2..4", tail)
+	}
+	all := j.Tail(0)
+	if len(all) != 5 || all[0].Tick != 0 {
+		t.Fatalf("Tail(0) = %d events starting at %d, want 5 from 0", len(all), all[0].Tick)
+	}
+}
+
+// TestJournalWraparound locks in the ring-buffer semantics: once full,
+// appends overwrite the oldest events, order is preserved across the
+// wrap, and the overflow counter reports exactly how much was lost.
+func TestJournalWraparound(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 11; i++ {
+		j.Emit(ev(i, "web", KindWayGrant))
+	}
+	if j.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", j.Len())
+	}
+	if j.Total() != 11 {
+		t.Fatalf("Total = %d, want 11", j.Total())
+	}
+	if j.Dropped() != 7 {
+		t.Fatalf("Dropped = %d, want 7", j.Dropped())
+	}
+	tail := j.Tail(0)
+	for i, e := range tail {
+		if want := 7 + i; e.Tick != want {
+			t.Fatalf("tail[%d].Tick = %d, want %d (tail %+v)", i, e.Tick, want, tail)
+		}
+	}
+	// Asking for more than held clamps.
+	if got := j.Tail(100); len(got) != 4 {
+		t.Fatalf("Tail(100) returned %d events, want 4", len(got))
+	}
+}
+
+func TestJournalExplain(t *testing.T) {
+	j := NewJournal(16)
+	for i := 0; i < 6; i++ {
+		j.Emit(ev(i, "web", KindStateTransition))
+		j.Emit(ev(i, "batch", KindWayReclaim))
+	}
+	web := j.Explain("web", 0)
+	if len(web) != 6 {
+		t.Fatalf("Explain(web) = %d events, want 6", len(web))
+	}
+	for i, e := range web {
+		if e.Tick != i || e.Workload != "web" {
+			t.Fatalf("Explain(web)[%d] = %+v", i, e)
+		}
+	}
+	last2 := j.Explain("batch", 2)
+	if len(last2) != 2 || last2[0].Tick != 4 || last2[1].Tick != 5 {
+		t.Fatalf("Explain(batch, 2) = %+v, want ticks 4,5", last2)
+	}
+	if got := j.Explain("nosuch", 0); len(got) != 0 {
+		t.Fatalf("Explain(nosuch) = %+v, want empty", got)
+	}
+}
+
+// TestJournalExplainAcrossWrap: Explain must survive ring wraparound
+// without duplicating or reordering events.
+func TestJournalExplainAcrossWrap(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 9; i++ {
+		name := "a"
+		if i%2 == 1 {
+			name = "b"
+		}
+		j.Emit(ev(i, name, KindStateTransition))
+	}
+	// Ring holds ticks 5..8; "a" events among them are 6 and 8.
+	got := j.Explain("a", 0)
+	if len(got) != 2 || got[0].Tick != 6 || got[1].Tick != 8 {
+		t.Fatalf("Explain(a) across wrap = %+v, want ticks 6,8", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	j := NewJournal(8)
+	j.Emit(Event{Tick: 1, Kind: KindPhaseChange, Workload: "web", OldVal: 0.01, NewVal: 0.05,
+		Reason: "memory accesses per instruction shifted beyond the phase threshold"})
+	j.Emit(Event{Tick: 2, Kind: KindStateTransition, Workload: "web", From: "Keeper", To: "Unknown",
+		Reason: "probing for benefit"})
+	var buf bytes.Buffer
+	if err := j.WriteJSONL(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Fatalf("JSONL output has %d lines, want 2:\n%s", lines, buf.String())
+	}
+	if !strings.Contains(buf.String(), `"kind":"PhaseChange"`) {
+		t.Fatalf("kind not rendered as name:\n%s", buf.String())
+	}
+	back, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[0] != j.Tail(0)[0] || back[1] != j.Tail(0)[1] {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, j.Tail(0))
+	}
+}
+
+func TestKindUnknown(t *testing.T) {
+	var k Kind
+	if err := k.UnmarshalJSON([]byte(`"NoSuchKind"`)); err == nil {
+		t.Fatal("unknown kind decoded without error")
+	}
+	if s := Kind(99).String(); s != "Kind(99)" {
+		t.Fatalf("Kind(99).String() = %q", s)
+	}
+}
+
+func TestWriterSinkAndMulti(t *testing.T) {
+	var buf bytes.Buffer
+	fs := NewWriterSink(&buf)
+	j := NewJournal(4)
+	sink := Multi(nil, j, fs)
+	for i := 0; i < 3; i++ {
+		sink.Emit(ev(i, "web", KindBaselineSet))
+	}
+	if err := fs.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 || j.Len() != 3 {
+		t.Fatalf("file got %d events, journal %d, want 3 and 3", len(events), j.Len())
+	}
+	if Multi(nil, nil) != nil {
+		t.Fatal("Multi of nils should be nil")
+	}
+	if Multi(j) != Sink(j) {
+		t.Fatal("Multi of one sink should return it unchanged")
+	}
+}
+
+func TestFileSinkErrLatches(t *testing.T) {
+	fs := NewWriterSink(failWriter{})
+	fs.Emit(ev(1, "web", KindWayGrant))
+	if fs.Err() == nil {
+		t.Fatal("write error not latched")
+	}
+	fs.Emit(ev(2, "web", KindWayGrant)) // must not panic or reset the error
+	if fs.Err() == nil {
+		t.Fatal("error cleared by later emit")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("disk full") }
+
+func TestTransitionTally(t *testing.T) {
+	tally := NewTransitionTally()
+	tally.Emit(Event{Kind: KindStateTransition, From: "Keeper", To: "Unknown"})
+	tally.Emit(Event{Kind: KindStateTransition, From: "Keeper", To: "Unknown"})
+	tally.Emit(Event{Kind: KindStateTransition, From: "Unknown", To: "Receiver"})
+	tally.Emit(Event{Kind: KindPhaseChange})
+	tally.Emit(Event{Kind: KindWayGrant}) // ignored
+
+	trans, phases := tally.Drain()
+	if phases != 1 {
+		t.Fatalf("phases = %d, want 1", phases)
+	}
+	if trans["Keeper->Unknown"] != 2 || trans["Unknown->Receiver"] != 1 || len(trans) != 2 {
+		t.Fatalf("transitions = %v", trans)
+	}
+	// Drained: next drain is empty.
+	if trans2, phases2 := tally.Drain(); trans2 != nil || phases2 != 0 {
+		t.Fatalf("second drain not empty: %v %d", trans2, phases2)
+	}
+	// A failed report restores its summary; counts merge with new ones.
+	tally.Add(trans, phases)
+	tally.Emit(Event{Kind: KindStateTransition, From: "Keeper", To: "Unknown"})
+	trans3, phases3 := tally.Drain()
+	if trans3["Keeper->Unknown"] != 3 || phases3 != 1 {
+		t.Fatalf("after Add: %v %d", trans3, phases3)
+	}
+}
+
+// TestJournalConcurrent drives emitters and readers together; run
+// under -race to prove the locking story.
+func TestJournalConcurrent(t *testing.T) {
+	j := NewJournal(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				j.Emit(ev(i, fmt.Sprintf("w%d", g), KindStateTransition))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			j.Tail(16)
+			j.Explain("w0", 4)
+			j.Dropped()
+		}
+	}()
+	wg.Wait()
+	if j.Total() != 2000 {
+		t.Fatalf("Total = %d, want 2000", j.Total())
+	}
+}

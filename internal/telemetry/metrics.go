@@ -1,0 +1,332 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// This file extends the package beyond experiment recording: a small
+// Prometheus-style metrics registry (counters, gauges, histograms,
+// labeled counters) for the long-running daemons. The Recorder keeps
+// full time series for the paper's figures; the Registry keeps cheap
+// monotonic aggregates for scrapers. All metric operations are atomic
+// and allocation-free, so the controller hot path can update them
+// every tick.
+
+// Registry holds named metrics and renders them in text exposition
+// format, in registration order.
+type Registry struct {
+	mu     sync.Mutex
+	order  []exposable
+	byName map[string]exposable
+}
+
+// exposable is one registered metric family.
+type exposable interface {
+	expose(w io.Writer) error
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]exposable)}
+}
+
+// register installs a metric, panicking on duplicate names — metric
+// registration happens once at wiring time, so a collision is a
+// programming error worth failing loudly on.
+func (r *Registry) register(name string, m exposable) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.byName[name]; dup {
+		panic(fmt.Sprintf("telemetry: metric %q registered twice", name))
+	}
+	r.byName[name] = m
+	r.order = append(r.order, m)
+}
+
+// WritePrometheus renders every registered metric in registration
+// order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	metrics := append([]exposable(nil), r.order...)
+	r.mu.Unlock()
+	for _, m := range metrics {
+		if err := m.expose(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// NewCounter registers a counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	c := &Counter{name: sanitizeMetric(name), help: help}
+	r.register(c.name, c)
+	return c
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) expose(w io.Writer) error {
+	return exposeOne(w, c.name, c.help, "counter", "", fmt.Sprintf("%d", c.Value()))
+}
+
+// Gauge is a settable float64.
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// NewGauge registers a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	g := &Gauge{name: sanitizeMetric(name), help: help}
+	r.register(g.name, g)
+	return g
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) expose(w io.Writer) error {
+	return exposeOne(w, g.name, g.help, "gauge", "", fmt.Sprintf("%g", g.Value()))
+}
+
+// DefLatencyBuckets spans 50µs to 10s — wide enough for a simulated
+// tick (microseconds), a hardware tick (milliseconds), and a cluster
+// RPC over a congested network (seconds).
+var DefLatencyBuckets = []float64{
+	50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// Histogram counts observations into cumulative buckets, Prometheus
+// style. Observe is lock-free: each bucket and the sum are atomics.
+type Histogram struct {
+	name, help string
+	bounds     []float64
+	counts     []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sumBits    atomic.Uint64   // float64 bits, CAS-accumulated
+}
+
+// NewHistogram registers a histogram with the given ascending bucket
+// upper bounds (nil selects DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = DefLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q buckets not ascending", name))
+		}
+	}
+	h := &Histogram{
+		name:   sanitizeMetric(name),
+		help:   help,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+	r.register(h.name, h)
+	return h
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+func (h *Histogram) expose(w io.Writer) error {
+	if err := exposeHeader(w, h.name, h.help, "histogram"); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, fmt.Sprintf("%g", b), cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", h.name, h.Sum(), h.name, cum); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LabeledCounter is a counter family keyed by label values ("from",
+// "to" for transition counts). Children are created by With, which the
+// caller resolves once at wiring time so the hot path touches only the
+// child's atomic.
+type LabeledCounter struct {
+	name, help string
+	labels     []string
+	mu         sync.Mutex
+	order      []*labeledChild
+	children   map[string]*labeledChild
+}
+
+type labeledChild struct {
+	rendered string // `{k1="v1",k2="v2"}`
+	c        Counter
+}
+
+// LabeledCounter registers a counter family with the given label
+// names.
+func (r *Registry) LabeledCounter(name, help string, labels ...string) *LabeledCounter {
+	if len(labels) == 0 {
+		panic(fmt.Sprintf("telemetry: labeled counter %q needs label names", name))
+	}
+	lc := &LabeledCounter{
+		name:     sanitizeMetric(name),
+		help:     help,
+		labels:   labels,
+		children: make(map[string]*labeledChild),
+	}
+	r.register(lc.name, lc)
+	return lc
+}
+
+// With returns the child counter for the given label values (one per
+// label name, in order), creating it on first use. Resolve children
+// outside hot paths.
+func (lc *LabeledCounter) With(values ...string) *Counter {
+	if len(values) != len(lc.labels) {
+		panic(fmt.Sprintf("telemetry: %s takes %d label values, got %d", lc.name, len(lc.labels), len(values)))
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, name := range lc.labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=\"%s\"", name, escapeLabel(values[i]))
+	}
+	sb.WriteByte('}')
+	key := sb.String()
+
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	child, ok := lc.children[key]
+	if !ok {
+		child = &labeledChild{rendered: key}
+		lc.children[key] = child
+		lc.order = append(lc.order, child)
+	}
+	return &child.c
+}
+
+// Values snapshots every child's count keyed by its rendered label
+// set, for tests and JSON surfaces.
+func (lc *LabeledCounter) Values() map[string]uint64 {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	out := make(map[string]uint64, len(lc.order))
+	for _, ch := range lc.order {
+		out[ch.rendered] = ch.c.Value()
+	}
+	return out
+}
+
+func (lc *LabeledCounter) expose(w io.Writer) error {
+	if err := exposeHeader(w, lc.name, lc.help, "counter"); err != nil {
+		return err
+	}
+	lc.mu.Lock()
+	children := append([]*labeledChild(nil), lc.order...)
+	lc.mu.Unlock()
+	// Stable output regardless of creation order.
+	sort.Slice(children, func(i, j int) bool { return children[i].rendered < children[j].rendered })
+	for _, ch := range children {
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", lc.name, ch.rendered, ch.c.Value()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func exposeHeader(w io.Writer, name, help, typ string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+	return err
+}
+
+func exposeOne(w io.Writer, name, help, typ, labels, value string) error {
+	if err := exposeHeader(w, name, help, typ); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, value)
+	return err
+}
+
+// escapeLabel applies Prometheus label-value escaping (backslash,
+// quote, newline).
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var sb strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
