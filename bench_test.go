@@ -101,6 +101,50 @@ func BenchmarkAblationPolicy(b *testing.B)         { runExperiment(b, "ablation-
 func BenchmarkAblationDetector(b *testing.B)       { runExperiment(b, "ablation-detector") }
 func BenchmarkAblationReplacement(b *testing.B)    { runExperiment(b, "ablation-replacement") }
 
+// NUMA topology (DESIGN.md §NUMA).
+
+func BenchmarkNUMAPlacement(b *testing.B) { runExperiment(b, "numa-placement") }
+
+// BenchmarkNUMAInterval measures one simulated interval plus the
+// per-socket controller round on a 2-socket host — the cross-socket
+// counterpart of BenchmarkSimulatedInterval.
+func BenchmarkNUMAInterval(b *testing.B) {
+	sim, err := NewSimulation(SimConfig{CyclesPerInterval: 4_000_000, Sockets: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mlr, err := sim.NewMLR(8<<20, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sim.AddVM("target", 2, mlr); err != nil {
+		b.Fatal(err)
+	}
+	baselines := map[string]int{"target": 3}
+	for socket := 0; socket < 2; socket++ {
+		for i := 0; i < 2; i++ {
+			name := string(rune('a'+2*socket+i)) + "lb"
+			w, err := sim.NewLookbusyOn(socket)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := sim.AddVMOn(socket, name, 2, w); err != nil {
+				b.Fatal(err)
+			}
+			baselines[name] = 3
+		}
+	}
+	if err := sim.Start(DefaultConfig(), baselines); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkControllerTick measures one controller period (sampling,
 // phase detection, categorization, allocation) for a fully loaded
 // socket — the paper reports the daemon's CPU overhead stays below 1%

@@ -8,6 +8,7 @@
 //	dcat-bench -run fig10,fig17
 //	dcat-bench -out results/   # also save one file per experiment
 //	dcat-bench -json           # write per-experiment timings to BENCH_bench.json
+//	dcat-bench -sockets 2      # run the suite on a 2-socket NUMA host
 //	dcat-bench -list
 //
 // Experiment text goes to stdout in paper order (byte-identical for
@@ -48,6 +49,8 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "write per-experiment timings to "+jsonReportPath)
 		failFast = flag.Bool("failfast", false, "cancel pending experiments after the first failure")
 		compare  = flag.String("compare", "", "compare this run's timings against a previous "+jsonReportPath+"; exit non-zero on a >2x per-experiment regression")
+		sockets  = flag.Int("sockets", 0, "run every experiment on an N-socket NUMA host (0 = original single-socket host)")
+		penalty  = flag.Uint64("remote-penalty", 0, "cross-socket DRAM penalty in cycles (0 = default when -sockets > 1)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -61,6 +64,8 @@ func main() {
 		jsonOut:  *jsonOut,
 		failFast: *failFast,
 		compare:  *compare,
+		sockets:  *sockets,
+		penalty:  *penalty,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dcat-bench:", err)
 		os.Exit(1)
@@ -76,6 +81,8 @@ type config struct {
 	jsonOut  bool
 	failFast bool
 	compare  string
+	sockets  int
+	penalty  uint64
 }
 
 func realMain(ctx context.Context, cfg config) error {
@@ -89,6 +96,8 @@ func realMain(ctx context.Context, cfg config) error {
 	if cfg.quick {
 		opts = experiments.Quick()
 	}
+	opts.Sockets = cfg.sockets
+	opts.RemotePenalty = cfg.penalty
 	// opts.Jobs stays unset: RunAll attaches the shared -j worker
 	// budget, so in-experiment sweeps widen onto idle slots instead of
 	// multiplying the parallelism per layer.

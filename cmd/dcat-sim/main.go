@@ -8,6 +8,9 @@
 //	dcat-sim -workload redis -noisy 2
 //	dcat-sim -workload spec:omnetpp -policy perf
 //	dcat-sim -csv timeline.csv
+//	dcat-sim -sockets 2                       # NUMA: one dCat loop per LLC
+//	dcat-sim -sockets 2 -target-mem 1         # target's memory on the far socket
+//	dcat-sim -topology sockets=2,machine=xeon-d,penalty=150
 package main
 
 import (
@@ -32,21 +35,31 @@ func main() {
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		csvPath   = flag.String("csv", "", "write the ways/IPC timeline as CSV")
 		record    = flag.String("record", "", "save the target's access trace to this file")
+		sockets   = flag.Int("sockets", 0, "NUMA sockets (0 = single-socket host); neighbours round-robin across sockets")
+		penalty   = flag.Uint64("remote-penalty", 0, "cross-socket DRAM penalty in cycles (0 = default when -sockets > 1)")
+		topology  = flag.String("topology", "", "memsys topology spec (e.g. sockets=2,machine=xeon-d,penalty=150); overrides -sockets/-remote-penalty")
+		targetMem = flag.Int("target-mem", 0, "socket the target's memory is allocated on (mlr/mload; target runs on socket 0)")
 	)
 	flag.Parse()
-	if err := realMain(*wl, *wsMB<<20, *baseline, *neighbors, *noisy, *policy,
-		*intervals, *seed, *csvPath, *record); err != nil {
+	simCfg := dcat.SimConfig{
+		Seed:          *seed,
+		Sockets:       *sockets,
+		RemotePenalty: *penalty,
+		Topology:      *topology,
+	}
+	if err := realMain(simCfg, *wl, *wsMB<<20, *baseline, *neighbors, *noisy, *policy,
+		*intervals, *seed, *csvPath, *record, *targetMem); err != nil {
 		fmt.Fprintln(os.Stderr, "dcat-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func buildTarget(sim *dcat.Simulation, wl string, ws uint64, seed int64) (dcat.Workload, error) {
+func buildTarget(sim *dcat.Simulation, wl string, ws uint64, seed int64, memSocket int) (dcat.Workload, error) {
 	switch {
 	case wl == "mlr":
-		return sim.NewMLR(ws, seed)
+		return sim.NewMLROn(memSocket, ws, seed)
 	case wl == "mload":
-		return sim.NewMLOAD(ws)
+		return sim.NewMLOADOn(memSocket, ws)
 	case wl == "redis":
 		return sim.NewRedis(seed)
 	case wl == "postgres":
@@ -62,8 +75,8 @@ func buildTarget(sim *dcat.Simulation, wl string, ws uint64, seed int64) (dcat.W
 	}
 }
 
-func realMain(wl string, ws uint64, baseline, neighbors, noisy int, policy string,
-	intervals int, seed int64, csvPath, recordPath string) error {
+func realMain(simCfg dcat.SimConfig, wl string, ws uint64, baseline, neighbors, noisy int, policy string,
+	intervals int, seed int64, csvPath, recordPath string, targetMem int) error {
 	cfg := dcat.DefaultConfig()
 	switch policy {
 	case "fair":
@@ -74,11 +87,18 @@ func realMain(wl string, ws uint64, baseline, neighbors, noisy int, policy strin
 		return fmt.Errorf("unknown policy %q", policy)
 	}
 
-	sim, err := dcat.NewSimulation(dcat.SimConfig{Seed: seed})
+	sim, err := dcat.NewSimulation(simCfg)
 	if err != nil {
 		return err
 	}
-	target, err := buildTarget(sim, wl, ws, seed)
+	nSockets := 1
+	if nsys := sim.Host().NUMA(); nsys != nil {
+		nSockets = nsys.Sockets()
+	}
+	if targetMem < 0 || targetMem >= nSockets {
+		return fmt.Errorf("-target-mem %d out of range for %d socket(s)", targetMem, nSockets)
+	}
+	target, err := buildTarget(sim, wl, ws, seed, targetMem)
 	if err != nil {
 		return err
 	}
@@ -94,24 +114,28 @@ func realMain(wl string, ws uint64, baseline, neighbors, noisy int, policy strin
 		return err
 	}
 	baselines := map[string]int{"target": baseline}
+	// Neighbours round-robin across sockets, each touching its own
+	// socket's memory, so every LLC has a population to manage.
 	for i := 0; i < noisy; i++ {
 		name := fmt.Sprintf("noisy%d", i+1)
-		w, err := sim.NewMLOAD(60 << 20)
+		socket := i % nSockets
+		w, err := sim.NewMLOADOn(socket, 60<<20)
 		if err != nil {
 			return err
 		}
-		if err := sim.AddVM(name, 2, w); err != nil {
+		if err := sim.AddVMOn(socket, name, 2, w); err != nil {
 			return err
 		}
 		baselines[name] = baseline
 	}
 	for i := 0; i < neighbors; i++ {
 		name := fmt.Sprintf("lb%d", i+1)
-		w, err := sim.NewLookbusy()
+		socket := i % nSockets
+		w, err := sim.NewLookbusyOn(socket)
 		if err != nil {
 			return err
 		}
-		if err := sim.AddVM(name, 2, w); err != nil {
+		if err := sim.AddVMOn(socket, name, 2, w); err != nil {
 			return err
 		}
 		baselines[name] = baseline
@@ -140,7 +164,20 @@ func realMain(wl string, ws uint64, baseline, neighbors, noisy int, policy strin
 	fmt.Println()
 	fmt.Println("final allocation:")
 	for _, st := range sim.Snapshot() {
-		fmt.Printf("  %-10s %-10s %2d ways (baseline %d)\n", st.Name, st.State, st.Ways, st.Baseline)
+		suffix := ""
+		if nSockets > 1 {
+			if vm, ok := sim.Host().VM(st.Name); ok {
+				suffix = fmt.Sprintf(" [socket %d]", vm.Socket)
+			}
+		}
+		fmt.Printf("  %-10s %-10s %2d ways (baseline %d)%s\n", st.Name, st.State, st.Ways, st.Baseline, suffix)
+	}
+	if nsys := sim.Host().NUMA(); nsys != nil && nSockets > 1 {
+		fmt.Println("cross-socket traffic:")
+		for s := 0; s < nSockets; s++ {
+			fmt.Printf("  socket %d: %d remote accesses, %d penalty cycles\n",
+				s, nsys.RemoteAccesses(s), nsys.RemotePenaltyCycles(s))
+		}
 	}
 	if csvPath != "" {
 		f, err := os.Create(csvPath)

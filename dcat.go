@@ -46,6 +46,8 @@ type (
 	Status = core.Status
 	// Controller is the dCat daemon loop.
 	Controller = core.Controller
+	// MultiController is one dCat loop per socket on a NUMA host.
+	MultiController = core.MultiController
 	// PerfTable is a per-phase ways → normalized-IPC table (§3.5).
 	PerfTable = core.PerfTable
 )
@@ -163,10 +165,24 @@ type SimConfig struct {
 	// CyclesPerInterval is each core's budget per controller period
 	// (default 20M — a ~100x time-scaled second).
 	CyclesPerInterval uint64
-	// MemBytes is simulated physical memory (default 4 GiB).
+	// MemBytes is simulated physical memory (default 4 GiB). On a NUMA
+	// simulation the range is split evenly across sockets.
 	MemBytes uint64
 	// Seed drives all randomness (default 1).
 	Seed int64
+	// Sockets builds a NUMA simulation with that many sockets of the
+	// selected Machine (0 and 1 mean single-socket). With several
+	// sockets, Start wires one controller per LLC; place VMs with
+	// AddVMOn and their memory with the socket-aware workload
+	// constructors.
+	Sockets int
+	// RemotePenalty is the cross-socket DRAM penalty in cycles
+	// (default memsys.DefaultRemotePenalty when Sockets > 1).
+	RemotePenalty uint64
+	// Topology, when non-empty, is a memsys.ParseNUMA spec (e.g.
+	// "sockets=2,machine=xeon-d,penalty=150") that overrides Machine,
+	// Sockets, MemBytes, and RemotePenalty wholesale.
+	Topology string
 }
 
 // Machine selects a socket preset.
@@ -178,15 +194,17 @@ const (
 	MachineXeonD
 )
 
-// Simulation is a multi-tenant socket under dCat: a simulated host,
-// its CAT backend, and (once Start is called) the controller.
+// Simulation is a multi-tenant host under dCat: a simulated machine,
+// its CAT backend(s), and (once Start is called) the controller — one
+// per socket on a NUMA simulation.
 type Simulation struct {
 	h       *host.Host
-	backend *cat.SimBackend
-	ctl     *Controller
+	backend *cat.SimBackend // single-socket CAT domain (nil on multi-socket hosts)
+	ctl     *Controller     // single-socket loop (nil on multi-socket hosts)
+	mctl    *MultiController
 }
 
-// NewSimulation builds the socket.
+// NewSimulation builds the host.
 func NewSimulation(cfg SimConfig) (*Simulation, error) {
 	hc := host.DefaultConfig()
 	if cfg.Machine == MachineXeonD {
@@ -201,59 +219,117 @@ func NewSimulation(cfg SimConfig) (*Simulation, error) {
 	if cfg.Seed != 0 {
 		hc.Seed = cfg.Seed
 	}
+	hc.Sockets = cfg.Sockets
+	hc.RemotePenalty = cfg.RemotePenalty
+	if cfg.Sockets > 1 && cfg.RemotePenalty == 0 {
+		hc.RemotePenalty = memsys.DefaultRemotePenalty
+	}
+	if cfg.Topology != "" {
+		nc, err := memsys.ParseNUMA(cfg.Topology)
+		if err != nil {
+			return nil, err
+		}
+		hc.Mem = nc.Socket
+		hc.Sockets = nc.Sockets
+		hc.RemotePenalty = nc.RemotePenalty
+		hc.MemBytes = nc.MemBytesPerSocket * uint64(nc.Sockets)
+	}
 	h, err := host.New(hc)
 	if err != nil {
 		return nil, err
 	}
-	backend, err := cat.NewSimBackend(h.System())
-	if err != nil {
-		return nil, err
+	s := &Simulation{h: h}
+	if nsys := h.NUMA(); nsys == nil || nsys.Sockets() == 1 {
+		backend, err := cat.NewSimBackend(h.System())
+		if err != nil {
+			return nil, err
+		}
+		s.backend = backend
 	}
-	return &Simulation{h: h, backend: backend}, nil
+	return s, nil
 }
 
 // Host exposes the underlying simulated socket.
 func (s *Simulation) Host() *host.Host { return s.h }
 
-// AddVM places a tenant with dedicated cores on the socket. It must be
+// AddVM places a tenant with dedicated cores on socket 0. It must be
 // called before Start.
 func (s *Simulation) AddVM(name string, cores int, w Workload) error {
-	if s.ctl != nil {
+	return s.AddVMOn(0, name, cores, w)
+}
+
+// AddVMOn places a tenant on the given socket of a NUMA simulation. It
+// must be called before Start.
+func (s *Simulation) AddVMOn(socket int, name string, cores int, w Workload) error {
+	if s.started() {
 		return fmt.Errorf("dcat: cannot add VMs after Start")
 	}
-	_, err := s.h.AddVM(name, cores, w)
+	_, err := s.h.AddVMOn(socket, name, cores, w)
 	return err
 }
 
-// Start creates the controller with the given per-VM baseline ways
-// (every VM added so far must appear) and installs the baselines.
+func (s *Simulation) started() bool { return s.ctl != nil || s.mctl != nil }
+
+// Start creates the controller(s) with the given per-VM baseline ways
+// (every VM added so far must appear) and installs the baselines. On a
+// multi-socket simulation one controller per populated LLC is wired —
+// CAT domains are socket-local.
 func (s *Simulation) Start(cfg Config, baselines map[string]int) error {
-	if s.ctl != nil {
+	if s.started() {
 		return fmt.Errorf("dcat: already started")
 	}
-	var targets []Target
+	targetsOn := make(map[int][]Target)
+	var sockets []int
 	for _, vm := range s.h.VMs() {
 		b, ok := baselines[vm.Name]
 		if !ok {
 			return fmt.Errorf("dcat: no baseline for VM %q", vm.Name)
 		}
-		targets = append(targets, Target{Name: vm.Name, Cores: vm.Cores, BaselineWays: b})
+		if len(targetsOn[vm.Socket]) == 0 {
+			sockets = append(sockets, vm.Socket)
+		}
+		targetsOn[vm.Socket] = append(targetsOn[vm.Socket],
+			Target{Name: vm.Name, Cores: vm.Cores, BaselineWays: b})
 	}
-	ctl, err := NewController(cfg, s.backend, s.h.System().Counters(), targets)
+	nsys := s.h.NUMA()
+	if nsys == nil || nsys.Sockets() == 1 {
+		ctl, err := NewController(cfg, s.backend, s.h.Counters(), targetsOn[0])
+		if err != nil {
+			return err
+		}
+		s.ctl = ctl
+		return nil
+	}
+	specs := make([]core.SocketSpec, 0, len(sockets))
+	for _, socket := range sockets {
+		backend, err := cat.NewNUMABackend(nsys, socket)
+		if err != nil {
+			return err
+		}
+		mgr, err := cat.NewManager(backend)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, core.SocketSpec{Socket: socket, Mgr: mgr, Targets: targetsOn[socket]})
+	}
+	mctl, err := core.NewMulti(cfg, s.h.Counters(), specs)
 	if err != nil {
 		return err
 	}
-	s.ctl = ctl
+	s.mctl = mctl
 	return nil
 }
 
 // Step simulates one controller period (one simulated second): every
-// VM executes, then the controller re-partitions the cache.
+// VM executes, then the controller(s) re-partition the cache.
 func (s *Simulation) Step() error {
-	if s.ctl == nil {
+	if !s.started() {
 		return fmt.Errorf("dcat: Start must be called before Step")
 	}
 	s.h.RunInterval()
+	if s.mctl != nil {
+		return s.mctl.Tick()
+	}
 	return s.ctl.Tick()
 }
 
@@ -267,24 +343,41 @@ func (s *Simulation) Run(n int) error {
 	return nil
 }
 
-// Snapshot reports every workload's controller state.
+// Snapshot reports every workload's controller state (all sockets).
 func (s *Simulation) Snapshot() []Status {
+	if s.mctl != nil {
+		return s.mctl.Snapshot()
+	}
 	if s.ctl == nil {
 		return nil
 	}
 	return s.ctl.Snapshot()
 }
 
-// Controller exposes the running controller (nil before Start).
+// Controller exposes the running controller (nil before Start, and nil
+// on multi-socket simulations — use Multi there).
 func (s *Simulation) Controller() *Controller { return s.ctl }
 
+// Multi exposes the per-socket controller set of a multi-socket
+// simulation (nil before Start or on single-socket hosts).
+func (s *Simulation) Multi() *MultiController { return s.mctl }
+
 // Occupancy reports each VM's current LLC footprint in bytes — the
-// simulation's equivalent of Intel CMT monitoring.
+// simulation's equivalent of Intel CMT monitoring. On a NUMA host the
+// footprint is within the VM's own socket's LLC.
 func (s *Simulation) Occupancy() map[string]uint64 {
 	out := make(map[string]uint64, len(s.h.VMs()))
 	for _, vm := range s.h.VMs() {
+		var reader cat.OccupancyReader = s.backend
+		if s.backend == nil {
+			b, err := cat.NewNUMABackend(s.h.NUMA(), vm.Socket)
+			if err != nil {
+				continue
+			}
+			reader = b
+		}
 		// COS id is irrelevant to the simulated reader.
-		v, err := s.backend.GroupOccupancy(1, vm.Cores)
+		v, err := reader.GroupOccupancy(1, vm.Cores)
 		if err != nil {
 			continue
 		}
@@ -300,17 +393,34 @@ func (s *Simulation) Occupancy() map[string]uint64 {
 // NewMLR builds the paper's random-read microbenchmark with the given
 // working-set size in bytes.
 func (s *Simulation) NewMLR(workingSet uint64, seed int64) (Workload, error) {
-	return workload.NewMLR(workingSet, addr.PageSize4K, s.h.Allocator(), seed)
+	return s.NewMLROn(0, workingSet, seed)
+}
+
+// NewMLROn is NewMLR with the working set allocated from the given
+// socket's memory — pair it with AddVMOn to choose local or remote
+// placement.
+func (s *Simulation) NewMLROn(socket int, workingSet uint64, seed int64) (Workload, error) {
+	return workload.NewMLR(workingSet, addr.PageSize4K, s.h.AllocatorOn(socket), seed)
 }
 
 // NewMLOAD builds the paper's sequential streaming microbenchmark.
 func (s *Simulation) NewMLOAD(workingSet uint64) (Workload, error) {
-	return workload.NewMLOAD(workingSet, addr.PageSize4K, s.h.Allocator())
+	return s.NewMLOADOn(0, workingSet)
+}
+
+// NewMLOADOn is NewMLOAD with memory from the given socket.
+func (s *Simulation) NewMLOADOn(socket int, workingSet uint64) (Workload, error) {
+	return workload.NewMLOAD(workingSet, addr.PageSize4K, s.h.AllocatorOn(socket))
 }
 
 // NewLookbusy builds a CPU-only polite neighbour.
 func (s *Simulation) NewLookbusy() (Workload, error) {
 	return workload.NewLookbusy(s.h.Allocator())
+}
+
+// NewLookbusyOn is NewLookbusy with memory from the given socket.
+func (s *Simulation) NewLookbusyOn(socket int) (Workload, error) {
+	return workload.NewLookbusy(s.h.AllocatorOn(socket))
 }
 
 // NewIdle returns a workload that models an empty VM.

@@ -69,6 +69,7 @@ func (a *SeqAllocator) AllocFrame(size PageSize) (uint64, error) {
 // never collide: a permutation of frame numbers is consumed in order.
 type RandAllocator struct {
 	rng      *rand.Rand
+	base     uint64 // physical offset added to every frame (NUMA socket base)
 	memBytes uint64
 	free4k   []uint64 // shuffled free 4K frame numbers
 	free2m   []uint64 // shuffled free 2M frame numbers
@@ -79,10 +80,21 @@ type RandAllocator struct {
 // NewRandAllocator models memBytes of physical memory with randomized
 // frame placement. The seed makes runs reproducible.
 func NewRandAllocator(memBytes uint64, seed int64) *RandAllocator {
+	return NewRandAllocatorAt(0, memBytes, seed)
+}
+
+// NewRandAllocatorAt is NewRandAllocator over the physical range
+// [base, base+memBytes): a NUMA host gives each socket's allocator its
+// own base so frames land in that socket's DRAM. base must be 2 MB
+// aligned so both page sizes stay size-aligned after the offset.
+func NewRandAllocatorAt(base, memBytes uint64, seed int64) *RandAllocator {
+	if base%PageSize2M != 0 {
+		panic(fmt.Sprintf("addr: allocator base %#x not 2MB-aligned", base))
+	}
 	rng := rand.New(rand.NewSource(seed))
 	n4k := memBytes / PageSize4K
 	n2m := memBytes / PageSize2M
-	a := &RandAllocator{rng: rng, memBytes: memBytes}
+	a := &RandAllocator{rng: rng, base: base, memBytes: memBytes}
 	// Lazily materializing permutations for big memories would
 	// complicate collision-freedom; memories here are small (GBs),
 	// so up-front shuffles are fine. To keep 4K and 2M allocations
@@ -112,14 +124,14 @@ func (a *RandAllocator) AllocFrame(size PageSize) (uint64, error) {
 		}
 		f := a.free4k[a.idx4k]
 		a.idx4k++
-		return f * PageSize4K, nil
+		return a.base + f*PageSize4K, nil
 	case PageSize2M:
 		if a.idx2m >= len(a.free2m) {
 			return 0, fmt.Errorf("addr: out of 2M frames (%d allocated)", a.idx2m)
 		}
 		f := a.free2m[a.idx2m]
 		a.idx2m++
-		return f * PageSize2M, nil
+		return a.base + f*PageSize2M, nil
 	default:
 		return 0, fmt.Errorf("addr: invalid page size %d", size)
 	}

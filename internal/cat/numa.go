@@ -1,0 +1,85 @@
+package cat
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/cache"
+	"repro/internal/memsys"
+)
+
+// NUMABackend is the CAT domain of one socket in a NUMA host. CBMs and
+// CLOSids are socket-local, as on real hardware: applying a class of
+// service through this backend can only mask the owning socket's LLC
+// ways, and cores from other sockets are rejected rather than silently
+// routed — a controller wired to socket 0 must never reconfigure
+// socket 1.
+type NUMABackend struct {
+	sys    *memsys.NUMASystem
+	socket int
+}
+
+// NewNUMABackend wraps one socket of a NUMA memory system.
+func NewNUMABackend(sys *memsys.NUMASystem, socket int) (*NUMABackend, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("cat: nil NUMA memory system")
+	}
+	if socket < 0 || socket >= sys.Sockets() {
+		return nil, fmt.Errorf("cat: socket %d out of range [0,%d)", socket, sys.Sockets())
+	}
+	return &NUMABackend{sys: sys, socket: socket}, nil
+}
+
+// Socket returns the owning socket.
+func (b *NUMABackend) Socket() int { return b.socket }
+
+// TotalWays implements Backend for the socket's LLC.
+func (b *NUMABackend) TotalWays() int { return b.sys.Config().Socket.LLC.Ways }
+
+// checkCore verifies a global core belongs to this backend's socket and
+// returns its socket-local ID.
+func (b *NUMABackend) checkCore(core int) (int, error) {
+	s, local := b.sys.SocketOf(core)
+	if s != b.socket {
+		return 0, fmt.Errorf("cat: core %d is on socket %d, not socket %d", core, s, b.socket)
+	}
+	return local, nil
+}
+
+// Apply implements Backend on the socket's LLC only. Cores are global
+// IDs; a core homed on another socket is an error.
+func (b *NUMABackend) Apply(cos int, mask bits.CBM, cores []int) error {
+	if cos < 1 || cos > MaxCOS {
+		return fmt.Errorf("cat: COS %d out of range", cos)
+	}
+	for _, c := range cores {
+		local, err := b.checkCore(c)
+		if err != nil {
+			return err
+		}
+		if err := b.sys.Socket(b.socket).SetMask(local, mask); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// GroupOccupancy implements OccupancyReader over the socket's LLC.
+func (b *NUMABackend) GroupOccupancy(cos int, cores []int) (uint64, error) {
+	occ := b.sys.Socket(b.socket).LLC().OccupancyByCore()
+	var lines uint64
+	for _, c := range cores {
+		local, err := b.checkCore(c)
+		if err != nil {
+			return 0, err
+		}
+		lines += uint64(occ[uint16(local)])
+	}
+	return lines * cache.LineSize, nil
+}
+
+// FlushWays implements WayFlusher on the socket's hierarchy only.
+func (b *NUMABackend) FlushWays(mask bits.CBM) error {
+	b.sys.Socket(b.socket).FlushWays(mask)
+	return nil
+}

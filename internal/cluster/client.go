@@ -30,7 +30,8 @@ type RPCMetrics struct {
 func NewRPCMetrics(reg *telemetry.Registry) *RPCMetrics {
 	return &RPCMetrics{
 		Latency: reg.Histogram("dcat_cluster_rpc_seconds",
-			"Coordinator RPC attempt latency, including failed attempts.", nil),
+			"Coordinator RPC attempt latency, including failed attempts.",
+			telemetry.RPCLatencyBuckets),
 		Retries: reg.Counter("dcat_cluster_rpc_retries_total",
 			"Coordinator RPC retry attempts (attempts beyond each request's first)."),
 		Failures: reg.Counter("dcat_cluster_rpc_failures_total",

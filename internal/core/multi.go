@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cat"
+	"repro/internal/obs"
+	"repro/internal/perf"
+	"repro/internal/telemetry"
+)
+
+// This file runs dCat on a NUMA host: CAT domains are per-LLC, so a
+// multi-socket machine runs one full decision loop per socket — each
+// with its own cat.Manager over that socket's backend and its own
+// workload set — while sharing the journal and metrics plumbing. The
+// MultiController is the thin fan-out over those loops; it adds no
+// policy of its own, matching real deployments where sockets are
+// independent CAT domains.
+
+// SocketSpec wires one socket's decision loop: the socket ID, a CAT
+// manager over that socket's backend, and the workloads placed there.
+type SocketSpec struct {
+	Socket  int
+	Mgr     *cat.Manager
+	Targets []Target
+}
+
+// MultiController is one dCat controller per socket, ticked together.
+type MultiController struct {
+	ctls   map[int]*Controller
+	order  []int          // sockets in ascending order, the tick order
+	homeOf map[string]int // workload name → socket
+}
+
+// NewMulti builds a controller per socket spec. Sockets must be unique
+// and workload names unique across the whole host, so name-keyed
+// queries (Ways, StateOf) stay unambiguous.
+func NewMulti(cfg Config, counters perf.Reader, specs []SocketSpec) (*MultiController, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("core: no socket specs")
+	}
+	m := &MultiController{
+		ctls:   make(map[int]*Controller, len(specs)),
+		homeOf: make(map[string]int),
+	}
+	for _, spec := range specs {
+		if _, dup := m.ctls[spec.Socket]; dup {
+			return nil, fmt.Errorf("core: socket %d specified twice", spec.Socket)
+		}
+		for _, t := range spec.Targets {
+			if prev, dup := m.homeOf[t.Name]; dup {
+				return nil, fmt.Errorf("core: workload %q on sockets %d and %d", t.Name, prev, spec.Socket)
+			}
+			m.homeOf[t.Name] = spec.Socket
+		}
+		ctl, err := New(cfg, spec.Mgr, counters, spec.Targets)
+		if err != nil {
+			return nil, fmt.Errorf("core: socket %d: %w", spec.Socket, err)
+		}
+		m.ctls[spec.Socket] = ctl
+		m.order = append(m.order, spec.Socket)
+	}
+	sort.Ints(m.order)
+	return m, nil
+}
+
+// Tick runs every socket's decision loop once, in ascending socket
+// order (deterministic for the experiment engine). The first error
+// aborts the round.
+func (m *MultiController) Tick() error {
+	for _, s := range m.order {
+		if err := m.ctls[s].Tick(); err != nil {
+			return fmt.Errorf("socket %d: %w", s, err)
+		}
+	}
+	return nil
+}
+
+// Sockets returns the socket IDs in tick order.
+func (m *MultiController) Sockets() []int { return append([]int(nil), m.order...) }
+
+// Controller returns one socket's loop (nil if the socket has none).
+func (m *MultiController) Controller(socket int) *Controller { return m.ctls[socket] }
+
+// SocketOf returns which socket's controller manages a workload.
+func (m *MultiController) SocketOf(name string) (int, bool) {
+	s, ok := m.homeOf[name]
+	return s, ok
+}
+
+// Ways returns a workload's current allocation, wherever it lives
+// (0 for unknown workloads, matching Controller.Ways).
+func (m *MultiController) Ways(name string) int {
+	if s, ok := m.homeOf[name]; ok {
+		return m.ctls[s].Ways(name)
+	}
+	return 0
+}
+
+// StateOf returns a workload's category, wherever it lives.
+func (m *MultiController) StateOf(name string) (State, bool) {
+	if s, ok := m.homeOf[name]; ok {
+		return m.ctls[s].StateOf(name)
+	}
+	return 0, false
+}
+
+// SetWayCap forwards an advisory cap to the workload's controller.
+func (m *MultiController) SetWayCap(name string, ways int) bool {
+	if s, ok := m.homeOf[name]; ok {
+		return m.ctls[s].SetWayCap(name, ways)
+	}
+	return false
+}
+
+// Snapshot concatenates the per-socket snapshots in tick order.
+func (m *MultiController) Snapshot() []Status {
+	var out []Status
+	for _, s := range m.order {
+		out = append(out, m.ctls[s].Snapshot()...)
+	}
+	return out
+}
+
+// SetSink attaches one journal to every socket's loop, with each
+// socket's events stamped via obs.TagSocket so traces stay
+// attributable.
+func (m *MultiController) SetSink(sink obs.Sink) {
+	for _, s := range m.order {
+		m.ctls[s].SetSink(obs.TagSocket(sink, s))
+	}
+}
+
+// RegisterMetrics registers every socket's metric families on one
+// registry, distinguished by a socket="N" constant label.
+func (m *MultiController) RegisterMetrics(reg *telemetry.Registry) {
+	for _, s := range m.order {
+		m.ctls[s].RegisterMetricsSocket(reg, s)
+	}
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"strconv"
+
 	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
@@ -88,19 +90,32 @@ func (c *Controller) SetSink(s obs.Sink) { c.sink = s }
 // Call it once per controller per registry (metric names collide on a
 // second registration, by design).
 func (c *Controller) RegisterMetrics(reg *telemetry.Registry) {
-	m := &coreMetrics{
+	c.metrics = newCoreMetrics(reg, nil)
+}
+
+// RegisterMetricsSocket is RegisterMetrics with a socket="N" constant
+// label on every family, so one registry can carry the controllers of
+// every LLC on a NUMA host side by side.
+func (c *Controller) RegisterMetricsSocket(reg *telemetry.Registry, socket int) {
+	c.metrics = newCoreMetrics(reg, []string{"socket", strconv.Itoa(socket)})
+}
+
+// newCoreMetrics registers the metric families, optionally under a set
+// of constant labels. With constLabels nil the exposition is identical
+// to what RegisterMetrics always produced.
+func newCoreMetrics(reg *telemetry.Registry, constLabels []string) *coreMetrics {
+	return &coreMetrics{
 		tickSeconds: reg.Histogram("dcat_tick_seconds",
-			"Controller tick latency: sample, detect, categorize, allocate, apply.", nil),
-		transVec: reg.LabeledCounter("dcat_state_transitions_total",
-			"Workload category transitions (§3.4 state machine).", "from", "to"),
+			"Controller tick latency: sample, detect, categorize, allocate, apply.", nil, constLabels...),
+		transVec: reg.LabeledCounterConst("dcat_state_transitions_total",
+			"Workload category transitions (§3.4 state machine).", constLabels, "from", "to"),
 		phaseChanges: reg.Counter("dcat_phase_changes_total",
-			"Phase changes detected across all workloads."),
+			"Phase changes detected across all workloads.", constLabels...),
 		poolFree: reg.Gauge("dcat_pool_free_ways",
-			"LLC ways left unallocated after the last tick."),
+			"LLC ways left unallocated after the last tick.", constLabels...),
 		churn: reg.Counter("dcat_allocation_churn_ways_total",
-			"Total ways moved between workloads (sum of |delta| per tick)."),
+			"Total ways moved between workloads (sum of |delta| per tick).", constLabels...),
 	}
-	c.metrics = m
 }
 
 // setState performs a category transition, emitting a trace event and

@@ -19,6 +19,7 @@ import (
 	"repro/internal/cat"
 	"repro/internal/core"
 	"repro/internal/host"
+	"repro/internal/memsys"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -69,6 +70,15 @@ type Options struct {
 	// and results are collected in sweep order, so rendered output is
 	// independent of parallelism either way.
 	Jobs int
+	// Sockets selects the host topology every scenario builds: 0 keeps
+	// the original single-socket host, ≥1 builds a NUMA host with that
+	// many sockets (1 is behaviourally identical to 0 and exists for
+	// the determinism guard). Experiments that don't place VMs
+	// explicitly put everything on socket 0.
+	Sockets int
+	// RemotePenalty is the cross-socket DRAM penalty in cycles for
+	// NUMA hosts; 0 selects memsys.DefaultRemotePenalty when Sockets>1.
+	RemotePenalty uint64
 
 	// pool, when set by RunAll, is the engine-wide worker budget that
 	// sweeps draw from instead of Jobs.
@@ -144,6 +154,7 @@ func (t *TableResult) Render(sb *strings.Builder) {
 type vmSpec struct {
 	name     string
 	cores    int
+	socket   int // placement on NUMA hosts; ignored (0) otherwise
 	gen      func(h *host.Host) (workload.Generator, error)
 	baseline int
 }
@@ -153,6 +164,10 @@ type vmSpec struct {
 type scenario struct {
 	host  *host.Host
 	specs []vmSpec
+	// multi is the per-socket controller set, populated by run on
+	// multi-socket hosts under ModeStatic/ModeDCat (ctl stays nil
+	// there: CAT domains are per-LLC, so no single controller exists).
+	multi *core.MultiController
 }
 
 // newScenario builds a host (paper's Xeon E5 by default) and its VMs.
@@ -160,6 +175,11 @@ func newScenario(opts Options, specs []vmSpec) (*scenario, error) {
 	cfg := host.DefaultConfig()
 	cfg.CyclesPerInterval = opts.Cycles
 	cfg.Seed = opts.Seed
+	cfg.Sockets = opts.Sockets
+	cfg.RemotePenalty = opts.RemotePenalty
+	if opts.Sockets > 1 && opts.RemotePenalty == 0 {
+		cfg.RemotePenalty = memsys.DefaultRemotePenalty
+	}
 	h, err := host.New(cfg)
 	if err != nil {
 		return nil, err
@@ -173,7 +193,7 @@ func newScenario(opts Options, specs []vmSpec) (*scenario, error) {
 		if cores == 0 {
 			cores = 2 // the paper's 2-vCPU VMs
 		}
-		if _, err := h.AddVM(s.name, cores, gen); err != nil {
+		if _, err := h.AddVMOn(s.socket, s.name, cores, gen); err != nil {
 			return nil, fmt.Errorf("experiments: %w", err)
 		}
 	}
@@ -182,13 +202,33 @@ func newScenario(opts Options, specs []vmSpec) (*scenario, error) {
 
 // run executes the scenario for n intervals under the given mode,
 // invoking onTick after every interval. The returned controller is nil
-// in ModeShared.
+// in ModeShared, and on multi-socket hosts with VMs on more than one
+// socket, where one controller per LLC runs instead (s.multi); when
+// only one socket is populated its loop doubles as the controller.
 func (s *scenario) run(mode Mode, ctlCfg core.Config, n int, onTick func(interval int, ctl *core.Controller)) (*core.Controller, error) {
 	var ctl *core.Controller
+	nsys := s.host.NUMA()
+	multiSocket := nsys != nil && nsys.Sockets() > 1
 	switch mode {
 	case ModeShared:
 		// Leave default full masks.
 	case ModeStatic, ModeDCat:
+		if multiSocket {
+			m, err := s.buildMulti(ctlCfg)
+			if err != nil {
+				return nil, err
+			}
+			s.multi = m
+			// Experiments that don't place VMs explicitly put everything
+			// on socket 0, leaving a single populated loop — hand it to
+			// onTick so the whole legacy suite runs unchanged on NUMA
+			// hosts. With several populated sockets no single controller
+			// exists and ctl stays nil (use s.multi).
+			if sockets := m.Sockets(); len(sockets) == 1 {
+				ctl = m.Controller(sockets[0])
+			}
+			break
+		}
 		backend, err := cat.NewSimBackend(s.host.System())
 		if err != nil {
 			return nil, err
@@ -197,17 +237,11 @@ func (s *scenario) run(mode Mode, ctlCfg core.Config, n int, onTick func(interva
 		if err != nil {
 			return nil, err
 		}
-		targets := make([]core.Target, 0, len(s.specs))
-		for _, spec := range s.specs {
-			vm, ok := s.host.VM(spec.name)
-			if !ok {
-				return nil, fmt.Errorf("experiments: VM %s missing", spec.name)
-			}
-			targets = append(targets, core.Target{
-				Name: spec.name, Cores: vm.Cores, BaselineWays: spec.baseline,
-			})
+		targets, err := s.targets(func(*host.VM) bool { return true })
+		if err != nil {
+			return nil, err
 		}
-		c, err := core.New(ctlCfg, mgr, s.host.System().Counters(), targets)
+		c, err := core.New(ctlCfg, mgr, s.host.Counters(), targets)
 		if err != nil {
 			return nil, err
 		}
@@ -217,9 +251,13 @@ func (s *scenario) run(mode Mode, ctlCfg core.Config, n int, onTick func(interva
 	}
 	s.host.RunIntervals(n, func(interval int) {
 		if mode == ModeDCat {
-			if err := ctl.Tick(); err != nil {
-				// Controller errors are programming errors in this
-				// closed system; surface loudly.
+			// Controller errors are programming errors in this closed
+			// system; surface loudly.
+			if s.multi != nil {
+				if err := s.multi.Tick(); err != nil {
+					panic(err)
+				}
+			} else if err := ctl.Tick(); err != nil {
 				panic(err)
 			}
 		}
@@ -231,6 +269,51 @@ func (s *scenario) run(mode Mode, ctlCfg core.Config, n int, onTick func(interva
 		return ctl, nil // holds the static baselines it installed
 	}
 	return ctl, nil
+}
+
+// targets collects controller targets for the scenario's VMs passing
+// the filter, in spec order.
+func (s *scenario) targets(keep func(*host.VM) bool) ([]core.Target, error) {
+	targets := make([]core.Target, 0, len(s.specs))
+	for _, spec := range s.specs {
+		vm, ok := s.host.VM(spec.name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: VM %s missing", spec.name)
+		}
+		if !keep(vm) {
+			continue
+		}
+		targets = append(targets, core.Target{
+			Name: spec.name, Cores: vm.Cores, BaselineWays: spec.baseline,
+		})
+	}
+	return targets, nil
+}
+
+// buildMulti wires one CAT domain and dCat loop per socket that hosts
+// at least one VM.
+func (s *scenario) buildMulti(ctlCfg core.Config) (*core.MultiController, error) {
+	nsys := s.host.NUMA()
+	var specs []core.SocketSpec
+	for socket := 0; socket < nsys.Sockets(); socket++ {
+		targets, err := s.targets(func(vm *host.VM) bool { return vm.Socket == socket })
+		if err != nil {
+			return nil, err
+		}
+		if len(targets) == 0 {
+			continue
+		}
+		backend, err := cat.NewNUMABackend(nsys, socket)
+		if err != nil {
+			return nil, err
+		}
+		mgr, err := cat.NewManager(backend)
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, core.SocketSpec{Socket: socket, Mgr: mgr, Targets: targets})
+	}
+	return core.NewMulti(ctlCfg, s.host.Counters(), specs)
 }
 
 // lookbusySpec returns n lookbusy tenant specs named lb1..lbN.

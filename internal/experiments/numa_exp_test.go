@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestNUMAPlacementShape checks the placement experiment's qualitative
+// result: running the target's memory on the far socket must show
+// cross-socket traffic and higher access latency than local placement,
+// while local placement shows none.
+func TestNUMAPlacementShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	res, err := NUMAPlacement(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tab.Rows) != 2 {
+		t.Fatalf("want 2 rows (local, remote), got %d", len(res.Tab.Rows))
+	}
+	cell := func(row, col int) float64 {
+		v, err := strconv.ParseFloat(res.Tab.Rows[row][col], 64)
+		if err != nil {
+			t.Fatalf("row %d col %d %q: %v", row, col, res.Tab.Rows[row][col], err)
+		}
+		return v
+	}
+	const latCol, remoteCol = 1, 4
+	localLat, remoteLat := cell(0, latCol), cell(1, latCol)
+	if remoteLat <= localLat {
+		t.Errorf("remote latency %.1f not above local %.1f", remoteLat, localLat)
+	}
+	if got := cell(0, remoteCol); got != 0 {
+		t.Errorf("local placement shows %v remote accesses", got)
+	}
+	if got := cell(1, remoteCol); got == 0 {
+		t.Error("remote placement shows no remote accesses")
+	}
+}

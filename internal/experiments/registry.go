@@ -65,6 +65,7 @@ func All() []Runner {
 		tabRunner("ablation-policy", "Policy ablation", AblationPolicy),
 		tabRunner("ablation-detector", "Phase-detector ablation", AblationDetector),
 		tabRunner("ablation-replacement", "LLC replacement-policy ablation", AblationReplacement),
+		tabRunner("numa-placement", "Local vs remote memory placement on a 2-socket host", NUMAPlacement),
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/addr"
 	"repro/internal/memsys"
+	"repro/internal/perf"
 	"repro/internal/workload"
 )
 
@@ -30,10 +31,29 @@ type Config struct {
 	BlockInstr uint64
 	// MemBytes is the physical memory backing workload data; frames
 	// are randomly placed (a fragmented long-running host). Must hold
-	// every workload's simulated working set.
+	// every workload's simulated working set. On a NUMA host the range
+	// is split evenly across sockets.
 	MemBytes uint64
 	// Seed makes frame placement reproducible.
 	Seed int64
+	// Sockets selects the topology: 0 keeps the original single-socket
+	// host backed by one memsys.System; ≥1 builds a memsys.NUMASystem
+	// with Mem replicated per socket and workload placement via
+	// AddVMOn. Sockets=1 with RemotePenalty=0 is behaviourally
+	// identical to 0 (guarded by a determinism test); it exists so the
+	// NUMA path can be validated against the legacy one.
+	Sockets int
+	// RemotePenalty is the extra cycles a cross-socket DRAM access
+	// costs (NUMA hosts only; 0 disables the penalty).
+	RemotePenalty uint64
+}
+
+// NumSockets returns how many sockets the host models (minimum 1).
+func (c Config) NumSockets() int {
+	if c.Sockets < 1 {
+		return 1
+	}
+	return c.Sockets
 }
 
 // DefaultConfig returns the paper's evaluation machine (Xeon E5-2697 v4)
@@ -89,8 +109,11 @@ type AccessObserver interface {
 // VM is one tenant: dedicated cores running one workload generator.
 type VM struct {
 	Name  string
-	Cores []int
-	Gen   workload.Generator
+	Cores []int // global core IDs
+	// Socket is where the VM's cores live (always 0 on a legacy
+	// single-socket host).
+	Socket int
+	Gen    workload.Generator
 
 	observer AccessObserver
 	last     IntervalMetrics
@@ -106,15 +129,28 @@ func (v *VM) Last() IntervalMetrics { return v.last }
 // Total returns cumulative metrics since the VM started.
 func (v *VM) Total() IntervalMetrics { return v.total }
 
-// Host is one socket plus its tenants.
+// memoryPath is what the interval loop needs from either topology —
+// *memsys.System and *memsys.NUMASystem both satisfy it.
+type memoryPath interface {
+	AccessMany(core int, lines []uint64) uint64
+	Retire(core int, instructions, cycles uint64)
+}
+
+// Host is one server (one or more sockets) plus its tenants.
 type Host struct {
-	cfg      Config
-	sys      *memsys.System
-	alloc    *addr.RandAllocator
-	vms      []*VM
-	nextCore int
-	interval int
-	lineBuf  []uint64 // reused per block for batched memory access
+	cfg  Config
+	sys  *memsys.System     // legacy single-socket hierarchy (Sockets=0)
+	nsys *memsys.NUMASystem // NUMA hierarchy (Sockets≥1)
+	mem  memoryPath         // whichever of the two is live
+
+	// One allocator per socket, each over that socket's DRAM range, so
+	// placement decides which memory a workload's frames land in.
+	allocs    []*addr.RandAllocator
+	perSocket uint64 // DRAM bytes per socket
+	nextCore  []int  // next free socket-local core, per socket
+	vms       []*VM
+	interval  int
+	lineBuf   []uint64 // reused per block for batched memory access
 }
 
 // New builds a host.
@@ -126,15 +162,48 @@ func New(cfg Config) (*Host, error) {
 		return nil, fmt.Errorf("host: block size %d too coarse for budget %d",
 			cfg.BlockInstr, cfg.CyclesPerInterval)
 	}
-	sys, err := memsys.New(cfg.Mem)
+	h := &Host{cfg: cfg, nextCore: make([]int, cfg.NumSockets())}
+	if cfg.Sockets < 1 {
+		sys, err := memsys.New(cfg.Mem)
+		if err != nil {
+			return nil, fmt.Errorf("host: %w", err)
+		}
+		h.sys = sys
+		h.mem = sys
+		h.perSocket = cfg.MemBytes
+		h.allocs = []*addr.RandAllocator{addr.NewRandAllocator(cfg.MemBytes, cfg.Seed)}
+		return h, nil
+	}
+	per := cfg.MemBytes
+	if cfg.Sockets > 1 {
+		// Round each socket's share down to a 2 MB multiple so every
+		// socket base stays hugepage-aligned. Sockets=1 keeps the full
+		// unrounded range: byte-identical to the legacy path.
+		per = (cfg.MemBytes / uint64(cfg.Sockets)) &^ (addr.PageSize2M - 1)
+	}
+	if per < 1<<20 {
+		return nil, fmt.Errorf("host: %d bytes across %d sockets leaves too little per socket",
+			cfg.MemBytes, cfg.Sockets)
+	}
+	nsys, err := memsys.NewNUMA(memsys.NUMAConfig{
+		Sockets:           cfg.Sockets,
+		Socket:            cfg.Mem,
+		MemBytesPerSocket: per,
+		RemotePenalty:     cfg.RemotePenalty,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("host: %w", err)
 	}
-	return &Host{
-		cfg:   cfg,
-		sys:   sys,
-		alloc: addr.NewRandAllocator(cfg.MemBytes, cfg.Seed),
-	}, nil
+	h.nsys = nsys
+	h.mem = nsys
+	h.perSocket = per
+	h.allocs = make([]*addr.RandAllocator, cfg.Sockets)
+	for s := range h.allocs {
+		// Per-socket seeds keep socket 0 identical to the legacy
+		// allocator and decorrelate placement across sockets.
+		h.allocs[s] = addr.NewRandAllocatorAt(uint64(s)*per, per, cfg.Seed+int64(s))
+	}
+	return h, nil
 }
 
 // MustNew is New for configurations known valid.
@@ -147,39 +216,81 @@ func MustNew(cfg Config) *Host {
 }
 
 // System exposes the memory hierarchy (for CAT backends and counters).
-func (h *Host) System() *memsys.System { return h.sys }
+// On a NUMA host it returns socket 0; use NUMA for the full topology.
+func (h *Host) System() *memsys.System {
+	if h.sys != nil {
+		return h.sys
+	}
+	return h.nsys.Socket(0)
+}
+
+// NUMA returns the multi-socket hierarchy, or nil on a legacy
+// single-socket host.
+func (h *Host) NUMA() *memsys.NUMASystem { return h.nsys }
+
+// Counters exposes a perf reader over the host's global core IDs,
+// whichever topology is live.
+func (h *Host) Counters() perf.Reader {
+	if h.sys != nil {
+		return h.sys.Counters()
+	}
+	return h.nsys.Counters()
+}
 
 // Allocator returns the physical frame allocator workload constructors
-// should draw from, so all tenants share one fragmented memory.
-func (h *Host) Allocator() addr.FrameAllocator { return h.alloc }
+// should draw from, so all tenants share one fragmented memory. On a
+// NUMA host this is socket 0's memory; use AllocatorOn for placement.
+func (h *Host) Allocator() addr.FrameAllocator { return h.allocs[0] }
+
+// AllocatorOn returns the frame allocator over the given socket's DRAM
+// range — drawing a workload's frames from socket s makes its lines
+// home there.
+func (h *Host) AllocatorOn(socket int) addr.FrameAllocator { return h.allocs[socket] }
+
+// MemBytesPerSocket returns each socket's DRAM range size.
+func (h *Host) MemBytesPerSocket() uint64 { return h.perSocket }
 
 // Interval returns how many intervals have been simulated.
 func (h *Host) Interval() int { return h.interval }
 
 // AddVM creates a tenant with numCores dedicated cores (assigned in
-// order) running gen.
+// order) running gen, placed on socket 0.
 func (h *Host) AddVM(name string, numCores int, gen workload.Generator) (*VM, error) {
+	return h.AddVMOn(0, name, numCores, gen)
+}
+
+// AddVMOn creates a tenant pinned to the given socket: its dedicated
+// cores are that socket's next free cores (as global core IDs,
+// socket*Cores+local). Placement controls only where the VM executes —
+// which memory it touches is decided by the allocator its workload
+// draws frames from (AllocatorOn).
+func (h *Host) AddVMOn(socket int, name string, numCores int, gen workload.Generator) (*VM, error) {
 	if name == "" || gen == nil {
 		return nil, fmt.Errorf("host: VM needs a name and a workload")
 	}
 	if numCores < 1 {
 		return nil, fmt.Errorf("host: VM %q needs at least one core", name)
 	}
+	if socket < 0 || socket >= len(h.nextCore) {
+		return nil, fmt.Errorf("host: socket %d out of range [0,%d)", socket, len(h.nextCore))
+	}
 	for _, v := range h.vms {
 		if v.Name == name {
 			return nil, fmt.Errorf("host: VM %q already exists", name)
 		}
 	}
-	if h.nextCore+numCores > h.cfg.Mem.Cores {
-		return nil, fmt.Errorf("host: out of cores: %d requested, %d free",
-			numCores, h.cfg.Mem.Cores-h.nextCore)
+	next := h.nextCore[socket]
+	if next+numCores > h.cfg.Mem.Cores {
+		return nil, fmt.Errorf("host: out of cores on socket %d: %d requested, %d free",
+			socket, numCores, h.cfg.Mem.Cores-next)
 	}
+	base := socket * h.cfg.Mem.Cores
 	cores := make([]int, numCores)
 	for i := range cores {
-		cores[i] = h.nextCore + i
+		cores[i] = base + next + i
 	}
-	h.nextCore += numCores
-	vm := &VM{Name: name, Cores: cores, Gen: gen}
+	h.nextCore[socket] = next + numCores
+	vm := &VM{Name: name, Cores: cores, Socket: socket, Gen: gen}
 	h.vms = append(h.vms, vm)
 	return vm, nil
 }
@@ -209,7 +320,7 @@ func (h *Host) runBlock(vm *VM) IntervalMetrics {
 		// Idle guest: the vCPU is halted almost the whole interval; a
 		// token instruction stream models the guest kernel tick.
 		m.Cycles = h.cfg.CyclesPerInterval
-		h.sys.Retire(core, instr, m.Cycles)
+		h.mem.Retire(core, instr, m.Cycles)
 		return m
 	}
 	accesses := uint64(float64(instr) * p.AccessesPerInstr)
@@ -229,7 +340,7 @@ func (h *Host) runBlock(vm *VM) IntervalMetrics {
 			vm.observer.Observe(line)
 		}
 	}
-	latSum := h.sys.AccessMany(core, buf)
+	latSum := h.mem.AccessMany(core, buf)
 	m.Accesses = accesses
 	m.LatencySum = latSum
 	stall := float64(latSum) / p.MLP
@@ -237,7 +348,7 @@ func (h *Host) runBlock(vm *VM) IntervalMetrics {
 	if m.Cycles == 0 {
 		m.Cycles = 1
 	}
-	h.sys.Retire(core, instr, m.Cycles)
+	h.mem.Retire(core, instr, m.Cycles)
 	return m
 }
 

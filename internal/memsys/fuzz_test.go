@@ -1,0 +1,45 @@
+package memsys
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseNUMA checks the topology parser never panics and never
+// returns a config that would build a degenerate host: whatever spec
+// the operator types, the result either errors or validates — zero
+// sockets, zero ways, and zero-sized memory are rejected, not deferred
+// to a panic inside NewNUMA.
+func FuzzParseNUMA(f *testing.F) {
+	f.Add("")
+	f.Add("sockets=2")
+	f.Add("sockets=2,machine=xeon-d,penalty=150")
+	f.Add("sockets=4,cores=8,ways=12,llc_mb=12,mem_mb=1024")
+	f.Add("sockets=0")
+	f.Add("ways=0")
+	f.Add("mem_mb=0")
+	f.Add("sockets=-1,penalty=18446744073709551615")
+	f.Add("machine=")
+	f.Add("=,=,=")
+	f.Add(strings.Repeat("sockets=2,", 100))
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseNUMA(spec)
+		if err != nil {
+			return
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("ParseNUMA(%q) returned invalid config: %v", spec, err)
+		}
+		if cfg.Sockets < 1 || cfg.Socket.LLC.Ways < 1 {
+			t.Fatalf("ParseNUMA(%q) returned degenerate topology: %+v", spec, cfg)
+		}
+		// Only build hosts of plausible size: the parser accepts multi-TB
+		// LLC/DRAM specs (real knobs), and materialising those would just
+		// OOM the fuzz worker without testing anything new.
+		if cfg.Socket.LLC.SizeBytes <= 64<<20 && cfg.MemBytesPerSocket <= 4<<30 {
+			if _, err := NewNUMA(cfg); err != nil {
+				t.Fatalf("ParseNUMA(%q) validated but NewNUMA failed: %v", spec, err)
+			}
+		}
+	})
+}

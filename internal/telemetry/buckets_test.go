@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOverrideBuckets checks a wiring-time bucket override replaces the
+// call-site bounds of a later-registered histogram — the mechanism that
+// retunes library-registered histograms (cluster RPCs, cross-socket
+// paths) without threading bucket choices through constructors.
+func TestOverrideBuckets(t *testing.T) {
+	reg := NewRegistry()
+	reg.OverrideBuckets("tuned_seconds", []float64{1, 10})
+	tuned := reg.Histogram("tuned_seconds", "Tuned.", []float64{0.001, 0.01})
+	plain := reg.Histogram("plain_seconds", "Plain.", []float64{0.001, 0.01})
+	tuned.Observe(5)
+	plain.Observe(5)
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`tuned_seconds_bucket{le="1"} 0`,
+		`tuned_seconds_bucket{le="10"} 1`,
+		`plain_seconds_bucket{le="0.01"} 0`,
+		`plain_seconds_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `tuned_seconds_bucket{le="0.001"}`) {
+		t.Errorf("override did not replace call-site bounds:\n%s", out)
+	}
+}
+
+func TestOverrideBucketsValidation(t *testing.T) {
+	for name, bounds := range map[string][]float64{
+		"empty":         {},
+		"not ascending": {1, 1},
+		"descending":    {2, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("OverrideBuckets accepted %s bounds", name)
+				}
+			}()
+			NewRegistry().OverrideBuckets("m", bounds)
+		}()
+	}
+}
+
+func TestRPCLatencyBucketsAreUsable(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("rpc_seconds", "RPC latency.", RPCLatencyBuckets)
+	h.Observe(0.0004) // fast LAN round trip: below the first bound
+	h.Observe(4)      // retried, backing off
+	h.Observe(120)    // beyond the last bound: +Inf only
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`rpc_seconds_bucket{le="0.001"} 1`,
+		`rpc_seconds_bucket{le="5"} 2`,
+		`rpc_seconds_bucket{le="30"} 2`,
+		`rpc_seconds_bucket{le="+Inf"} 3`,
+		`rpc_seconds_count 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestConstLabelExposition pins the per-socket exposition shape: two
+// instances of one family share a single HELP/TYPE header, every
+// sample line carries its socket label, and histogram bucket lines
+// merge the constant label with le.
+func TestConstLabelExposition(t *testing.T) {
+	reg := NewRegistry()
+	for _, socket := range []string{"0", "1"} {
+		g := reg.Gauge("pool_free_ways", "Free ways.", "socket", socket)
+		g.Set(4)
+		h := reg.Histogram("tick_seconds", "Tick latency.", []float64{0.5}, "socket", socket)
+		h.Observe(0.25)
+		lc := reg.LabeledCounterConst("transitions_total", "Transitions.",
+			[]string{"socket", socket}, "from", "to")
+		lc.With("low", "high").Inc()
+	}
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`pool_free_ways{socket="0"} 4`,
+		`pool_free_ways{socket="1"} 4`,
+		`tick_seconds_bucket{socket="1",le="0.5"} 1`,
+		`tick_seconds_sum{socket="0"} 0.25`,
+		`tick_seconds_count{socket="1"} 1`,
+		`transitions_total{socket="0",from="low",to="high"} 1`,
+		`transitions_total{socket="1",from="low",to="high"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n%s", want, out)
+		}
+	}
+	for _, header := range []string{
+		"# TYPE pool_free_ways gauge\n",
+		"# TYPE tick_seconds histogram\n",
+		"# TYPE transitions_total counter\n",
+	} {
+		if got := strings.Count(out, header); got != 1 {
+			t.Errorf("header %q appears %d times, want 1\n%s", strings.TrimSpace(header), got, out)
+		}
+	}
+	// Same family, same const labels: a real collision still panics.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate name+const-labels should panic")
+			}
+		}()
+		reg.Gauge("pool_free_ways", "Free ways.", "socket", "0")
+	}()
+}

@@ -19,16 +19,25 @@ import (
 // every tick.
 
 // Registry holds named metrics and renders them in text exposition
-// format, in registration order.
+// format, in registration order. A metric family (one name) may be
+// registered several times with different constant label sets — the
+// per-socket controllers rely on this — and exposition groups all
+// instances of a family under a single HELP/TYPE header.
 type Registry struct {
-	mu     sync.Mutex
-	order  []exposable
-	byName map[string]exposable
+	mu      sync.Mutex
+	order   []exposable
+	byName  map[string]exposable
+	buckets map[string][]float64 // per-family histogram bucket overrides
 }
 
-// exposable is one registered metric family.
+// exposable is one registered metric instance.
 type exposable interface {
-	expose(w io.Writer) error
+	// family is the metric name without labels.
+	family() string
+	// header returns the family's HELP text and TYPE keyword.
+	header() (help, typ string)
+	// exposeSamples writes the instance's sample lines.
+	exposeSamples(w io.Writer) error
 }
 
 // NewRegistry returns an empty registry.
@@ -36,43 +45,122 @@ func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]exposable)}
 }
 
-// register installs a metric, panicking on duplicate names — metric
-// registration happens once at wiring time, so a collision is a
-// programming error worth failing loudly on.
-func (r *Registry) register(name string, m exposable) {
+// register installs a metric, panicking on duplicate name+const-label
+// keys — metric registration happens once at wiring time, so a
+// collision is a programming error worth failing loudly on.
+func (r *Registry) register(key string, m exposable) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if _, dup := r.byName[name]; dup {
-		panic(fmt.Sprintf("telemetry: metric %q registered twice", name))
+	if _, dup := r.byName[key]; dup {
+		panic(fmt.Sprintf("telemetry: metric %q registered twice", key))
 	}
-	r.byName[name] = m
+	r.byName[key] = m
 	r.order = append(r.order, m)
 }
 
+// OverrideBuckets installs replacement histogram bucket bounds for the
+// named family: every Histogram subsequently registered under that name
+// uses bounds regardless of the bounds argument at the call site. It
+// lets the wiring layer retune a library-registered histogram (e.g. the
+// slow cluster-RPC or cross-socket paths) without threading bucket
+// choices through every constructor. Call it before the histogram is
+// registered; bounds must be ascending and non-empty.
+func (r *Registry) OverrideBuckets(name string, bounds []float64) {
+	if len(bounds) == 0 {
+		panic(fmt.Sprintf("telemetry: empty bucket override for %q", name))
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: bucket override for %q not ascending", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.buckets == nil {
+		r.buckets = make(map[string][]float64)
+	}
+	r.buckets[sanitizeMetric(name)] = append([]float64(nil), bounds...)
+}
+
+// bucketOverride returns the installed override for a family, if any.
+func (r *Registry) bucketOverride(name string) ([]float64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	b, ok := r.buckets[name]
+	return b, ok
+}
+
 // WritePrometheus renders every registered metric in registration
-// order.
+// order, grouping same-family instances (per-socket label variants)
+// under one header.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	r.mu.Lock()
 	metrics := append([]exposable(nil), r.order...)
 	r.mu.Unlock()
+	done := make(map[string]bool, len(metrics))
 	for _, m := range metrics {
-		if err := m.expose(w); err != nil {
+		fam := m.family()
+		if done[fam] {
+			continue
+		}
+		done[fam] = true
+		help, typ := m.header()
+		if err := exposeHeader(w, fam, help, typ); err != nil {
 			return err
+		}
+		for _, inst := range metrics {
+			if inst.family() != fam {
+				continue
+			}
+			if err := inst.exposeSamples(w); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
 }
 
+// constLabelSet renders alternating name,value pairs as
+// `k1="v1",k2="v2"` (no braces); empty input renders "".
+func constLabelSet(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd constant label list %q", kv))
+	}
+	var sb strings.Builder
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=\"%s\"", kv[i], escapeLabel(kv[i+1]))
+	}
+	return sb.String()
+}
+
+// braced wraps a rendered label set in {}; "" stays "".
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
 // Counter is a monotonically increasing uint64.
 type Counter struct {
 	name, help string
+	labels     string // rendered const labels, without braces
 	v          atomic.Uint64
 }
 
-// NewCounter registers a counter.
-func (r *Registry) Counter(name, help string) *Counter {
-	c := &Counter{name: sanitizeMetric(name), help: help}
-	r.register(c.name, c)
+// Counter registers a counter. Optional constLabels are alternating
+// name,value pairs rendered on every sample (per-socket controllers
+// pass socket="N") — instances of the same family must have distinct
+// constant labels.
+func (r *Registry) Counter(name, help string, constLabels ...string) *Counter {
+	c := &Counter{name: sanitizeMetric(name), help: help, labels: constLabelSet(constLabels)}
+	r.register(c.name+braced(c.labels), c)
 	return c
 }
 
@@ -85,20 +173,24 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
-func (c *Counter) expose(w io.Writer) error {
-	return exposeOne(w, c.name, c.help, "counter", "", fmt.Sprintf("%d", c.Value()))
+func (c *Counter) family() string             { return c.name }
+func (c *Counter) header() (help, typ string) { return c.help, "counter" }
+func (c *Counter) exposeSamples(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "%s%s %d\n", c.name, braced(c.labels), c.Value())
+	return err
 }
 
 // Gauge is a settable float64.
 type Gauge struct {
 	name, help string
+	labels     string // rendered const labels, without braces
 	bits       atomic.Uint64
 }
 
-// NewGauge registers a gauge.
-func (r *Registry) Gauge(name, help string) *Gauge {
-	g := &Gauge{name: sanitizeMetric(name), help: help}
-	r.register(g.name, g)
+// Gauge registers a gauge. Optional constLabels as for Counter.
+func (r *Registry) Gauge(name, help string, constLabels ...string) *Gauge {
+	g := &Gauge{name: sanitizeMetric(name), help: help, labels: constLabelSet(constLabels)}
+	r.register(g.name+braced(g.labels), g)
 	return g
 }
 
@@ -108,8 +200,11 @@ func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 // Value returns the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
-func (g *Gauge) expose(w io.Writer) error {
-	return exposeOne(w, g.name, g.help, "gauge", "", fmt.Sprintf("%g", g.Value()))
+func (g *Gauge) family() string             { return g.name }
+func (g *Gauge) header() (help, typ string) { return g.help, "gauge" }
+func (g *Gauge) exposeSamples(w io.Writer) error {
+	_, err := fmt.Fprintf(w, "%s%s %g\n", g.name, braced(g.labels), g.Value())
+	return err
 }
 
 // DefLatencyBuckets spans 50µs to 10s — wide enough for a simulated
@@ -121,19 +216,33 @@ var DefLatencyBuckets = []float64{
 	1, 2.5, 5, 10,
 }
 
+// RPCLatencyBuckets suits network round trips with retries: nothing
+// below a millisecond is interesting, and a congested or backing-off
+// path can take tens of seconds.
+var RPCLatencyBuckets = []float64{
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10, 30,
+}
+
 // Histogram counts observations into cumulative buckets, Prometheus
 // style. Observe is lock-free: each bucket and the sum are atomics.
 type Histogram struct {
 	name, help string
+	labels     string // rendered const labels, without braces
 	bounds     []float64
 	counts     []atomic.Uint64 // len(bounds)+1; last is +Inf
 	sumBits    atomic.Uint64   // float64 bits, CAS-accumulated
 }
 
-// NewHistogram registers a histogram with the given ascending bucket
-// upper bounds (nil selects DefLatencyBuckets).
-func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
-	if bounds == nil {
+// Histogram registers a histogram with the given ascending bucket
+// upper bounds (nil selects DefLatencyBuckets). A bucket override
+// installed via OverrideBuckets for this name wins over bounds.
+// Optional constLabels as for Counter.
+func (r *Registry) Histogram(name, help string, bounds []float64, constLabels ...string) *Histogram {
+	clean := sanitizeMetric(name)
+	if ov, ok := r.bucketOverride(clean); ok {
+		bounds = ov
+	} else if bounds == nil {
 		bounds = DefLatencyBuckets
 	}
 	for i := 1; i < len(bounds); i++ {
@@ -142,12 +251,13 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 		}
 	}
 	h := &Histogram{
-		name:   sanitizeMetric(name),
+		name:   clean,
 		help:   help,
+		labels: constLabelSet(constLabels),
 		bounds: append([]float64(nil), bounds...),
 		counts: make([]atomic.Uint64, len(bounds)+1),
 	}
-	r.register(h.name, h)
+	r.register(h.name+braced(h.labels), h)
 	return h
 }
 
@@ -179,22 +289,27 @@ func (h *Histogram) Count() uint64 {
 // Sum returns the sum of all observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
-func (h *Histogram) expose(w io.Writer) error {
-	if err := exposeHeader(w, h.name, h.help, "histogram"); err != nil {
-		return err
+func (h *Histogram) family() string             { return h.name }
+func (h *Histogram) header() (help, typ string) { return h.help, "histogram" }
+func (h *Histogram) exposeSamples(w io.Writer) error {
+	// Bucket samples merge const labels with le: {socket="1",le="0.5"}.
+	lePrefix := "{"
+	if h.labels != "" {
+		lePrefix = "{" + h.labels + ","
 	}
 	var cum uint64
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.name, fmt.Sprintf("%g", b), cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket%sle=%q} %d\n", h.name, lePrefix, fmt.Sprintf("%g", b), cum); err != nil {
 			return err
 		}
 	}
 	cum += h.counts[len(h.bounds)].Load()
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", h.name, lePrefix, cum); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", h.name, h.Sum(), h.name, cum); err != nil {
+	cl := braced(h.labels)
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n", h.name, cl, h.Sum(), h.name, cl, cum); err != nil {
 		return err
 	}
 	return nil
@@ -206,6 +321,7 @@ func (h *Histogram) expose(w io.Writer) error {
 // child's atomic.
 type LabeledCounter struct {
 	name, help string
+	constLbl   string // rendered const labels, without braces
 	labels     []string
 	mu         sync.Mutex
 	order      []*labeledChild
@@ -220,16 +336,26 @@ type labeledChild struct {
 // LabeledCounter registers a counter family with the given label
 // names.
 func (r *Registry) LabeledCounter(name, help string, labels ...string) *LabeledCounter {
+	return r.LabeledCounterConst(name, help, nil, labels...)
+}
+
+// LabeledCounterConst is LabeledCounter with an additional set of
+// constant labels (alternating name,value pairs) prefixed onto every
+// child's label set — per-socket controllers pass
+// []string{"socket", "N"} so dynamic from/to labels compose with the
+// socket dimension.
+func (r *Registry) LabeledCounterConst(name, help string, constLabels []string, labels ...string) *LabeledCounter {
 	if len(labels) == 0 {
 		panic(fmt.Sprintf("telemetry: labeled counter %q needs label names", name))
 	}
 	lc := &LabeledCounter{
 		name:     sanitizeMetric(name),
 		help:     help,
+		constLbl: constLabelSet(constLabels),
 		labels:   labels,
 		children: make(map[string]*labeledChild),
 	}
-	r.register(lc.name, lc)
+	r.register(lc.name+braced(lc.constLbl), lc)
 	return lc
 }
 
@@ -242,6 +368,10 @@ func (lc *LabeledCounter) With(values ...string) *Counter {
 	}
 	var sb strings.Builder
 	sb.WriteByte('{')
+	if lc.constLbl != "" {
+		sb.WriteString(lc.constLbl)
+		sb.WriteByte(',')
+	}
 	for i, name := range lc.labels {
 		if i > 0 {
 			sb.WriteByte(',')
@@ -274,10 +404,9 @@ func (lc *LabeledCounter) Values() map[string]uint64 {
 	return out
 }
 
-func (lc *LabeledCounter) expose(w io.Writer) error {
-	if err := exposeHeader(w, lc.name, lc.help, "counter"); err != nil {
-		return err
-	}
+func (lc *LabeledCounter) family() string             { return lc.name }
+func (lc *LabeledCounter) header() (help, typ string) { return lc.help, "counter" }
+func (lc *LabeledCounter) exposeSamples(w io.Writer) error {
 	lc.mu.Lock()
 	children := append([]*labeledChild(nil), lc.order...)
 	lc.mu.Unlock()
@@ -298,14 +427,6 @@ func exposeHeader(w io.Writer, name, help, typ string) error {
 		}
 	}
 	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
-	return err
-}
-
-func exposeOne(w io.Writer, name, help, typ, labels, value string) error {
-	if err := exposeHeader(w, name, help, typ); err != nil {
-		return err
-	}
-	_, err := fmt.Fprintf(w, "%s%s %s\n", name, labels, value)
 	return err
 }
 
