@@ -43,6 +43,7 @@ type obsWiring struct {
 	traceFile  string
 	journalLen int
 	pprof      bool
+	streamBuf  int
 }
 
 // groupFlag mirrors dcatd's repeated -group name=cpus@baseline flag.
@@ -96,6 +97,7 @@ func main() {
 		trace     = flag.String("trace-file", "", "append every controller decision event as JSON Lines to this file")
 		journal   = flag.Int("journal", obs.DefaultJournalSize, "in-memory decision journal capacity in events (served at /debug/journal)")
 		pprofOn   = flag.Bool("pprof", false, "expose /debug/pprof on the -http address")
+		streamBuf = flag.Int("stream-buffer", 4096, "decision events buffered for upload to the fleet flight recorder (drop-oldest when full)")
 	)
 	flag.Var(&groups, "group", "managed group as name=cpus@baseline (repeatable, hardware mode)")
 	flag.Parse()
@@ -108,6 +110,7 @@ func main() {
 		traceFile:  *trace,
 		journalLen: *journal,
 		pprof:      *pprofOn,
+		streamBuf:  *streamBuf,
 	}
 	var client *cluster.Client
 	if *coord != "" {
@@ -225,13 +228,29 @@ func runHardware(ctx context.Context, name string, client *cluster.Client, httpA
 // runAgent wraps the local loop in a cluster agent, serves local
 // status, and ticks until the context is canceled (or the demo
 // interval budget is spent). The controller's decision events fan out
-// to the in-memory journal, the optional trace file, and the agent's
-// tally so the coordinator sees fleet-wide transition rates.
+// to the in-memory journal, the optional trace file, the agent's
+// tally so the coordinator sees fleet-wide transition rates, and — in
+// coordinator mode — the flight-recorder streamer that uploads every
+// event to the fleet store.
 func runAgent(ctx context.Context, name string, client *cluster.Client, httpAddr string, period time.Duration, intervals int, local cluster.Local, ctl *dcat.Controller, ob obsWiring) error {
+	var streamer *cluster.Streamer
+	if client != nil {
+		var err error
+		streamer, err = cluster.NewStreamer(cluster.StreamerConfig{
+			Client:     client,
+			Epoch:      time.Now().UnixNano(),
+			BufferSize: ob.streamBuf,
+			Metrics:    cluster.NewStreamerMetrics(ob.reg),
+		})
+		if err != nil {
+			return err
+		}
+	}
 	agent, err := cluster.NewAgent(cluster.AgentConfig{
 		Name:       name,
 		StatusAddr: httpAddr,
 		Client:     client,
+		Streamer:   streamer,
 	}, local)
 	if err != nil {
 		return err
@@ -239,25 +258,26 @@ func runAgent(ctx context.Context, name string, client *cluster.Client, httpAddr
 	journal := obs.NewJournal(ob.journalLen)
 	sinks := []obs.Sink{journal}
 	if client != nil {
-		sinks = append(sinks, agent.EventSink())
+		sinks = append(sinks, agent.EventSink(), streamer)
 	}
+	opts := httpstatus.Options{Journal: journal, Metrics: ob.reg, Pprof: ob.pprof}
 	if ob.traceFile != "" {
 		fs, err := obs.NewFileSink(ob.traceFile)
 		if err != nil {
 			return fmt.Errorf("opening trace file: %w", err)
 		}
 		defer fs.Close()
+		drops := ob.reg.Counter("dcat_trace_file_dropped_total",
+			"Decision events the -trace-file sink discarded after a latched write error.")
+		fs.SetOnDrop(drops.Inc)
+		opts.Trace = fs
 		sinks = append(sinks, fs)
 	}
 	ctl.SetSink(obs.Multi(sinks...))
 	ctl.RegisterMetrics(ob.reg)
 	if httpAddr != "" {
 		src := httpstatus.Locked{Src: localSource{local}, Do: agent.Do}
-		srv := httpstatus.ServeOpts(httpAddr, src, httpstatus.Options{
-			Journal: journal,
-			Metrics: ob.reg,
-			Pprof:   ob.pprof,
-		})
+		srv := httpstatus.ServeOpts(httpAddr, src, opts)
 		defer func() {
 			sctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 			defer cancel()

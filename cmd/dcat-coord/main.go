@@ -10,6 +10,8 @@
 //	GET /cluster             — every agent, liveness, workload categories
 //	GET /cluster/metrics     — Prometheus gauges
 //	GET /cluster/series.csv  — fleet time series
+//	GET /fleet/events        — flight-recorder query plane (-recorder-dir)
+//	GET /fleet/explain?vm=X  — why did workload X change allocation?
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/flightrec"
 	"repro/internal/httpstatus"
 	"repro/internal/obs"
 	"repro/internal/telemetry"
@@ -38,6 +41,10 @@ func main() {
 		trace       = flag.String("trace-file", "", "append every coordinator event (enrollments, hints) as JSON Lines to this file")
 		journalLen  = flag.Int("journal", obs.DefaultJournalSize, "in-memory event journal capacity in events (served at /debug/journal)")
 		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof on the -listen address")
+		recDir      = flag.String("recorder-dir", "", "fleet flight-recorder segment directory (empty = durable recording off)")
+		segBytes    = flag.Int64("segment-bytes", 4<<20, "rotate a recorder segment at this size")
+		segAge      = flag.Duration("segment-age", time.Hour, "rotate a recorder segment at this age")
+		retain      = flag.Int("retain", 64, "recorder segments kept before the oldest are pruned")
 	)
 	flag.Parse()
 
@@ -52,6 +59,7 @@ func main() {
 	journal := obs.NewJournal(*journalLen)
 	reg := telemetry.NewRegistry()
 	coord.RegisterMetrics(reg)
+	opts := httpstatus.Options{Journal: journal, Metrics: reg, Pprof: *pprofOn}
 	sinks := []obs.Sink{journal}
 	if *trace != "" {
 		fs, err := obs.NewFileSink(*trace)
@@ -60,17 +68,38 @@ func main() {
 			os.Exit(1)
 		}
 		defer fs.Close()
+		drops := reg.Counter("dcat_trace_file_dropped_total",
+			"Decision events the -trace-file sink discarded after a latched write error.")
+		fs.SetOnDrop(drops.Inc)
+		opts.Trace = fs
 		sinks = append(sinks, fs)
 	}
 	coord.SetSink(obs.Multi(sinks...))
 
-	opts := httpstatus.Options{Journal: journal, Metrics: reg, Pprof: *pprofOn}
+	if *recDir != "" {
+		store, err := flightrec.Open(flightrec.Config{
+			Dir:             *recDir,
+			SegmentMaxBytes: *segBytes,
+			SegmentMaxAge:   *segAge,
+			MaxSegments:     *retain,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcat-coord: opening flight recorder:", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		store.RegisterMetrics(reg)
+		coord.SetRecorder(store)
+		opts.Recorder = store
+		fmt.Printf("dcat-coord: flight recorder at %s (query at /fleet/events)\n", *recDir)
+	}
 	status := httpstatus.ClusterHandlerOpts(coord, opts)
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", coord.Handler())
 	mux.Handle("/cluster", status)
 	mux.Handle("/cluster/", status)
 	mux.Handle("/debug/", status)
+	mux.Handle("/fleet/", status)
 
 	srv := &http.Server{Addr: *listen, Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	errc := make(chan error, 1)

@@ -1,4 +1,13 @@
-// Command dcat-trace inspects a recorded access trace (see
+// Command dcat-trace has two personalities:
+//
+// With a subcommand it is the fleet flight recorder's CLI, querying a
+// dcat-coord run with -recorder-dir:
+//
+//	dcat-trace tail -coord http://coord:9400
+//	dcat-trace query -coord http://coord:9400 -agent host-a -kind WayReclaim -n 50
+//	dcat-trace explain -coord http://coord:9400 web
+//
+// Without one it inspects a recorded access trace (see
 // dcat-sim -record): its footprint, and — by running the trace through
 // a UCP-style shadow-tag monitor against the Xeon E5 LLC geometry —
 // the expected hit rate at every way count, with a suggested
@@ -18,6 +27,15 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		if run, ok := fleetCommands[os.Args[1]]; ok {
+			if err := run(os.Args[2:]); err != nil {
+				fmt.Fprintln(os.Stderr, "dcat-trace:", err)
+				os.Exit(1)
+			}
+			return
+		}
+	}
 	var (
 		targetMiss = flag.Float64("target-miss", 0.03, "miss-rate target for the baseline suggestion (the paper's llc_miss_rate_thr)")
 		sample     = flag.Int("sample", 8, "shadow-tag set sampling interval")

@@ -51,6 +51,7 @@ type obsFlags struct {
 func (o obsFlags) attach(ctl *dcat.Controller) (httpstatus.Options, func(), error) {
 	journal := obs.NewJournal(o.journalLen)
 	reg := telemetry.NewRegistry()
+	opts := httpstatus.Options{Journal: journal, Metrics: reg, Pprof: o.pprof}
 	sinks := []obs.Sink{journal}
 	closer := func() {}
 	if o.traceFile != "" {
@@ -58,12 +59,16 @@ func (o obsFlags) attach(ctl *dcat.Controller) (httpstatus.Options, func(), erro
 		if err != nil {
 			return httpstatus.Options{}, nil, fmt.Errorf("opening trace file: %w", err)
 		}
+		drops := reg.Counter("dcat_trace_file_dropped_total",
+			"Decision events the -trace-file sink discarded after a latched write error.")
+		fs.SetOnDrop(drops.Inc)
+		opts.Trace = fs
 		sinks = append(sinks, fs)
 		closer = func() { _ = fs.Close() }
 	}
 	ctl.SetSink(obs.Multi(sinks...))
 	ctl.RegisterMetrics(reg)
-	return httpstatus.Options{Journal: journal, Metrics: reg, Pprof: o.pprof}, closer, nil
+	return opts, closer, nil
 }
 
 // groupFlag collects repeated -group name=cpus@baseline flags.

@@ -40,6 +40,10 @@ type AgentConfig struct {
 	// HeartbeatEvery is the tick cadence of liveness pings on ticks
 	// with no report due (default 1).
 	HeartbeatEvery int
+	// Streamer, when set, uploads the host's decision events to the
+	// fleet flight recorder after each tick's cluster duties. Wire its
+	// Emit into the controller's sink chain alongside EventSink.
+	Streamer *Streamer
 }
 
 // Agent wraps a host's local dCat loop with cluster duties: enroll,
@@ -175,6 +179,15 @@ func (a *Agent) clusterDuties(ctx context.Context, ticks int, snap []core.Status
 	case ticks%heartbeatEvery == 0:
 		a.heartbeat(ctx, id, ticks)
 	}
+
+	if a.cfg.Streamer != nil {
+		// Flight-recorder upload; failures stay inside the streamer
+		// (its own backoff) except a 404, which means the coordinator
+		// restarted and no longer knows this id — re-enroll next tick.
+		if err := a.cfg.Streamer.Flush(ctx, id); errors.Is(err, ErrUnknownAgent) {
+			a.noteFailure(err)
+		}
+	}
 }
 
 // enroll registers with the coordinator; it reports success.
@@ -186,7 +199,9 @@ func (a *Agent) enroll(ctx context.Context, snap []core.Status, totalWays int) b
 		TotalWays:  totalWays,
 	}
 	for _, st := range snap {
-		req.Workloads = append(req.Workloads, WorkloadSpec{Name: st.Name, BaselineWays: st.Baseline})
+		req.Workloads = append(req.Workloads, WorkloadSpec{
+			Name: st.Name, BaselineWays: st.Baseline, Socket: st.Socket,
+		})
 	}
 	resp, err := a.cfg.Client.Enroll(ctx, req)
 	a.mu.Lock()
@@ -218,6 +233,7 @@ func (a *Agent) report(ctx context.Context, id string, ticks int, snap []core.St
 			IPC:          st.IPC,
 			NormIPC:      st.NormIPC,
 			MissRate:     st.MissRate,
+			Socket:       st.Socket,
 		})
 	}
 	transitions, phases := a.tally.Drain()

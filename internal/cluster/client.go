@@ -155,6 +155,16 @@ func (c *Client) Report(ctx context.Context, req *ReportRequest) (*ReportRespons
 	return &resp, nil
 }
 
+// Events uploads one batch of decision-trace events to the fleet
+// flight recorder and returns the coordinator's cursor.
+func (c *Client) Events(ctx context.Context, req *EventsRequest) (*EventsResponse, error) {
+	var resp EventsResponse
+	if err := c.post(ctx, PathEvents, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Heartbeat sends a liveness ping.
 func (c *Client) Heartbeat(ctx context.Context, req *HeartbeatRequest) (*HeartbeatResponse, error) {
 	var resp HeartbeatResponse

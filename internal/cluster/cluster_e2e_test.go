@@ -6,10 +6,15 @@
 package cluster_test
 
 import (
+	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -18,7 +23,9 @@ import (
 	"repro/internal/cat"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/flightrec"
 	"repro/internal/httpstatus"
+	"repro/internal/obs"
 	"repro/internal/perf"
 )
 
@@ -264,5 +271,266 @@ func TestClusterEndToEnd(t *testing.T) {
 	}
 	if hostA.agent.LastErr() == nil {
 		t.Error("coordinator outage not surfaced in LastErr")
+	}
+}
+
+// swappableHandler lets the test "restart" the coordinator behind one
+// stable URL: the agents keep dialing the same address while the
+// handler underneath is replaced.
+type swappableHandler struct {
+	mu sync.Mutex
+	h  http.Handler
+}
+
+func (s *swappableHandler) Set(h http.Handler) {
+	s.mu.Lock()
+	s.h = h
+	s.mu.Unlock()
+}
+
+func (s *swappableHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.h
+	s.mu.Unlock()
+	h.ServeHTTP(w, r)
+}
+
+// captureSink is the test's stand-in for an agent's local trace file:
+// the complete, ordered decision-event history on that host.
+type captureSink struct {
+	mu     sync.Mutex
+	events []obs.Event
+}
+
+func (c *captureSink) Emit(ev obs.Event) {
+	c.mu.Lock()
+	c.events = append(c.events, ev)
+	c.mu.Unlock()
+}
+
+func (c *captureSink) Events() []obs.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]obs.Event(nil), c.events...)
+}
+
+// streamingHost is a host whose controller also feeds a flight-recorder
+// streamer (as dcat-agent wires it) and a local capture of every event.
+type streamingHost struct {
+	*host
+	streamer *cluster.Streamer
+	local    *captureSink
+}
+
+func newStreamingHost(t *testing.T, name, coordURL string, epoch int64) *streamingHost {
+	t.Helper()
+	h := newHost(t, name, coordURL, []string{"web", "batch"},
+		map[string]behavior{"web": fittedBehavior(), "batch": streamBehavior()})
+	cli, err := cluster.NewClient(cluster.ClientConfig{
+		BaseURL: coordURL, Timeout: 2 * time.Second, MaxRetries: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamer, err := cluster.NewStreamer(cluster.StreamerConfig{Client: cli, Epoch: epoch})
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := cluster.NewAgent(cluster.AgentConfig{
+		Name: name, Client: cli, Streamer: streamer,
+	}, h.ctl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.agent = agent
+	local := &captureSink{}
+	h.ctl.SetSink(obs.Multi(local, streamer))
+	return &streamingHost{host: h, streamer: streamer, local: local}
+}
+
+// saveRecorderArtifacts copies the recorder segment directory into
+// DCAT_E2E_ARTIFACT_DIR when the test fails, so CI can upload it.
+func saveRecorderArtifacts(t *testing.T, dir string) {
+	t.Cleanup(func() {
+		dst := os.Getenv("DCAT_E2E_ARTIFACT_DIR")
+		if dst == "" || !t.Failed() {
+			return
+		}
+		out := filepath.Join(dst, filepath.Base(t.Name()))
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			t.Logf("artifact dir: %v", err)
+			return
+		}
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Logf("artifact copy: %v", err)
+			return
+		}
+		for _, e := range entries {
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err == nil {
+				err = os.WriteFile(filepath.Join(out, e.Name()), data, 0o644)
+			}
+			if err != nil {
+				t.Logf("artifact copy %s: %v", e.Name(), err)
+			}
+		}
+		t.Logf("recorder segments saved to %s", out)
+	})
+}
+
+// fetchFleetEvents GETs a /fleet path and decodes the NDJSON records.
+func fetchFleetEvents(t *testing.T, base, path string) []flightrec.Record {
+	t.Helper()
+	res, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(res.Body)
+		t.Fatalf("GET %s: status %d: %s", path, res.StatusCode, body)
+	}
+	var recs []flightrec.Record
+	sc := bufio.NewScanner(res.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var rec flightrec.Record
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad record line %q: %v", sc.Text(), err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+// TestFlightRecorderEndToEnd drives two streaming agents into a
+// recorder-backed coordinator, restarts the coordinator (new process
+// state, reopened store) mid-run, and then requires that /fleet/events
+// per agent is byte-identical to that agent's local event history —
+// no events lost across the restart, none duplicated by upload
+// retries, and every buffer drop accounted (here: zero).
+func TestFlightRecorderEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	saveRecorderArtifacts(t, dir)
+
+	openStore := func() *flightrec.Store {
+		store, err := flightrec.Open(flightrec.Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return store
+	}
+	newCoordHandler := func(store *flightrec.Store) http.Handler {
+		coord := cluster.NewCoordinator(cluster.CoordinatorConfig{HeartbeatExpiry: time.Hour})
+		coord.SetRecorder(store)
+		mux := http.NewServeMux()
+		mux.Handle("/v1/", coord.Handler())
+		mux.Handle("/fleet/", httpstatus.ClusterHandlerOpts(coord, httpstatus.Options{Recorder: store}))
+		return mux
+	}
+
+	store := openStore()
+	swap := &swappableHandler{}
+	swap.Set(newCoordHandler(store))
+	srv := httptest.NewServer(swap)
+	defer srv.Close()
+
+	ctx := context.Background()
+	hostA := newStreamingHost(t, "host-a", srv.URL, 101)
+	hostB := newStreamingHost(t, "host-b", srv.URL, 202)
+	hosts := []*streamingHost{hostA, hostB}
+
+	// Phase 1: both agents stream normally.
+	for i := 0; i < 8; i++ {
+		hostA.tick(ctx)
+		hostB.tick(ctx)
+	}
+
+	// Phase 2: the coordinator goes down hard. Agents keep ticking —
+	// events buffer on each host, flushes fail and back off.
+	swap.Set(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "coordinator restarting", http.StatusServiceUnavailable)
+	}))
+	for i := 0; i < 4; i++ {
+		hostA.tick(ctx)
+		hostB.tick(ctx)
+	}
+
+	// Phase 3: a NEW coordinator process comes up over the SAME
+	// reopened store. The fresh registry 404s the agents' stale ids;
+	// they re-enroll and resume uploading from their unacknowledged
+	// tail. The store's rebuilt (agent, epoch, seq) cursors dedup any
+	// batch that was acknowledged before the crash.
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store = openStore()
+	defer store.Close()
+	swap.Set(newCoordHandler(store))
+
+	// Drive until both streamers have drained (re-enrollment plus
+	// flush-cooldown skips take a few ticks).
+	for i := 0; i < 100 && (hostA.streamer.Pending() > 0 || hostB.streamer.Pending() > 0); i++ {
+		hostA.tick(ctx)
+		hostB.tick(ctx)
+	}
+	for _, h := range hosts {
+		if n := h.streamer.Pending(); n != 0 {
+			t.Fatalf("%s: %d events still buffered after recovery", h.agent.ID(), n)
+		}
+	}
+
+	for _, h := range hosts {
+		name := map[*streamingHost]string{hostA: "host-a", hostB: "host-b"}[h]
+		local := h.local.Events()
+		if len(local) == 0 {
+			t.Fatalf("%s emitted no events — test is vacuous", name)
+		}
+
+		// The fleet recorder's answer for this agent, over HTTP.
+		recs := fetchFleetEvents(t, srv.URL, "/fleet/events?agent="+name)
+		streamed := make([]obs.Event, len(recs))
+		for i, rec := range recs {
+			streamed[i] = rec.Event
+			if rec.Agent != name {
+				t.Fatalf("%s: foreign record %+v", name, rec)
+			}
+		}
+
+		// Byte-identical to the local journal JSONL: nothing lost
+		// across the restart, nothing duplicated by retries.
+		var want, got bytes.Buffer
+		if err := obs.WriteJSONL(&want, local); err != nil {
+			t.Fatal(err)
+		}
+		if err := obs.WriteJSONL(&got, streamed); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Errorf("%s: fleet recorder diverges from the local journal: %d local vs %d streamed events",
+				name, len(local), len(streamed))
+		}
+
+		// Sequence numbers are gapless and duplicate-free from 0.
+		for i, rec := range recs {
+			if rec.Seq != uint64(i) {
+				t.Fatalf("%s: record %d has seq %d, want %d", name, i, rec.Seq, i)
+			}
+		}
+
+		// Drop accounting balances: the streamer never overflowed, and
+		// the store saw no sequence gaps.
+		cur, ok := store.Cursors()[name]
+		if !ok {
+			t.Fatalf("%s: no store cursor", name)
+		}
+		if h.streamer.Dropped() != 0 || cur.Lost != 0 || cur.ReportedDropped != 0 {
+			t.Errorf("%s: unexpected drops: streamer %d, store lost %d, reported %d",
+				name, h.streamer.Dropped(), cur.Lost, cur.ReportedDropped)
+		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/flightrec"
 	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
@@ -61,6 +62,9 @@ type agentRecord struct {
 	// reports since enrollment.
 	transitions  map[string]uint64
 	phaseChanges uint64
+	// eventsDropped is the agent streamer's cumulative drop counter as
+	// of its latest flight-recorder upload.
+	eventsDropped uint64
 }
 
 // Coordinator is the cluster control plane: the registry of agents,
@@ -82,9 +86,10 @@ type Coordinator struct {
 	fleetTransitions map[string]uint64
 	fleetPhases      uint64
 
-	// Observability hooks, both optional.
-	sink    obs.Sink
-	metrics *coordMetrics
+	// Observability hooks, all optional.
+	sink     obs.Sink
+	metrics  *coordMetrics
+	recorder *flightrec.Store
 }
 
 // coordMetrics holds the coordinator's registered metrics.
@@ -114,6 +119,23 @@ func (c *Coordinator) SetSink(s obs.Sink) {
 	c.mu.Lock()
 	c.sink = s
 	c.mu.Unlock()
+}
+
+// SetRecorder installs the fleet flight recorder that /v1/events
+// uploads append to. Nil disables durable recording: uploads are still
+// acknowledged (so agents discard their buffers) but nothing is kept.
+func (c *Coordinator) SetRecorder(store *flightrec.Store) {
+	c.mu.Lock()
+	c.recorder = store
+	c.mu.Unlock()
+}
+
+// Recorder returns the installed flight-recorder store (nil when
+// recording is disabled) — the query plane mounts endpoints over it.
+func (c *Coordinator) Recorder() *flightrec.Store {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.recorder
 }
 
 // RegisterMetrics registers the coordinator's counters on reg:
@@ -153,6 +175,9 @@ type AgentState struct {
 	// forwarded decision-event counts ("From->To" keys).
 	Transitions  map[string]uint64 `json:"transitions,omitempty"`
 	PhaseChanges uint64            `json:"phase_changes,omitempty"`
+	// EventsDropped is the agent streamer's cumulative count of
+	// decision events its bounded buffer discarded before upload.
+	EventsDropped uint64 `json:"events_dropped,omitempty"`
 }
 
 // State is the cluster-wide snapshot served at /cluster.
@@ -186,15 +211,16 @@ func (c *Coordinator) ClusterState() State {
 	for _, rec := range c.agents {
 		alive := c.aliveLocked(rec, now)
 		as := AgentState{
-			ID:           rec.id,
-			Name:         rec.name,
-			StatusAddr:   rec.statusAddr,
-			Alive:        alive,
-			LastSeen:     rec.lastSeen,
-			Tick:         rec.lastTick,
-			TotalWays:    rec.totalWays,
-			Workloads:    append([]WorkloadReport(nil), rec.workloads...),
-			PhaseChanges: rec.phaseChanges,
+			ID:            rec.id,
+			Name:          rec.name,
+			StatusAddr:    rec.statusAddr,
+			Alive:         alive,
+			LastSeen:      rec.lastSeen,
+			Tick:          rec.lastTick,
+			TotalWays:     rec.totalWays,
+			Workloads:     append([]WorkloadReport(nil), rec.workloads...),
+			PhaseChanges:  rec.phaseChanges,
+			EventsDropped: rec.eventsDropped,
 		}
 		if len(rec.transitions) > 0 {
 			as.Transitions = make(map[string]uint64, len(rec.transitions))
@@ -243,6 +269,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc(PathEnroll, c.handleEnroll)
 	mux.HandleFunc(PathReport, c.handleReport)
 	mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
+	mux.HandleFunc(PathEvents, c.handleEvents)
 	return mux
 }
 
@@ -368,12 +395,15 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	c.recordFleetLocked()
 	hints := c.hintsForLocked(rec)
 	if c.sink != nil {
-		for _, h := range hints {
+		// hints[i] corresponds to rec.workloads[i], so the hint event
+		// can carry the workload's socket for topology-aware traces.
+		for i, h := range hints {
 			if h.MaxWays > 0 {
 				c.sink.Emit(obs.Event{
 					Tick:     c.reports,
 					Kind:     obs.KindHintIssued,
 					Workload: h.Workload,
+					Socket:   rec.workloads[i].Socket,
 					NewWays:  h.MaxWays,
 					Reason:   h.Reason,
 				})
@@ -382,6 +412,48 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	c.mu.Unlock()
 	writeJSON(w, ReportResponse{Version: ProtocolVersion, Hints: hints})
+}
+
+// handleEvents ingests one flight-recorder upload. The store append
+// happens outside the coordinator lock — disk I/O must not block
+// enrollments and reports — and the store's own (agent, epoch, seq)
+// dedup makes retried batches idempotent. Without a recorder the
+// upload is acknowledged and discarded, so agents still empty their
+// buffers when durable recording is switched off.
+func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
+	data := readBody(w, r)
+	if data == nil {
+		return
+	}
+	req, err := DecodeEventsRequest(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c.mu.Lock()
+	rec, ok := c.agents[req.AgentID]
+	if !ok {
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, ErrUnknownAgent)
+		return
+	}
+	rec.lastSeen = c.cfg.Now()
+	rec.eventsDropped = req.Dropped
+	// Records are keyed by the stable agent name, not the per-
+	// enrollment id, so a host's history survives re-enrollments.
+	name := rec.name
+	store := c.recorder
+	c.mu.Unlock()
+
+	next := req.FirstSeq + uint64(len(req.Events))
+	if store != nil {
+		next, err = store.Append(name, req.Epoch, req.FirstSeq, req.Events, req.Dropped)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
+	writeJSON(w, EventsResponse{Version: ProtocolVersion, NextSeq: next})
 }
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
@@ -453,33 +525,46 @@ func (c *Coordinator) recordFleetLocked() {
 	}
 }
 
+// workloadLocus keys fleet-wide workload counting by replica name AND
+// the LLC domain it runs on — the topology-aware refinement.
+type workloadLocus struct {
+	name   string
+	socket int
+}
+
 // hintsForLocked computes the coordinator's advice for one agent from
 // the fleet-wide view — the global perspective Com-CAS and LFOC argue
 // for. Current policy: when a quorum of alive agents classify a
 // same-named workload (a replicated service) as Streaming, the
 // remaining replicas are hinted to cap at their baseline instead of
 // probing up to streaming_mult x baseline on every host independently.
-// Hints always cover every workload (MaxWays 0 = no cap) so a cleared
-// condition also clears the cap on the agent.
+// The count is keyed by (workload, socket): replicas on a hot LLC
+// domain reach quorum and get capped while the same service's replicas
+// on a quiet socket keep probing — the coordinator is no longer
+// topology-blind. Single-socket fleets report socket 0 everywhere, so
+// the policy reduces to the old per-name one. Hints always cover every
+// workload (MaxWays 0 = no cap) so a cleared condition also clears the
+// cap on the agent.
 func (c *Coordinator) hintsForLocked(target *agentRecord) []AllocationHint {
 	now := c.cfg.Now()
-	streaming := make(map[string]int)
+	streaming := make(map[workloadLocus]int)
 	for _, rec := range c.agents {
 		if !c.aliveLocked(rec, now) {
 			continue
 		}
 		for _, wl := range rec.workloads {
 			if wl.Category == "Streaming" {
-				streaming[wl.Name]++
+				streaming[workloadLocus{wl.Name, wl.Socket}]++
 			}
 		}
 	}
 	hints := make([]AllocationHint, 0, len(target.workloads))
 	for _, wl := range target.workloads {
 		h := AllocationHint{Workload: wl.Name}
-		if streaming[wl.Name] >= c.cfg.StreamingQuorum {
+		if n := streaming[workloadLocus{wl.Name, wl.Socket}]; n >= c.cfg.StreamingQuorum {
 			h.MaxWays = wl.BaselineWays
-			h.Reason = fmt.Sprintf("workload %q is Streaming on %d agents", wl.Name, streaming[wl.Name])
+			h.Reason = fmt.Sprintf("workload %q is Streaming on %d agents (socket %d)",
+				wl.Name, n, wl.Socket)
 		}
 		hints = append(hints, h)
 	}

@@ -3,11 +3,15 @@ package cluster
 import (
 	"bytes"
 	"context"
+	"errors"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/flightrec"
+	"repro/internal/obs"
 )
 
 // manualClock is an injectable, advanceable time source.
@@ -225,5 +229,137 @@ func TestCoordinatorFleetTelemetry(t *testing.T) {
 	}
 	if !strings.Contains(prom.String(), "dcat_fleet_agents_alive 1") {
 		t.Errorf("fleet metrics missing gauge:\n%s", prom.String())
+	}
+}
+
+func TestCoordinatorTopologyAwareHints(t *testing.T) {
+	r := newCoordRig(t, CoordinatorConfig{StreamingQuorum: 2})
+	ids := []string{r.enroll(t, "host-a"), r.enroll(t, "host-b"), r.enroll(t, "host-c")}
+
+	// "batch" is Streaming on socket 1 of two hosts; socket 0 replicas
+	// are quiet.
+	for _, id := range ids[:2] {
+		rep := &ReportRequest{
+			Version: ProtocolVersion, AgentID: id, Tick: 1,
+			Workloads: []WorkloadReport{
+				{Name: "batch", Category: "Streaming", Ways: 1, BaselineWays: 2, MissRate: 0.9, Socket: 1},
+			},
+		}
+		if _, err := r.cli.Report(context.Background(), rep); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The third host runs one "batch" replica per socket. Only the
+	// socket-1 replica shares an LLC domain with the streaming quorum
+	// ... but replicas on one host share a name, so model it as two
+	// hosts' worth: report socket 1 first, expect a cap; then socket 0,
+	// expect none.
+	rep := &ReportRequest{
+		Version: ProtocolVersion, AgentID: ids[2], Tick: 1,
+		Workloads: []WorkloadReport{
+			{Name: "batch", Category: "Unknown", Ways: 5, BaselineWays: 2, MissRate: 0.8, Socket: 1},
+		},
+	}
+	resp, err := r.cli.Report(context.Background(), rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Hints) != 1 || resp.Hints[0].MaxWays != 2 {
+		t.Fatalf("socket-1 replica should be capped at baseline: %+v", resp.Hints)
+	}
+	if !strings.Contains(resp.Hints[0].Reason, "socket 1") {
+		t.Errorf("hint reason should name the socket: %q", resp.Hints[0].Reason)
+	}
+
+	// Same workload name on a quiet socket: no cap — the coordinator is
+	// no longer topology-blind.
+	rep.Tick = 2
+	rep.Workloads[0].Socket = 0
+	resp, err = r.cli.Report(context.Background(), rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Hints) != 1 || resp.Hints[0].MaxWays != 0 {
+		t.Fatalf("socket-0 replica should be uncapped: %+v", resp.Hints)
+	}
+}
+
+func TestCoordinatorEventsIngest(t *testing.T) {
+	r := newCoordRig(t, CoordinatorConfig{})
+	dir := t.TempDir()
+	store, err := flightrec.Open(flightrec.Config{Dir: dir, Now: r.clock.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	r.coord.SetRecorder(store)
+	id := r.enroll(t, "host-a")
+
+	evs := []obs.Event{
+		{Tick: 1, Kind: obs.KindWayGrant, Workload: "web", NewWays: 4, Reason: "sensitive"},
+		{Tick: 2, Kind: obs.KindWayReclaim, Workload: "web", NewWays: 3, Reason: "phase change"},
+	}
+	req := &EventsRequest{Version: ProtocolVersion, AgentID: id, Epoch: 1, FirstSeq: 0, Events: evs}
+	resp, err := r.cli.Events(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.NextSeq != 2 {
+		t.Fatalf("ack NextSeq = %d, want 2", resp.NextSeq)
+	}
+	// A retried identical batch is deduplicated, not duplicated.
+	if resp, err = r.cli.Events(context.Background(), req); err != nil || resp.NextSeq != 2 {
+		t.Fatalf("retry: resp=%+v err=%v", resp, err)
+	}
+	recs, err := store.Select(flightrec.Query{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("store holds %d records, want 2 (dedup)", len(recs))
+	}
+	// Records are keyed by the stable agent name, not the enrollment id.
+	if recs[0].Agent != "host-a" {
+		t.Errorf("record agent = %q, want host-a", recs[0].Agent)
+	}
+	if recs[1].Event.Kind != obs.KindWayReclaim {
+		t.Errorf("second record kind = %v, want WayReclaim", recs[1].Event.Kind)
+	}
+
+	// Drop accounting surfaces in the cluster state.
+	req2 := &EventsRequest{Version: ProtocolVersion, AgentID: id, Epoch: 1, FirstSeq: 7, Dropped: 5,
+		Events: []obs.Event{{Tick: 9, Kind: obs.KindWayGrant, Workload: "web", Reason: "x"}}}
+	if _, err := r.cli.Events(context.Background(), req2); err != nil {
+		t.Fatal(err)
+	}
+	st := r.coord.ClusterState()
+	if st.Agents[0].EventsDropped != 5 {
+		t.Errorf("EventsDropped = %d, want 5", st.Agents[0].EventsDropped)
+	}
+	cur := store.Cursors()["host-a"]
+	if cur.Lost != 5 || cur.ReportedDropped != 5 {
+		t.Errorf("cursor = %+v, want Lost=5 ReportedDropped=5", cur)
+	}
+
+	// Unknown agent id maps to ErrUnknownAgent so streamers re-enroll.
+	bad := &EventsRequest{Version: ProtocolVersion, AgentID: "agent-999", Epoch: 1, FirstSeq: 0}
+	if _, err := r.cli.Events(context.Background(), bad); !errors.Is(err, ErrUnknownAgent) {
+		t.Errorf("unknown agent err = %v, want ErrUnknownAgent", err)
+	}
+}
+
+func TestCoordinatorEventsWithoutRecorder(t *testing.T) {
+	// No recorder installed: uploads are still acknowledged so agents
+	// empty their buffers.
+	r := newCoordRig(t, CoordinatorConfig{})
+	id := r.enroll(t, "host-a")
+	req := &EventsRequest{Version: ProtocolVersion, AgentID: id, Epoch: 1, FirstSeq: 3,
+		Events: []obs.Event{{Tick: 1, Kind: obs.KindWayGrant, Workload: "w", Reason: "x"}}}
+	resp, err := r.cli.Events(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.NextSeq != 4 {
+		t.Errorf("recorderless ack NextSeq = %d, want 4", resp.NextSeq)
 	}
 }

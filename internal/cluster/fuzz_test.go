@@ -19,6 +19,9 @@ func FuzzDecodeProtocol(f *testing.F) {
 	f.Add([]byte(`{"version":1,"agent":"a","total_ways":1e300,"workloads":[]}`))
 	f.Add([]byte(`{"version":1,"agent":"\u0000","total_ways":2,"workloads":[{"name":"w","baseline_ways":1}]}`))
 	f.Add([]byte(`{"version":1,"agent_id":"a","tick":0,"workloads":[{"name":"w","miss_rate":-1}]}`))
+	f.Add([]byte(`{"version":1,"agent_id":"agent-1","epoch":42,"first_seq":7,"events":[{"tick":3,"kind":"WayGrant","workload":"web","old_ways":3,"new_ways":4,"reason":"sensitive"}]}`))
+	f.Add([]byte(`{"version":1,"agent_id":"a","epoch":1,"first_seq":18446744073709551615,"events":[{"tick":0,"kind":"WayGrant","reason":""}]}`))
+	f.Add([]byte(`{"version":1,"agent_id":"a","epoch":1,"first_seq":0,"events":[{"tick":0,"kind":"NotAKind","reason":""}]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if req, err := DecodeEnrollRequest(data); err == nil {
 			if err := req.Validate(); err != nil {
@@ -39,6 +42,14 @@ func FuzzDecodeProtocol(f *testing.F) {
 		if req, err := DecodeHeartbeatRequest(data); err == nil {
 			if err := req.Validate(); err != nil {
 				t.Fatalf("decoded heartbeat fails revalidation: %v", err)
+			}
+		}
+		if req, err := DecodeEventsRequest(data); err == nil {
+			if err := req.Validate(); err != nil {
+				t.Fatalf("decoded events upload fails revalidation: %v", err)
+			}
+			if _, err := json.Marshal(req); err != nil {
+				t.Fatalf("decoded events upload fails re-encoding: %v", err)
 			}
 		}
 	})

@@ -22,6 +22,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
+
+	"repro/internal/obs"
 )
 
 // ProtocolVersion is the wire version both sides must speak. Version
@@ -34,6 +36,7 @@ const (
 	PathEnroll    = "/v1/enroll"
 	PathReport    = "/v1/report"
 	PathHeartbeat = "/v1/heartbeat"
+	PathEvents    = "/v1/events"
 )
 
 // MaxBodyBytes bounds any protocol message body; bigger payloads are
@@ -50,12 +53,23 @@ const (
 	// room for protocol growth without letting a hostile agent ship an
 	// unbounded map.
 	maxTransitionKinds = 64
+	// maxEventBatch bounds one flight-recorder upload; the streamer
+	// splits bigger backlogs into multiple batches.
+	maxEventBatch = 1024
+	// maxSocket bounds a report's LLC domain id — far above any real
+	// machine, but finite.
+	maxSocket = 4096
+	// maxReasonLen bounds an event's free-text reason.
+	maxReasonLen = 512
 )
 
 // WorkloadSpec announces one managed workload at enrollment.
 type WorkloadSpec struct {
 	Name         string `json:"name"`
 	BaselineWays int    `json:"baseline_ways"`
+	// Socket is the LLC domain the workload runs on (0 on
+	// single-socket hosts).
+	Socket int `json:"socket,omitempty"`
 }
 
 // EnrollRequest registers an agent with the coordinator.
@@ -91,6 +105,10 @@ type WorkloadReport struct {
 	IPC          float64 `json:"ipc"`
 	NormIPC      float64 `json:"normalized_ipc"`
 	MissRate     float64 `json:"miss_rate"`
+	// Socket is the LLC domain the workload runs on; the coordinator
+	// keys contention hints by (workload, socket) so one hot LLC does
+	// not throttle the whole host.
+	Socket int `json:"socket,omitempty"`
 }
 
 // EventSummary aggregates a host's decision-trace events since its
@@ -133,6 +151,35 @@ type ReportResponse struct {
 	Hints   []AllocationHint `json:"hints,omitempty"`
 }
 
+// EventsRequest uploads a contiguous run of decision-trace events to
+// the fleet flight recorder. Seq numbers start at 0 within each Epoch
+// (a streamer process incarnation), so the batch covers sequences
+// [FirstSeq, FirstSeq+len(Events)). Retried batches are idempotent:
+// the coordinator dedups by (agent, epoch, seq).
+type EventsRequest struct {
+	Version int    `json:"version"`
+	AgentID string `json:"agent_id"`
+	// Epoch identifies the streamer incarnation; a restarted agent
+	// starts a new epoch and its sequences restart at 0.
+	Epoch int64 `json:"epoch"`
+	// FirstSeq is the sequence number of Events[0]. An empty batch with
+	// FirstSeq beyond the coordinator's cursor reports buffer drops
+	// without carrying events.
+	FirstSeq uint64 `json:"first_seq"`
+	// Dropped is the agent's cumulative count of events its bounded
+	// buffer discarded before upload — drop accounting, never silent.
+	Dropped uint64      `json:"dropped,omitempty"`
+	Events  []obs.Event `json:"events,omitempty"`
+}
+
+// EventsResponse acknowledges an upload. NextSeq is the coordinator's
+// cursor after ingest: the agent may discard every buffered event with
+// seq < NextSeq.
+type EventsResponse struct {
+	Version int    `json:"version"`
+	NextSeq uint64 `json:"next_seq"`
+}
+
 // HeartbeatRequest is the cheap liveness ping between reports.
 type HeartbeatRequest struct {
 	Version int    `json:"version"`
@@ -164,6 +211,14 @@ func validName(kind, s string) error {
 		if r < 0x20 || r == 0x7f {
 			return fmt.Errorf("cluster: %s name contains control character %q", kind, r)
 		}
+	}
+	return nil
+}
+
+// validSocket bounds an LLC domain id.
+func validSocket(workload string, socket int) error {
+	if socket < 0 || socket >= maxSocket {
+		return fmt.Errorf("cluster: workload %q socket %d out of [0,%d)", workload, socket, maxSocket)
 	}
 	return nil
 }
@@ -204,6 +259,9 @@ func (r *EnrollRequest) Validate() error {
 		if w.BaselineWays < 1 || w.BaselineWays > r.TotalWays {
 			return fmt.Errorf("cluster: workload %q baseline %d out of [1,%d]",
 				w.Name, w.BaselineWays, r.TotalWays)
+		}
+		if err := validSocket(w.Name, w.Socket); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -251,6 +309,9 @@ func (r *ReportRequest) Validate() error {
 		if w.MissRate > 1 {
 			return fmt.Errorf("cluster: workload %q miss rate %f above 1", w.Name, w.MissRate)
 		}
+		if err := validSocket(w.Name, w.Socket); err != nil {
+			return err
+		}
 	}
 	if r.Events != nil {
 		if len(r.Events.Transitions) > maxTransitionKinds {
@@ -260,6 +321,53 @@ func (r *ReportRequest) Validate() error {
 		for k := range r.Events.Transitions {
 			if err := validName("transition", k); err != nil {
 				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Validate checks a flight-recorder upload.
+func (r *EventsRequest) Validate() error {
+	if err := validVersion(r.Version); err != nil {
+		return err
+	}
+	if err := validName("agent id", r.AgentID); err != nil {
+		return err
+	}
+	if r.Epoch <= 0 {
+		return fmt.Errorf("cluster: event epoch %d not positive", r.Epoch)
+	}
+	if len(r.Events) > maxEventBatch {
+		return fmt.Errorf("cluster: %d events exceeds the %d batch limit", len(r.Events), maxEventBatch)
+	}
+	if r.FirstSeq > math.MaxUint64-uint64(len(r.Events)) {
+		return fmt.Errorf("cluster: event batch sequence range overflows")
+	}
+	for i := range r.Events {
+		ev := &r.Events[i]
+		if !ev.Kind.Valid() {
+			return fmt.Errorf("cluster: event %d has unknown kind %d", i, int(ev.Kind))
+		}
+		if ev.Tick < 0 {
+			return fmt.Errorf("cluster: event %d has negative tick %d", i, ev.Tick)
+		}
+		if ev.Workload != "" {
+			if err := validName("workload", ev.Workload); err != nil {
+				return err
+			}
+		}
+		if err := validSocket(ev.Workload, ev.Socket); err != nil {
+			return err
+		}
+		for _, s := range []string{ev.From, ev.To, ev.Reason} {
+			if len(s) > maxReasonLen {
+				return fmt.Errorf("cluster: event %d text field longer than %d bytes", i, maxReasonLen)
+			}
+		}
+		for _, v := range []float64{ev.OldVal, ev.NewVal} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("cluster: event %d value not finite", i)
 			}
 		}
 	}
@@ -310,6 +418,19 @@ func DecodeEnrollRequest(data []byte) (*EnrollRequest, error) {
 // DecodeReportRequest parses and validates a stats-report body.
 func DecodeReportRequest(data []byte) (*ReportRequest, error) {
 	var r ReportRequest
+	if err := decodeStrict(data, &r); err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// DecodeEventsRequest parses and validates a flight-recorder upload
+// body.
+func DecodeEventsRequest(data []byte) (*EventsRequest, error) {
+	var r EventsRequest
 	if err := decodeStrict(data, &r); err != nil {
 		return nil, err
 	}

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func validEnroll() *EnrollRequest {
@@ -92,6 +94,87 @@ func TestDecodeReportRejects(t *testing.T) {
 				t.Error("invalid report accepted")
 			}
 		})
+	}
+}
+
+func validEvents() *EventsRequest {
+	return &EventsRequest{
+		Version:  ProtocolVersion,
+		AgentID:  "agent-1",
+		Epoch:    42,
+		FirstSeq: 7,
+		Events: []obs.Event{
+			{Tick: 3, Kind: obs.KindWayGrant, Workload: "web", OldWays: 3, NewWays: 4, Reason: "sensitive"},
+			{Tick: 4, Kind: obs.KindStateTransition, Workload: "web", From: "Growing", To: "Stable"},
+		},
+	}
+}
+
+func TestDecodeEventsRoundtrip(t *testing.T) {
+	req, err := DecodeEventsRequest(mustJSON(t, validEvents()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.AgentID != "agent-1" || req.Epoch != 42 || req.FirstSeq != 7 || len(req.Events) != 2 {
+		t.Errorf("roundtrip mangled the request: %+v", req)
+	}
+	if req.Events[0].Kind != obs.KindWayGrant || req.Events[1].To != "Stable" {
+		t.Errorf("roundtrip mangled the events: %+v", req.Events)
+	}
+	// An empty batch (drop-report ping) is valid.
+	empty := &EventsRequest{Version: ProtocolVersion, AgentID: "a", Epoch: 1, FirstSeq: 100, Dropped: 100}
+	if _, err := DecodeEventsRequest(mustJSON(t, empty)); err != nil {
+		t.Errorf("empty batch rejected: %v", err)
+	}
+}
+
+func TestDecodeEventsRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*EventsRequest)
+	}{
+		{"wrong version", func(r *EventsRequest) { r.Version = 2 }},
+		{"empty agent id", func(r *EventsRequest) { r.AgentID = "" }},
+		{"zero epoch", func(r *EventsRequest) { r.Epoch = 0 }},
+		{"negative epoch", func(r *EventsRequest) { r.Epoch = -5 }},
+		{"oversized batch", func(r *EventsRequest) { r.Events = make([]obs.Event, maxEventBatch+1) }},
+		{"seq overflow", func(r *EventsRequest) { r.FirstSeq = ^uint64(0) }},
+		{"negative tick", func(r *EventsRequest) { r.Events[0].Tick = -1 }},
+		{"bad workload name", func(r *EventsRequest) { r.Events[0].Workload = "a\x00b" }},
+		{"socket out of range", func(r *EventsRequest) { r.Events[0].Socket = maxSocket }},
+		{"oversized reason", func(r *EventsRequest) { r.Events[0].Reason = strings.Repeat("x", maxReasonLen+1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req := validEvents()
+			tc.mutate(req)
+			if _, err := DecodeEventsRequest(mustJSON(t, req)); err == nil {
+				t.Error("invalid events upload accepted")
+			}
+		})
+	}
+	// Kind names are checked at decode time: an unknown kind string
+	// must be rejected, not mapped to a zero value.
+	bad := []byte(`{"version":1,"agent_id":"a","epoch":1,"first_seq":0,"events":[{"tick":0,"kind":"NotAKind","reason":""}]}`)
+	if _, err := DecodeEventsRequest(bad); err == nil {
+		t.Error("unknown event kind accepted")
+	}
+}
+
+func TestSocketValidationOnReports(t *testing.T) {
+	req := validReport()
+	req.Workloads[0].Socket = 1
+	if _, err := DecodeReportRequest(mustJSON(t, req)); err != nil {
+		t.Errorf("valid socket rejected: %v", err)
+	}
+	req.Workloads[0].Socket = -1
+	if _, err := DecodeReportRequest(mustJSON(t, req)); err == nil {
+		t.Error("negative socket accepted")
+	}
+	enr := validEnroll()
+	enr.Workloads[0].Socket = maxSocket
+	if _, err := DecodeEnrollRequest(mustJSON(t, enr)); err == nil {
+		t.Error("out-of-range socket accepted on enrollment")
 	}
 }
 

@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// StreamerMetrics instruments the agent-side event streamer. Attach
+// one to StreamerConfig.Metrics; nil disables instrumentation.
+type StreamerMetrics struct {
+	Sent     *telemetry.Counter
+	Dropped  *telemetry.Counter
+	Batches  *telemetry.Counter
+	Failures *telemetry.Counter
+	Pending  *telemetry.Gauge
+}
+
+// NewStreamerMetrics registers the streamer's metrics on reg.
+func NewStreamerMetrics(reg *telemetry.Registry) *StreamerMetrics {
+	return &StreamerMetrics{
+		Sent: reg.Counter("dcat_stream_events_sent_total",
+			"Decision events acknowledged by the fleet flight recorder."),
+		Dropped: reg.Counter("dcat_stream_events_dropped_total",
+			"Decision events discarded by the streamer's bounded buffer before upload."),
+		Batches: reg.Counter("dcat_stream_batches_total",
+			"Flight-recorder upload batches sent successfully."),
+		Failures: reg.Counter("dcat_stream_flush_failures_total",
+			"Flight-recorder uploads that failed (the batch stays buffered)."),
+		Pending: reg.Gauge("dcat_stream_pending_events",
+			"Decision events buffered on the agent awaiting upload — streamer lag."),
+	}
+}
+
+// StreamerConfig tunes a Streamer. The zero value (plus a Client and
+// an Epoch) gets production-shaped defaults.
+type StreamerConfig struct {
+	// Client talks to the coordinator.
+	Client *Client
+	// Epoch identifies this streamer incarnation; sequence numbers
+	// restart at 0 in each epoch, so daemons pass something unique per
+	// process start (time.Now().UnixNano()). Must be positive.
+	Epoch int64
+	// BufferSize bounds the in-memory event buffer (default 4096). When
+	// full, the oldest event is dropped and counted — emission never
+	// blocks the control loop.
+	BufferSize int
+	// MaxBatch is the largest upload batch (default 256, capped at the
+	// protocol's batch limit).
+	MaxBatch int
+	// MaxBatchesPerFlush bounds how many batches one Flush call sends
+	// (default 4), so a huge backlog drains over several ticks instead
+	// of stalling one.
+	MaxBatchesPerFlush int
+	// Metrics, when set, instruments the streamer.
+	Metrics *StreamerMetrics
+}
+
+// Streamer is the agent side of the fleet flight recorder: an obs.Sink
+// that buffers decision events with per-epoch sequence numbers and
+// uploads them in batches. The buffer is bounded and drops oldest-first
+// with a cumulative counter, so a slow or dead coordinator costs
+// events — never control-loop stalls. After a failed flush the
+// streamer backs off (skipping a doubling number of flush
+// opportunities) on top of the client's own per-request retries.
+type Streamer struct {
+	cfg StreamerConfig
+
+	mu sync.Mutex
+	// buf holds the contiguous sequence run [headSeq, nextSeq); buf[0]
+	// carries sequence headSeq.
+	buf     []obs.Event
+	headSeq uint64
+	nextSeq uint64
+	// dropped counts events the full buffer discarded, cumulatively; it
+	// rides every upload so the coordinator can account for the gap.
+	dropped uint64
+	// cooldown skips that many upcoming Flush calls after a failure;
+	// skipsLeft is the current countdown.
+	cooldown  int
+	skipsLeft int
+	lastErr   error
+}
+
+// maxFlushCooldown caps the post-failure backoff, in skipped Flush
+// opportunities (ticks).
+const maxFlushCooldown = 32
+
+// NewStreamer builds an event streamer.
+func NewStreamer(cfg StreamerConfig) (*Streamer, error) {
+	if cfg.Client == nil {
+		return nil, fmt.Errorf("cluster: streamer needs a client")
+	}
+	if cfg.Epoch <= 0 {
+		return nil, fmt.Errorf("cluster: streamer epoch %d not positive", cfg.Epoch)
+	}
+	if cfg.BufferSize <= 0 {
+		cfg.BufferSize = 4096
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 256
+	}
+	if cfg.MaxBatch > maxEventBatch {
+		cfg.MaxBatch = maxEventBatch
+	}
+	if cfg.MaxBatchesPerFlush <= 0 {
+		cfg.MaxBatchesPerFlush = 4
+	}
+	return &Streamer{cfg: cfg}, nil
+}
+
+// Emit buffers one event, assigning it the next sequence number. When
+// the buffer is full the oldest event is dropped and counted. Never
+// blocks; safe for concurrent use.
+func (s *Streamer) Emit(ev obs.Event) {
+	s.mu.Lock()
+	if len(s.buf) >= s.cfg.BufferSize {
+		// Drop oldest: the head sequence advances past it, so the
+		// coordinator sees the gap and counts it as lost.
+		n := copy(s.buf, s.buf[1:])
+		s.buf = s.buf[:n]
+		s.headSeq++
+		s.dropped++
+		if s.cfg.Metrics != nil {
+			s.cfg.Metrics.Dropped.Inc()
+		}
+	}
+	s.buf = append(s.buf, ev)
+	s.nextSeq++
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Pending.Set(float64(len(s.buf)))
+	}
+	s.mu.Unlock()
+}
+
+// Flush uploads buffered events as up to MaxBatchesPerFlush batches.
+// A failure leaves the unacknowledged events buffered, arms the
+// cooldown, and returns the error; the caller (the agent loop) treats
+// it as advisory. During a cooldown Flush returns nil immediately.
+func (s *Streamer) Flush(ctx context.Context, agentID string) error {
+	s.mu.Lock()
+	if s.skipsLeft > 0 {
+		s.skipsLeft--
+		s.mu.Unlock()
+		return nil
+	}
+	s.mu.Unlock()
+
+	for i := 0; i < s.cfg.MaxBatchesPerFlush; i++ {
+		s.mu.Lock()
+		if len(s.buf) == 0 {
+			s.cooldown = 0
+			s.mu.Unlock()
+			return nil
+		}
+		n := len(s.buf)
+		if n > s.cfg.MaxBatch {
+			n = s.cfg.MaxBatch
+		}
+		batch := make([]obs.Event, n)
+		copy(batch, s.buf[:n])
+		req := &EventsRequest{
+			Version:  ProtocolVersion,
+			AgentID:  agentID,
+			Epoch:    s.cfg.Epoch,
+			FirstSeq: s.headSeq,
+			Dropped:  s.dropped,
+			Events:   batch,
+		}
+		s.mu.Unlock()
+
+		resp, err := s.cfg.Client.Events(ctx, req)
+		if err != nil {
+			s.noteFlushFailure(err)
+			return err
+		}
+
+		s.mu.Lock()
+		// Discard everything the coordinator acknowledged. Events
+		// emitted while the request was in flight stay buffered.
+		if resp.NextSeq > s.headSeq {
+			acked := resp.NextSeq - s.headSeq
+			if acked > uint64(len(s.buf)) {
+				acked = uint64(len(s.buf))
+			}
+			m := copy(s.buf, s.buf[acked:])
+			s.buf = s.buf[:m]
+			s.headSeq += acked
+			if s.cfg.Metrics != nil {
+				s.cfg.Metrics.Sent.Add(acked)
+			}
+		}
+		s.cooldown = 0
+		s.skipsLeft = 0
+		s.lastErr = nil
+		if s.cfg.Metrics != nil {
+			s.cfg.Metrics.Batches.Inc()
+			s.cfg.Metrics.Pending.Set(float64(len(s.buf)))
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// noteFlushFailure records an upload error and doubles the cooldown.
+func (s *Streamer) noteFlushFailure(err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.lastErr = err
+	if s.cooldown == 0 {
+		s.cooldown = 1
+	} else if s.cooldown *= 2; s.cooldown > maxFlushCooldown {
+		s.cooldown = maxFlushCooldown
+	}
+	s.skipsLeft = s.cooldown
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Failures.Inc()
+	}
+}
+
+// Pending reports how many events await upload.
+func (s *Streamer) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.buf)
+}
+
+// Dropped reports the cumulative count of events the bounded buffer
+// discarded before upload.
+func (s *Streamer) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// LastErr returns the most recent flush error (nil after a successful
+// upload).
+func (s *Streamer) LastErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}

@@ -1,0 +1,330 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// recordingRecorder is a fake coordinator /v1/events endpoint that
+// remembers every accepted sequence and can be toggled to fail.
+type recordingRecorder struct {
+	mu      sync.Mutex
+	nextSeq uint64
+	batches []EventsRequest
+	events  []obs.Event
+	failing bool
+}
+
+func (r *recordingRecorder) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if r.failing {
+			http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+			return
+		}
+		body, err := io.ReadAll(req.Body)
+		if err != nil {
+			http.Error(w, `{"error":"read"}`, http.StatusBadRequest)
+			return
+		}
+		er, err := DecodeEventsRequest(body)
+		if err != nil {
+			http.Error(w, `{"error":"bad request"}`, http.StatusBadRequest)
+			return
+		}
+		r.batches = append(r.batches, *er)
+		// Mirror the store's dedup: skip already-seen prefix, append the
+		// rest, advance the cursor.
+		for i, ev := range er.Events {
+			seq := er.FirstSeq + uint64(i)
+			if seq >= r.nextSeq {
+				r.events = append(r.events, ev)
+				r.nextSeq = seq + 1
+			}
+		}
+		if er.FirstSeq > r.nextSeq {
+			r.nextSeq = er.FirstSeq + uint64(len(er.Events))
+		}
+		_ = json.NewEncoder(w).Encode(EventsResponse{Version: ProtocolVersion, NextSeq: r.nextSeq})
+	})
+}
+
+func (r *recordingRecorder) setFailing(v bool) {
+	r.mu.Lock()
+	r.failing = v
+	r.mu.Unlock()
+}
+
+func (r *recordingRecorder) snapshot() (uint64, []obs.Event, []EventsRequest) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	evs := append([]obs.Event(nil), r.events...)
+	bs := append([]EventsRequest(nil), r.batches...)
+	return r.nextSeq, evs, bs
+}
+
+func newStreamerForTest(t *testing.T, url string, cfg StreamerConfig) *Streamer {
+	t.Helper()
+	var delays []time.Duration
+	c, err := NewClient(ClientConfig{
+		BaseURL:    url,
+		MaxRetries: -1, // streamer has its own backoff; keep tests deterministic
+		sleep:      instantSleep(&delays),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Client = c
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 1
+	}
+	s, err := NewStreamer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func streamEv(tick int) obs.Event {
+	return obs.Event{Tick: tick, Kind: obs.KindWayGrant, Workload: "vm-0", Reason: "test"}
+}
+
+func TestStreamerUploadsInBatches(t *testing.T) {
+	rec := &recordingRecorder{}
+	srv := httptest.NewServer(rec.handler())
+	defer srv.Close()
+	s := newStreamerForTest(t, srv.URL, StreamerConfig{MaxBatch: 10, MaxBatchesPerFlush: 2})
+
+	for i := 0; i < 25; i++ {
+		s.Emit(streamEv(i))
+	}
+	// First flush: 2 batches of 10.
+	if err := s.Flush(context.Background(), "agent-1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Pending(); got != 5 {
+		t.Fatalf("pending after capped flush = %d, want 5", got)
+	}
+	// Second flush drains the rest.
+	if err := s.Flush(context.Background(), "agent-1"); err != nil {
+		t.Fatal(err)
+	}
+	next, evs, batches := rec.snapshot()
+	if next != 25 {
+		t.Errorf("coordinator cursor = %d, want 25", next)
+	}
+	if len(evs) != 25 {
+		t.Fatalf("coordinator holds %d events, want 25", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Tick != i {
+			t.Fatalf("event %d has tick %d: order broken", i, ev.Tick)
+		}
+	}
+	if len(batches) != 3 {
+		t.Errorf("coordinator saw %d batches, want 3 (10+10+5)", len(batches))
+	}
+	if s.Pending() != 0 {
+		t.Errorf("pending after full drain = %d, want 0", s.Pending())
+	}
+}
+
+func TestStreamerBoundedBufferDropsOldest(t *testing.T) {
+	rec := &recordingRecorder{}
+	srv := httptest.NewServer(rec.handler())
+	defer srv.Close()
+	s := newStreamerForTest(t, srv.URL, StreamerConfig{BufferSize: 8})
+
+	for i := 0; i < 20; i++ {
+		s.Emit(streamEv(i))
+	}
+	if got := s.Dropped(); got != 12 {
+		t.Fatalf("dropped = %d, want 12", got)
+	}
+	if got := s.Pending(); got != 8 {
+		t.Fatalf("pending = %d, want 8 (buffer bound)", got)
+	}
+	if err := s.Flush(context.Background(), "agent-1"); err != nil {
+		t.Fatal(err)
+	}
+	next, evs, batches := rec.snapshot()
+	// Sequences 0..11 were dropped; the upload starts at seq 12 and the
+	// coordinator cursor lands past the gap.
+	if next != 20 {
+		t.Errorf("coordinator cursor = %d, want 20", next)
+	}
+	if len(evs) != 8 {
+		t.Fatalf("coordinator holds %d events, want the 8 survivors", len(evs))
+	}
+	if evs[0].Tick != 12 {
+		t.Errorf("first surviving event tick = %d, want 12 (oldest dropped)", evs[0].Tick)
+	}
+	if batches[0].FirstSeq != 12 || batches[0].Dropped != 12 {
+		t.Errorf("batch FirstSeq=%d Dropped=%d, want 12/12 (drop accounting on the wire)",
+			batches[0].FirstSeq, batches[0].Dropped)
+	}
+}
+
+func TestStreamerFailureBackoffAndRecovery(t *testing.T) {
+	rec := &recordingRecorder{}
+	srv := httptest.NewServer(rec.handler())
+	defer srv.Close()
+	s := newStreamerForTest(t, srv.URL, StreamerConfig{})
+
+	rec.setFailing(true)
+	s.Emit(streamEv(0))
+	if err := s.Flush(context.Background(), "agent-1"); err == nil {
+		t.Fatal("flush against failing coordinator reported success")
+	}
+	if s.LastErr() == nil {
+		t.Fatal("LastErr nil after failed flush")
+	}
+	// Cooldown: the next flush is skipped without touching the network.
+	if err := s.Flush(context.Background(), "agent-1"); err != nil {
+		t.Fatalf("cooldown flush should be a silent skip, got %v", err)
+	}
+	if _, _, batches := rec.snapshot(); len(batches) != 0 {
+		t.Fatalf("coordinator saw %d batches during failure window, want 0", len(batches))
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("failed upload lost the event: pending = %d, want 1", s.Pending())
+	}
+
+	rec.setFailing(false)
+	s.Emit(streamEv(1))
+	if err := s.Flush(context.Background(), "agent-1"); err != nil {
+		t.Fatalf("flush after recovery: %v", err)
+	}
+	next, evs, _ := rec.snapshot()
+	if next != 2 || len(evs) != 2 {
+		t.Fatalf("after recovery cursor=%d events=%d, want 2/2 (nothing lost)", next, len(evs))
+	}
+	if s.LastErr() != nil {
+		t.Errorf("LastErr not cleared after success: %v", s.LastErr())
+	}
+}
+
+func TestStreamerRetryIsIdempotent(t *testing.T) {
+	// A coordinator that ingests a batch but fails before replying
+	// forces the streamer to resend; dedup by sequence must keep the
+	// event stream duplicate-free.
+	rec := &recordingRecorder{}
+	inner := rec.handler()
+	var dropReply bool
+	var mu sync.Mutex
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		drop := dropReply
+		dropReply = false
+		mu.Unlock()
+		if drop {
+			recw := httptest.NewRecorder()
+			inner.ServeHTTP(recw, r) // ingest happens...
+			http.Error(w, `{"error":"crashed before reply"}`, http.StatusBadGateway)
+			return // ...but the agent never sees the ack
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	s := newStreamerForTest(t, srv.URL, StreamerConfig{})
+
+	mu.Lock()
+	dropReply = true
+	mu.Unlock()
+	s.Emit(streamEv(0))
+	s.Emit(streamEv(1))
+	if err := s.Flush(context.Background(), "agent-1"); err == nil {
+		t.Fatal("dropped-reply flush reported success")
+	}
+	// Cooldown skip, then the retry resends the same sequences.
+	_ = s.Flush(context.Background(), "agent-1")
+	if err := s.Flush(context.Background(), "agent-1"); err != nil {
+		t.Fatalf("retry flush: %v", err)
+	}
+	next, evs, _ := rec.snapshot()
+	if next != 2 {
+		t.Errorf("cursor = %d, want 2", next)
+	}
+	if len(evs) != 2 {
+		t.Fatalf("coordinator holds %d events, want 2 (no duplicates)", len(evs))
+	}
+}
+
+func TestStreamerMetrics(t *testing.T) {
+	rec := &recordingRecorder{}
+	srv := httptest.NewServer(rec.handler())
+	defer srv.Close()
+	reg := telemetry.NewRegistry()
+	s := newStreamerForTest(t, srv.URL, StreamerConfig{
+		BufferSize: 4,
+		Metrics:    NewStreamerMetrics(reg),
+	})
+	for i := 0; i < 6; i++ {
+		s.Emit(streamEv(i))
+	}
+	if err := s.Flush(context.Background(), "agent-1"); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"dcat_stream_events_sent_total 4",
+		"dcat_stream_events_dropped_total 2",
+		"dcat_stream_batches_total 1",
+		"dcat_stream_pending_events 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics exposition missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestStreamerConcurrentEmitFlush(t *testing.T) {
+	rec := &recordingRecorder{}
+	srv := httptest.NewServer(rec.handler())
+	defer srv.Close()
+	s := newStreamerForTest(t, srv.URL, StreamerConfig{BufferSize: 1 << 16, MaxBatchesPerFlush: 64})
+
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			s.Emit(streamEv(i))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			_ = s.Flush(context.Background(), "agent-1")
+		}
+	}()
+	wg.Wait()
+	if err := s.Flush(context.Background(), "agent-1"); err != nil {
+		t.Fatal(err)
+	}
+	next, evs, _ := rec.snapshot()
+	if next != n || len(evs) != n {
+		t.Fatalf("cursor=%d events=%d, want %d/%d", next, len(evs), n, n)
+	}
+	for i, ev := range evs {
+		if ev.Tick != i {
+			t.Fatalf("event %d has tick %d: concurrent emit/flush reordered the stream", i, ev.Tick)
+		}
+	}
+}

@@ -118,7 +118,11 @@ func (m *MultiController) SetWayCap(name string, ways int) bool {
 func (m *MultiController) Snapshot() []Status {
 	var out []Status
 	for _, s := range m.order {
-		out = append(out, m.ctls[s].Snapshot()...)
+		snap := m.ctls[s].Snapshot()
+		for i := range snap {
+			snap[i].Socket = s
+		}
+		out = append(out, snap...)
 	}
 	return out
 }

@@ -90,4 +90,7 @@ type Status struct {
 	MissRate float64
 	MAPI     float64
 	LLCRef   uint64
+	// Socket is the LLC domain the workload runs on (0 on single-socket
+	// hosts; stamped by MultiController on NUMA hosts).
+	Socket int
 }

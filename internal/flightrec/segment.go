@@ -1,0 +1,246 @@
+package flightrec
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// segmentPrefix/segmentSuffix name segment files: seg-000042.jsonl.
+// The zero-padded number keeps lexical order equal to numeric order.
+const (
+	segmentPrefix = "seg-"
+	segmentSuffix = ".jsonl"
+)
+
+// maxIndexedWorkloads bounds the per-segment workload set; past it the
+// index stops discriminating by workload (wlOverflow) rather than
+// growing without bound on a huge fleet.
+const maxIndexedWorkloads = 512
+
+// segMeta is the in-memory index entry for one on-disk segment: enough
+// to decide whether a query must read the file at all.
+type segMeta struct {
+	num     int
+	path    string
+	bytes   int64
+	records uint64
+
+	minID, maxID        uint64
+	minUnix, maxUnix    int64
+	agents              map[string]struct{}
+	kinds               uint64 // bitmask by obs.Kind
+	workloads           map[string]struct{}
+	wlOverflow          bool
+	corruptLinesSkipped uint64
+}
+
+func newSegMeta(num int, path string) *segMeta {
+	return &segMeta{
+		num:       num,
+		path:      path,
+		agents:    make(map[string]struct{}),
+		workloads: make(map[string]struct{}),
+	}
+}
+
+// note indexes one record into the segment's summary.
+func (m *segMeta) note(rec *Record, lineBytes int64) {
+	if m.records == 0 || rec.ID < m.minID {
+		m.minID = rec.ID
+	}
+	if rec.ID > m.maxID {
+		m.maxID = rec.ID
+	}
+	if m.records == 0 || rec.RecvUnix < m.minUnix {
+		m.minUnix = rec.RecvUnix
+	}
+	if rec.RecvUnix > m.maxUnix {
+		m.maxUnix = rec.RecvUnix
+	}
+	m.records++
+	m.bytes += lineBytes
+	m.agents[rec.Agent] = struct{}{}
+	if k := int(rec.Event.Kind); k >= 0 && k < 64 {
+		m.kinds |= 1 << uint(k)
+	}
+	if rec.Event.Workload != "" && !m.wlOverflow {
+		m.workloads[rec.Event.Workload] = struct{}{}
+		if len(m.workloads) > maxIndexedWorkloads {
+			m.wlOverflow = true
+			m.workloads = nil
+		}
+	}
+}
+
+// mayMatch reports whether any record in the segment could pass the
+// query's filters, using only the index.
+func (m *segMeta) mayMatch(q *Query) bool {
+	if m.records == 0 {
+		return false
+	}
+	if q.AfterID >= m.maxID {
+		return false
+	}
+	if q.SinceUnix != 0 && m.maxUnix < q.SinceUnix {
+		return false
+	}
+	if q.UntilUnix != 0 && m.minUnix > q.UntilUnix {
+		return false
+	}
+	if q.Agent != "" {
+		if _, ok := m.agents[q.Agent]; !ok {
+			return false
+		}
+	}
+	if q.Kind != nil {
+		if k := int(*q.Kind); k >= 0 && k < 64 && m.kinds&(1<<uint(k)) == 0 {
+			return false
+		}
+	}
+	if q.Workload != "" && !m.wlOverflow {
+		if _, ok := m.workloads[q.Workload]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// segmentName renders the file name for a segment number.
+func segmentName(num int) string {
+	return fmt.Sprintf("%s%06d%s", segmentPrefix, num, segmentSuffix)
+}
+
+// parseSegmentName extracts the number from a segment file name.
+func parseSegmentName(name string) (int, bool) {
+	if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+		return 0, false
+	}
+	num, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix))
+	if err != nil || num < 0 {
+		return 0, false
+	}
+	return num, true
+}
+
+// listSegments returns the directory's segment files in ascending
+// numeric order.
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("flightrec: reading segment dir: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if _, ok := parseSegmentName(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, _ := parseSegmentName(names[i])
+		b, _ := parseSegmentName(names[j])
+		return a < b
+	})
+	return names, nil
+}
+
+// scanSegment reads one segment file, indexing every decodable record
+// and invoking fn for each. A torn trailing line (crash mid-append) is
+// truncated away when repairTail is set — only the last segment of a
+// directory gets that treatment; earlier segments were closed cleanly,
+// so a bad line there is skipped and counted instead.
+func scanSegment(meta *segMeta, repairTail bool, fn func(*Record)) error {
+	f, err := os.OpenFile(meta.path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("flightrec: opening segment: %w", err)
+	}
+	defer f.Close()
+
+	var goodEnd int64
+	br := bufio.NewReader(f)
+	for {
+		line, err := br.ReadBytes('\n')
+		complete := err == nil
+		if len(line) == 0 {
+			if err == io.EOF {
+				break
+			}
+			return fmt.Errorf("flightrec: reading segment %s: %w", meta.path, err)
+		}
+		var rec Record
+		if decErr := decodeRecordLine(line, &rec); decErr != nil || !complete {
+			if !complete {
+				// Torn tail: stop here; goodEnd marks the last full line.
+				break
+			}
+			meta.corruptLinesSkipped++
+			goodEnd += int64(len(line))
+			continue
+		}
+		meta.note(&rec, int64(len(line)))
+		if fn != nil {
+			fn(&rec)
+		}
+		goodEnd += int64(len(line))
+		if err == io.EOF {
+			break
+		}
+	}
+
+	if repairTail {
+		if fi, err := f.Stat(); err == nil && fi.Size() > goodEnd {
+			if err := f.Truncate(goodEnd); err != nil {
+				return fmt.Errorf("flightrec: truncating torn tail of %s: %w", meta.path, err)
+			}
+		}
+	}
+	return nil
+}
+
+// decodeRecordLine parses one JSONL line into a record, rejecting
+// trailing garbage so a half-written merge of two lines cannot pass.
+func decodeRecordLine(line []byte, rec *Record) error {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	if err := dec.Decode(rec); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("flightrec: trailing data after record")
+	}
+	return nil
+}
+
+// readSegment streams a segment's records through fn (decode errors
+// are skipped — open-time recovery already accounted for them).
+func readSegment(path string, fn func(*Record)) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("flightrec: opening segment: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64<<10), 1<<20)
+	for sc.Scan() {
+		var rec Record
+		if err := decodeRecordLine(sc.Bytes(), &rec); err != nil {
+			continue
+		}
+		fn(&rec)
+	}
+	return sc.Err()
+}
+
+// segmentPath joins the directory and a segment number's file name.
+func segmentPath(dir string, num int) string {
+	return filepath.Join(dir, segmentName(num))
+}

@@ -1,0 +1,387 @@
+package flightrec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// Store is the durable fleet event log: append-only segments on disk,
+// an in-memory index over them, and per-agent upload cursors for
+// deduplication. All methods are safe for concurrent use — the
+// coordinator's ingest handler appends while operators query.
+type Store struct {
+	cfg Config
+
+	mu      sync.Mutex
+	segs    []*segMeta // ascending segment number; last is the active one
+	active  *os.File   // nil until the first append after open/rotation
+	nextNum int        // number the next created segment gets
+	nextID  uint64     // id the next appended record gets
+	// activeStart is the ingest time of the active segment's first
+	// record, the age-rotation anchor.
+	activeStart time.Time
+	cursors     map[string]*agentCursor
+
+	metrics *storeMetrics
+}
+
+// agentCursor tracks one agent's upload stream for dedup and loss
+// accounting.
+type agentCursor struct {
+	epoch    int64
+	next     uint64
+	lost     uint64
+	reported uint64 // agent's cumulative self-reported buffer drops
+}
+
+// storeMetrics holds the ingest counters registered on a telemetry
+// registry.
+type storeMetrics struct {
+	records    *telemetry.Counter
+	duplicates *telemetry.Counter
+	lost       *telemetry.Counter
+	batches    *telemetry.Counter
+	rotations  *telemetry.Counter
+	pruned     *telemetry.Counter
+	segments   *telemetry.Gauge
+	bytes      *telemetry.Gauge
+}
+
+// Open creates or reopens a store over cfg.Dir. Reopening scans every
+// segment to rebuild the index and the per-agent cursors, truncates a
+// torn trailing line left by a crash, and starts a fresh segment for
+// new appends — recovered files are never appended to.
+func Open(cfg Config) (*Store, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("flightrec: creating segment dir: %w", err)
+	}
+	// IDs are 1-based so AfterID (an exclusive cursor) zero-values to
+	// "from the beginning".
+	s := &Store{cfg: cfg, cursors: make(map[string]*agentCursor), nextID: 1}
+
+	names, err := listSegments(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range names {
+		num, _ := parseSegmentName(name)
+		meta := newSegMeta(num, segmentPath(cfg.Dir, num))
+		last := i == len(names)-1
+		err := scanSegment(meta, last, func(rec *Record) {
+			if rec.ID >= s.nextID {
+				s.nextID = rec.ID + 1
+			}
+			s.advanceCursorLocked(rec.Agent, rec.Epoch, rec.Seq)
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.segs = append(s.segs, meta)
+		s.nextNum = num + 1
+	}
+	return s, nil
+}
+
+// advanceCursorLocked folds one recovered record into the cursor map.
+// Replayed from disk in append order, this reproduces the cursors the
+// store held before a restart (gap loss already materialized in the
+// stored seqs, so lost counts restart at 0 — the metric is per
+// coordinator run, the sequence numbers are forever).
+func (s *Store) advanceCursorLocked(agent string, epoch int64, seq uint64) {
+	cur := s.cursors[agent]
+	if cur == nil {
+		cur = &agentCursor{epoch: epoch, next: seq}
+		s.cursors[agent] = cur
+	}
+	if epoch > cur.epoch {
+		cur.epoch = epoch
+		cur.next = seq
+	}
+	if epoch == cur.epoch && seq >= cur.next {
+		cur.next = seq + 1
+	}
+}
+
+// RegisterMetrics registers the store's ingest metrics on reg:
+//
+//	dcat_flightrec_records_total     records appended
+//	dcat_flightrec_duplicates_total  events dropped as (agent,epoch,seq) duplicates
+//	dcat_flightrec_lost_total        events lost to agent-side buffer drops (sequence gaps)
+//	dcat_flightrec_batches_total     upload batches accepted
+//	dcat_flightrec_rotations_total   segment rotations
+//	dcat_flightrec_pruned_segments_total  segments deleted by retention
+//	dcat_flightrec_segments          live segment count
+//	dcat_flightrec_bytes             bytes across live segments
+func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
+	m := &storeMetrics{
+		records: reg.Counter("dcat_flightrec_records_total",
+			"Flight-recorder records appended to the segmented store."),
+		duplicates: reg.Counter("dcat_flightrec_duplicates_total",
+			"Uploaded events dropped as (agent,epoch,seq) duplicates of stored records."),
+		lost: reg.Counter("dcat_flightrec_lost_total",
+			"Events lost before upload, observed as sequence gaps (agent buffer drops)."),
+		batches: reg.Counter("dcat_flightrec_batches_total",
+			"Event upload batches accepted into the store."),
+		rotations: reg.Counter("dcat_flightrec_rotations_total",
+			"Segment rotations (size- or age-triggered)."),
+		pruned: reg.Counter("dcat_flightrec_pruned_segments_total",
+			"Segments deleted by the retention cap."),
+		segments: reg.Gauge("dcat_flightrec_segments",
+			"Live flight-recorder segments, active included."),
+		bytes: reg.Gauge("dcat_flightrec_bytes",
+			"Bytes across live flight-recorder segments."),
+	}
+	s.mu.Lock()
+	s.metrics = m
+	s.updateGaugesLocked()
+	s.mu.Unlock()
+}
+
+func (s *Store) updateGaugesLocked() {
+	if s.metrics == nil {
+		return
+	}
+	var b int64
+	for _, seg := range s.segs {
+		b += seg.bytes
+	}
+	s.metrics.segments.Set(float64(len(s.segs)))
+	s.metrics.bytes.Set(float64(b))
+}
+
+// Append ingests one upload batch: events with consecutive sequence
+// numbers starting at firstSeq, from the given agent streamer epoch.
+// Events whose (epoch, seq) the store already holds are dropped as
+// duplicates (retried batches are idempotent); a firstSeq beyond the
+// cursor records the gap as lost events. reportedDropped is the
+// agent's cumulative drop counter, remembered for status surfaces.
+//
+// Append returns the next sequence number the store expects — the
+// acknowledgement the agent trims its buffer with.
+func (s *Store) Append(agent string, epoch int64, firstSeq uint64, events []obs.Event, reportedDropped uint64) (uint64, error) {
+	if agent == "" {
+		return 0, fmt.Errorf("flightrec: append with empty agent name")
+	}
+	now := s.cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	cur := s.cursors[agent]
+	if cur == nil {
+		// First contact: adopt the agent's numbering wherever it starts.
+		cur = &agentCursor{epoch: epoch, next: firstSeq}
+		s.cursors[agent] = cur
+	}
+	cur.reported = reportedDropped
+	switch {
+	case epoch > cur.epoch:
+		// The agent restarted; its sequence space restarted with it.
+		cur.epoch = epoch
+		cur.next = firstSeq
+	case epoch < cur.epoch:
+		// A batch from a dead incarnation (delayed retry). Everything in
+		// it is at best a duplicate of history we can no longer order;
+		// drop it whole.
+		if s.metrics != nil {
+			s.metrics.duplicates.Add(uint64(len(events)))
+		}
+		return cur.next, nil
+	}
+
+	skip := 0
+	if firstSeq < cur.next {
+		d := cur.next - firstSeq
+		if d > uint64(len(events)) {
+			d = uint64(len(events))
+		}
+		skip = int(d)
+	} else if gap := firstSeq - cur.next; gap > 0 {
+		cur.lost += gap
+		if s.metrics != nil {
+			s.metrics.lost.Add(gap)
+		}
+	}
+	fresh := events[skip:]
+	if s.metrics != nil {
+		if skip > 0 {
+			s.metrics.duplicates.Add(uint64(skip))
+		}
+		s.metrics.batches.Inc()
+	}
+	if len(fresh) == 0 {
+		if end := firstSeq + uint64(len(events)); end > cur.next {
+			cur.next = end
+		}
+		return cur.next, nil
+	}
+
+	// Encode the whole accepted batch before touching the file so a
+	// write error leaves ids and cursors unadvanced. (A partially
+	// flushed batch after a write error is recovered — and deduped —
+	// by the torn-tail scan on reopen.)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	recs := make([]Record, len(fresh))
+	for i, ev := range fresh {
+		recs[i] = Record{
+			ID:       s.nextID + uint64(i),
+			Agent:    agent,
+			Epoch:    epoch,
+			Seq:      firstSeq + uint64(skip) + uint64(i),
+			RecvUnix: now.Unix(),
+			Event:    ev,
+		}
+		if err := enc.Encode(&recs[i]); err != nil {
+			return cur.next, fmt.Errorf("flightrec: encoding record: %w", err)
+		}
+	}
+
+	if err := s.rotateIfNeededLocked(now, int64(buf.Len())); err != nil {
+		return cur.next, err
+	}
+	if _, err := s.active.Write(buf.Bytes()); err != nil {
+		return cur.next, fmt.Errorf("flightrec: appending batch: %w", err)
+	}
+	if err := s.active.Sync(); err != nil {
+		return cur.next, fmt.Errorf("flightrec: syncing segment: %w", err)
+	}
+
+	meta := s.segs[len(s.segs)-1]
+	for i := range recs {
+		meta.note(&recs[i], 0)
+	}
+	meta.bytes += int64(buf.Len())
+	s.nextID += uint64(len(recs))
+	cur.next = firstSeq + uint64(len(events))
+	if s.metrics != nil {
+		s.metrics.records.Add(uint64(len(recs)))
+	}
+	s.pruneLocked()
+	s.updateGaugesLocked()
+	return cur.next, nil
+}
+
+// rotateIfNeededLocked makes sure an active segment is open and has
+// room (by the size and age policies) for the incoming batch.
+func (s *Store) rotateIfNeededLocked(now time.Time, incoming int64) error {
+	if s.active != nil {
+		meta := s.segs[len(s.segs)-1]
+		tooBig := meta.bytes > 0 && meta.bytes+incoming > s.cfg.SegmentMaxBytes
+		tooOld := meta.records > 0 && now.Sub(s.activeStart) >= s.cfg.SegmentMaxAge
+		if !tooBig && !tooOld {
+			return nil
+		}
+		if err := s.active.Close(); err != nil {
+			return fmt.Errorf("flightrec: closing segment: %w", err)
+		}
+		s.active = nil
+		if s.metrics != nil {
+			s.metrics.rotations.Inc()
+		}
+	}
+	path := segmentPath(s.cfg.Dir, s.nextNum)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("flightrec: creating segment: %w", err)
+	}
+	s.segs = append(s.segs, newSegMeta(s.nextNum, path))
+	s.nextNum++
+	s.active = f
+	s.activeStart = now
+	return nil
+}
+
+// pruneLocked enforces the retention cap by deleting the oldest
+// closed segments. The active segment is never pruned.
+func (s *Store) pruneLocked() {
+	for len(s.segs) > s.cfg.MaxSegments && len(s.segs) > 1 {
+		oldest := s.segs[0]
+		_ = os.Remove(oldest.path)
+		s.segs = s.segs[1:]
+		if s.metrics != nil {
+			s.metrics.pruned.Inc()
+		}
+	}
+}
+
+// Select returns the records matching q in ascending ID order, reading
+// only segments the index cannot rule out.
+func (s *Store) Select(q Query) ([]Record, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Record
+	for _, seg := range s.segs {
+		if !seg.mayMatch(&q) {
+			continue
+		}
+		err := readSegment(seg.path, func(rec *Record) {
+			if q.matches(rec) {
+				out = append(out, *rec)
+			}
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if q.LastN > 0 && len(out) > q.LastN {
+		out = out[len(out)-q.LastN:]
+	}
+	return out, nil
+}
+
+// Cursors snapshots every agent's upload cursor.
+func (s *Store) Cursors() map[string]CursorInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]CursorInfo, len(s.cursors))
+	for name, cur := range s.cursors {
+		out[name] = CursorInfo{
+			Epoch:           cur.epoch,
+			NextSeq:         cur.next,
+			Lost:            cur.lost,
+			ReportedDropped: cur.reported,
+		}
+	}
+	return out
+}
+
+// Stats summarizes the store.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Segments: len(s.segs)}
+	for _, seg := range s.segs {
+		st.Records += seg.records
+		st.Bytes += seg.bytes
+	}
+	if s.nextID > 1 {
+		st.LastID = s.nextID - 1
+	}
+	return st
+}
+
+// Close flushes and closes the active segment. The store must not be
+// used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active == nil {
+		return nil
+	}
+	err := s.active.Close()
+	s.active = nil
+	if err != nil {
+		return fmt.Errorf("flightrec: closing segment: %w", err)
+	}
+	return nil
+}

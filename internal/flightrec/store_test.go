@@ -1,0 +1,420 @@
+package flightrec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// testClock is a manual clock for age-based rotation tests.
+type testClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newTestClock() *testClock {
+	return &testClock{now: time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)}
+}
+
+func (c *testClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *testClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func ev(tick int, workload string) obs.Event {
+	return obs.Event{
+		Tick:     tick,
+		Kind:     obs.KindWayGrant,
+		Workload: workload,
+		OldWays:  3,
+		NewWays:  4,
+		Reason:   "test grant",
+	}
+}
+
+func evs(n int, workload string, start int) []obs.Event {
+	out := make([]obs.Event, n)
+	for i := range out {
+		out[i] = ev(start+i, workload)
+	}
+	return out
+}
+
+func openStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = s.Close() })
+	return s
+}
+
+func mustAppend(t *testing.T, s *Store, agent string, epoch int64, first uint64, events []obs.Event, dropped uint64) uint64 {
+	t.Helper()
+	next, err := s.Append(agent, epoch, first, events, dropped)
+	if err != nil {
+		t.Fatalf("Append(%s, e%d, seq %d, %d events): %v", agent, epoch, first, len(events), err)
+	}
+	return next
+}
+
+func mustSelect(t *testing.T, s *Store, q Query) []Record {
+	t.Helper()
+	recs, err := s.Select(q)
+	if err != nil {
+		t.Fatalf("Select(%+v): %v", q, err)
+	}
+	return recs
+}
+
+func TestStoreAppendAndSelect(t *testing.T) {
+	clock := newTestClock()
+	s := openStore(t, Config{Dir: t.TempDir(), Now: clock.Now})
+
+	next := mustAppend(t, s, "host-a", 1, 0, evs(5, "web", 0), 0)
+	if next != 5 {
+		t.Fatalf("next seq %d, want 5", next)
+	}
+	recs := mustSelect(t, s, Query{Agent: "host-a"})
+	if len(recs) != 5 {
+		t.Fatalf("got %d records, want 5", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i) || r.Agent != "host-a" || r.Epoch != 1 {
+			t.Errorf("record %d: %+v", i, r)
+		}
+		if i > 0 && recs[i].ID <= recs[i-1].ID {
+			t.Errorf("ids not strictly increasing: %d then %d", recs[i-1].ID, recs[i].ID)
+		}
+		if r.Event.Tick != i {
+			t.Errorf("record %d: event tick %d, want %d", i, r.Event.Tick, i)
+		}
+	}
+}
+
+func TestStoreDedupAndGaps(t *testing.T) {
+	clock := newTestClock()
+	reg := telemetry.NewRegistry()
+	s := openStore(t, Config{Dir: t.TempDir(), Now: clock.Now})
+	s.RegisterMetrics(reg)
+
+	mustAppend(t, s, "a", 1, 0, evs(4, "w", 0), 0)
+	// Retried batch overlapping [2,6): seqs 2,3 are duplicates.
+	next := mustAppend(t, s, "a", 1, 2, evs(4, "w", 2), 0)
+	if next != 6 {
+		t.Fatalf("next after overlap %d, want 6", next)
+	}
+	recs := mustSelect(t, s, Query{Agent: "a"})
+	if len(recs) != 6 {
+		t.Fatalf("got %d records, want 6 (dedup failed)", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i) {
+			t.Fatalf("record %d has seq %d (duplicate or gap)", i, r.Seq)
+		}
+	}
+
+	// Buffer-drop gap: the agent jumps from 6 to 10; 4 events lost.
+	mustAppend(t, s, "a", 1, 10, evs(2, "w", 10), 4)
+	cur := s.Cursors()["a"]
+	if cur.Lost != 4 {
+		t.Errorf("lost %d, want 4", cur.Lost)
+	}
+	if cur.ReportedDropped != 4 {
+		t.Errorf("reported drops %d, want 4", cur.ReportedDropped)
+	}
+	if cur.NextSeq != 12 {
+		t.Errorf("next %d, want 12", cur.NextSeq)
+	}
+
+	// Agent restart: a new epoch restarts sequence numbering.
+	next = mustAppend(t, s, "a", 2, 0, evs(3, "w", 0), 0)
+	if next != 3 {
+		t.Fatalf("next after epoch bump %d, want 3", next)
+	}
+	// A straggler batch from the dead epoch is dropped whole.
+	next = mustAppend(t, s, "a", 1, 12, evs(2, "w", 12), 0)
+	if next != 3 {
+		t.Fatalf("stale-epoch append advanced the cursor to %d", next)
+	}
+	if got := len(mustSelect(t, s, Query{Agent: "a"})); got != 11 {
+		t.Fatalf("got %d records, want 11 (6 + 2 + 3)", got)
+	}
+}
+
+func TestStoreRotationBySize(t *testing.T) {
+	clock := newTestClock()
+	dir := t.TempDir()
+	s := openStore(t, Config{Dir: dir, SegmentMaxBytes: 512, Now: clock.Now})
+	for i := 0; i < 20; i++ {
+		mustAppend(t, s, "a", 1, uint64(i*4), evs(4, "w", i*4), 0)
+	}
+	names, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) < 3 {
+		t.Fatalf("only %d segments after 20 oversize batches; rotation broken", len(names))
+	}
+	// Everything stays queryable across segments.
+	recs := mustSelect(t, s, Query{Agent: "a"})
+	if len(recs) != 80 {
+		t.Fatalf("got %d records across segments, want 80", len(recs))
+	}
+}
+
+func TestStoreRotationByAge(t *testing.T) {
+	clock := newTestClock()
+	dir := t.TempDir()
+	s := openStore(t, Config{Dir: dir, SegmentMaxAge: time.Minute, Now: clock.Now})
+	mustAppend(t, s, "a", 1, 0, evs(1, "w", 0), 0)
+	clock.Advance(2 * time.Minute)
+	mustAppend(t, s, "a", 1, 1, evs(1, "w", 1), 0)
+	names, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("%d segments, want 2 (age rotation)", len(names))
+	}
+}
+
+func TestStoreRetention(t *testing.T) {
+	clock := newTestClock()
+	dir := t.TempDir()
+	s := openStore(t, Config{Dir: dir, SegmentMaxBytes: 256, MaxSegments: 3, Now: clock.Now})
+	for i := 0; i < 30; i++ {
+		mustAppend(t, s, "a", 1, uint64(i*2), evs(2, "w", i*2), 0)
+	}
+	names, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) > 3 {
+		t.Fatalf("%d segments on disk, retention cap is 3", len(names))
+	}
+	// The newest records survive; the oldest were pruned.
+	recs := mustSelect(t, s, Query{Agent: "a"})
+	if len(recs) == 0 || len(recs) >= 60 {
+		t.Fatalf("got %d records, want pruned-but-nonempty", len(recs))
+	}
+	last := recs[len(recs)-1]
+	if last.Seq != 59 {
+		t.Errorf("newest record seq %d, want 59", last.Seq)
+	}
+}
+
+func TestStoreReopenRestoresCursorsAndDedups(t *testing.T) {
+	clock := newTestClock()
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Now: clock.Now}
+	s := openStore(t, cfg)
+	mustAppend(t, s, "a", 7, 0, evs(6, "w", 0), 0)
+	mustAppend(t, s, "b", 3, 0, evs(2, "x", 0), 0)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, cfg)
+	cur := s2.Cursors()["a"]
+	if cur.Epoch != 7 || cur.NextSeq != 6 {
+		t.Fatalf("reopened cursor %+v, want epoch 7 next 6", cur)
+	}
+	// The agent retries its unacked tail [4,8): 4,5 must dedup.
+	next := mustAppend(t, s2, "a", 7, 4, evs(4, "w", 4), 0)
+	if next != 8 {
+		t.Fatalf("next after resume %d, want 8", next)
+	}
+	recs := mustSelect(t, s2, Query{Agent: "a"})
+	if len(recs) != 8 {
+		t.Fatalf("got %d records after restart resume, want 8", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i) {
+			t.Fatalf("record %d has seq %d: duplicates or gaps after reopen", i, r.Seq)
+		}
+	}
+	// IDs keep ascending across the restart.
+	st := s2.Stats()
+	if st.Records != 10 || st.LastID < 9 {
+		t.Errorf("stats after reopen: %+v", st)
+	}
+}
+
+func TestStoreReopenTruncatesTornTail(t *testing.T) {
+	clock := newTestClock()
+	dir := t.TempDir()
+	cfg := Config{Dir: dir, Now: clock.Now}
+	s := openStore(t, cfg)
+	mustAppend(t, s, "a", 1, 0, evs(3, "w", 0), 0)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a crash mid-append: a torn half-line at the tail.
+	names, err := listSegments(dir)
+	if err != nil || len(names) != 1 {
+		t.Fatalf("segments %v err %v", names, err)
+	}
+	path := filepath.Join(dir, names[0])
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":99,"agent":"a","epoch":1,"seq":3,"recv_`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2 := openStore(t, cfg)
+	recs := mustSelect(t, s2, Query{Agent: "a"})
+	if len(recs) != 3 {
+		t.Fatalf("got %d records after torn-tail recovery, want 3", len(recs))
+	}
+	if cur := s2.Cursors()["a"]; cur.NextSeq != 3 {
+		t.Fatalf("cursor after recovery %+v, want next 3", cur)
+	}
+	// The torn bytes are gone from disk.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"recv_`) && !strings.HasSuffix(string(data), "\n") {
+		t.Error("torn tail survived reopen")
+	}
+	// New appends land in a fresh segment, never the recovered file.
+	mustAppend(t, s2, "a", 1, 3, evs(1, "w", 3), 0)
+	names, err = listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 {
+		t.Fatalf("%d segments after post-recovery append, want 2", len(names))
+	}
+}
+
+func TestStoreQueryFilters(t *testing.T) {
+	clock := newTestClock()
+	s := openStore(t, Config{Dir: t.TempDir(), Now: clock.Now})
+
+	phase := obs.Event{Tick: 9, Kind: obs.KindPhaseChange, Workload: "web", Socket: 1, Reason: "phase"}
+	mustAppend(t, s, "a", 1, 0, []obs.Event{ev(0, "web"), ev(1, "batch"), phase}, 0)
+	clock.Advance(10 * time.Second)
+	mustAppend(t, s, "b", 1, 0, []obs.Event{ev(2, "web")}, 0)
+
+	if got := mustSelect(t, s, Query{Workload: "web"}); len(got) != 3 {
+		t.Errorf("workload filter: %d records, want 3", len(got))
+	}
+	if got := mustSelect(t, s, Query{Agent: "b"}); len(got) != 1 {
+		t.Errorf("agent filter: %d records, want 1", len(got))
+	}
+	k := obs.KindPhaseChange
+	if got := mustSelect(t, s, Query{Kind: &k}); len(got) != 1 || got[0].Event.Reason != "phase" {
+		t.Errorf("kind filter: %+v", got)
+	}
+	sock := 1
+	if got := mustSelect(t, s, Query{Socket: &sock}); len(got) != 1 {
+		t.Errorf("socket filter: %d records, want 1", len(got))
+	}
+	all := mustSelect(t, s, Query{})
+	if len(all) != 4 {
+		t.Fatalf("unfiltered: %d records, want 4", len(all))
+	}
+	if got := mustSelect(t, s, Query{AfterID: all[1].ID}); len(got) != 2 {
+		t.Errorf("AfterID cursor: %d records, want 2", len(got))
+	}
+	if got := mustSelect(t, s, Query{LastN: 2}); len(got) != 2 || got[1].ID != all[3].ID {
+		t.Errorf("LastN: %+v", got)
+	}
+	since := clock.Now().Unix()
+	if got := mustSelect(t, s, Query{SinceUnix: since}); len(got) != 1 {
+		t.Errorf("since filter: %d records, want 1", len(got))
+	}
+	until := since - 5
+	if got := mustSelect(t, s, Query{UntilUnix: until}); len(got) != 3 {
+		t.Errorf("until filter: %d records, want 3", len(got))
+	}
+}
+
+func TestStoreMetrics(t *testing.T) {
+	clock := newTestClock()
+	reg := telemetry.NewRegistry()
+	s := openStore(t, Config{Dir: t.TempDir(), SegmentMaxBytes: 256, Now: clock.Now})
+	s.RegisterMetrics(reg)
+	mustAppend(t, s, "a", 1, 0, evs(4, "w", 0), 0)
+	mustAppend(t, s, "a", 1, 0, evs(4, "w", 0), 0) // full duplicate
+	mustAppend(t, s, "a", 1, 6, evs(2, "w", 6), 2) // gap of 2
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"dcat_flightrec_records_total 6",
+		"dcat_flightrec_duplicates_total 4",
+		"dcat_flightrec_lost_total 2",
+		"dcat_flightrec_batches_total 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestStoreConcurrentAppendSelect drives appends and queries from
+// several goroutines under -race.
+func TestStoreConcurrentAppendSelect(t *testing.T) {
+	clock := newTestClock()
+	s := openStore(t, Config{Dir: t.TempDir(), SegmentMaxBytes: 2048, Now: clock.Now})
+	const agents, batches = 4, 25
+	var wg sync.WaitGroup
+	for a := 0; a < agents; a++ {
+		wg.Add(1)
+		go func(a int) {
+			defer wg.Done()
+			name := fmt.Sprintf("host-%d", a)
+			for b := 0; b < batches; b++ {
+				if _, err := s.Append(name, 1, uint64(b*2), evs(2, "w", b*2), 0); err != nil {
+					t.Errorf("append: %v", err)
+					return
+				}
+			}
+		}(a)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if _, err := s.Select(Query{Workload: "w", LastN: 10}); err != nil {
+				t.Errorf("select: %v", err)
+				return
+			}
+			s.Cursors()
+			s.Stats()
+		}
+	}()
+	wg.Wait()
+	<-done
+	for a := 0; a < agents; a++ {
+		name := fmt.Sprintf("host-%d", a)
+		recs := mustSelect(t, s, Query{Agent: name})
+		if len(recs) != batches*2 {
+			t.Errorf("%s: %d records, want %d", name, len(recs), batches*2)
+		}
+	}
+}

@@ -125,5 +125,6 @@ func ClusterHandlerOpts(src ClusterSource, opts Options) http.Handler {
 		})
 	}
 	mountDebug(mux, opts)
+	mountFleet(mux, opts.Recorder)
 	return mux
 }

@@ -6,9 +6,18 @@ import (
 	"net/http/pprof"
 	"strconv"
 
+	"repro/internal/flightrec"
 	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
+
+// TraceSink is the slice of obs.FileSink the debug surface reports on:
+// the latched write error and the count of events dropped because of
+// it. obs.FileSink implements it.
+type TraceSink interface {
+	Err() error
+	Dropped() uint64
+}
 
 // Options selects the optional observability surfaces a status server
 // exposes on top of the always-on /status, /metrics, and /healthz:
@@ -33,6 +42,20 @@ type Options struct {
 	// default: profiling endpoints can stall the process and belong
 	// behind an explicit flag.
 	Pprof bool
+	// Trace, when set, surfaces the trace-file sink's health on
+	// /debug/journal: a latched write error becomes the
+	// X-Dcat-Trace-Error header and the post-error drop count the
+	// X-Dcat-Trace-Dropped header, so a full disk is visible instead of
+	// silently eating the trace.
+	Trace TraceSink
+	// Recorder, when set, mounts the fleet flight recorder's query
+	// plane:
+	//
+	//	GET /fleet/events?agent=&vm=&kind=&socket=&after=&since=&until=&n=
+	//	GET /fleet/explain?vm=<name>[&agent=][&n=]
+	//
+	// Only the coordinator sets this.
+	Recorder *flightrec.Store
 }
 
 // defaultJournalTail bounds /debug/journal responses when the client
@@ -50,6 +73,12 @@ func mountDebug(mux *http.ServeMux, opts Options) {
 			}
 			w.Header().Set("Content-Type", "application/x-ndjson")
 			w.Header().Set("X-Dcat-Journal-Dropped", strconv.FormatUint(j.Dropped(), 10))
+			if opts.Trace != nil {
+				if err := opts.Trace.Err(); err != nil {
+					w.Header().Set("X-Dcat-Trace-Error", err.Error())
+				}
+				w.Header().Set("X-Dcat-Trace-Dropped", strconv.FormatUint(opts.Trace.Dropped(), 10))
+			}
 			_ = j.WriteJSONL(w, n)
 		})
 		mux.HandleFunc("/debug/explain", func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,115 @@
+package httpstatus
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/flightrec"
+	"repro/internal/obs"
+)
+
+// defaultExplainTail bounds /fleet/explain responses when the client
+// does not pass ?n=.
+const defaultExplainTail = 64
+
+// mountFleet adds the flight-recorder query plane to mux. A nil store
+// mounts nothing.
+func mountFleet(mux *http.ServeMux, store *flightrec.Store) {
+	if store == nil {
+		return
+	}
+	// /fleet/events streams matching records as JSON Lines, oldest
+	// first. Every filter is optional; ?after= takes a record id and is
+	// the tail cursor dcat-trace uses.
+	mux.HandleFunc("/fleet/events", func(w http.ResponseWriter, r *http.Request) {
+		q, ok := fleetQuery(w, r)
+		if !ok {
+			return
+		}
+		writeRecords(w, store, q)
+	})
+	// /fleet/explain is the fleet-wide twin of /debug/explain: the
+	// recent decision history for one workload/VM, with agent
+	// attribution, answering "why did this VM lose a way" after the
+	// fact.
+	mux.HandleFunc("/fleet/explain", func(w http.ResponseWriter, r *http.Request) {
+		vm := r.URL.Query().Get("vm")
+		if vm == "" {
+			http.Error(w, "missing ?vm=<workload>", http.StatusBadRequest)
+			return
+		}
+		n, ok := tailParam(w, r, defaultExplainTail)
+		if !ok {
+			return
+		}
+		q := flightrec.Query{
+			Workload: vm,
+			Agent:    r.URL.Query().Get("agent"),
+			LastN:    n,
+		}
+		writeRecords(w, store, q)
+	})
+}
+
+// fleetQuery parses /fleet/events parameters; false means an error
+// response has been written.
+func fleetQuery(w http.ResponseWriter, r *http.Request) (flightrec.Query, bool) {
+	vals := r.URL.Query()
+	q := flightrec.Query{
+		Agent:    vals.Get("agent"),
+		Workload: vals.Get("vm"),
+	}
+	if s := vals.Get("kind"); s != "" {
+		k, ok := obs.ParseKind(s)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown kind %q", s), http.StatusBadRequest)
+			return q, false
+		}
+		q.Kind = &k
+	}
+	if s := vals.Get("socket"); s != "" {
+		sock, err := strconv.Atoi(s)
+		if err != nil || sock < 0 {
+			http.Error(w, fmt.Sprintf("bad socket %q: want a non-negative integer", s), http.StatusBadRequest)
+			return q, false
+		}
+		q.Socket = &sock
+	}
+	if s := vals.Get("after"); s != "" {
+		id, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("bad after %q: want a record id", s), http.StatusBadRequest)
+			return q, false
+		}
+		q.AfterID = id
+	}
+	for name, dst := range map[string]*int64{"since": &q.SinceUnix, "until": &q.UntilUnix} {
+		if s := vals.Get(name); s != "" {
+			t, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad %s %q: want a Unix timestamp", name, s), http.StatusBadRequest)
+				return q, false
+			}
+			*dst = t
+		}
+	}
+	n, ok := tailParam(w, r, 0)
+	if !ok {
+		return q, false
+	}
+	q.LastN = n
+	return q, true
+}
+
+// writeRecords runs one query and streams the result as NDJSON.
+func writeRecords(w http.ResponseWriter, store *flightrec.Store, q flightrec.Query) {
+	recs, err := store.Select(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Dcat-Record-Count", strconv.Itoa(len(recs)))
+	_ = flightrec.WriteRecordsJSONL(w, recs)
+}

@@ -16,13 +16,18 @@ import (
 //
 // Emit never fails loudly: the first write error is latched and every
 // later event is dropped, so a full disk degrades tracing instead of
-// the control loop. Check Err (or Close) to observe the failure.
+// the control loop. The failure is not invisible, though: Err returns
+// the latched error, Dropped counts every event discarded after it,
+// and SetOnDrop lets daemons bump a telemetry counter per drop —
+// /debug/journal surfaces both through httpstatus.
 type FileSink struct {
-	mu  sync.Mutex
-	bw  *bufio.Writer
-	enc *json.Encoder
-	c   io.Closer
-	err error
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	enc     *json.Encoder
+	c       io.Closer
+	err     error
+	dropped uint64
+	onDrop  func()
 }
 
 // NewFileSink opens (creating or appending) a JSONL trace file.
@@ -48,13 +53,36 @@ func (s *FileSink) Emit(ev Event) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.err != nil {
+		s.noteDropLocked()
 		return
 	}
 	if err := s.enc.Encode(ev); err != nil {
 		s.err = err
+		s.noteDropLocked()
 		return
 	}
-	s.err = s.bw.Flush()
+	if s.err = s.bw.Flush(); s.err != nil {
+		// The encoded line may be partly written; count the event as
+		// dropped rather than pretend it reached the file.
+		s.noteDropLocked()
+	}
+}
+
+// noteDropLocked counts one discarded event and fires the callback.
+func (s *FileSink) noteDropLocked() {
+	s.dropped++
+	if s.onDrop != nil {
+		s.onDrop()
+	}
+}
+
+// SetOnDrop installs a callback invoked (under the sink's lock — keep
+// it cheap) for every event discarded after a latched error. Daemons
+// point it at a telemetry counter.
+func (s *FileSink) SetOnDrop(fn func()) {
+	s.mu.Lock()
+	s.onDrop = fn
+	s.mu.Unlock()
 }
 
 // Err returns the latched write error, if any.
@@ -62,6 +90,13 @@ func (s *FileSink) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.err
+}
+
+// Dropped counts the events discarded because of a latched error.
+func (s *FileSink) Dropped() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
 }
 
 // Close flushes and closes the underlying file, returning the first

@@ -70,6 +70,23 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", int(k))
 }
 
+// Valid reports whether the kind is one of the defined values —
+// protocol validators use it to reject forged events.
+func (k Kind) Valid() bool {
+	return k >= 0 && int(k) < len(kindNames)
+}
+
+// ParseKind resolves a kind name (as produced by String) back to its
+// value; query surfaces use it to turn ?kind= parameters into filters.
+func ParseKind(s string) (Kind, bool) {
+	for i, name := range kindNames {
+		if name == s {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
 // MarshalJSON renders the kind as its name.
 func (k Kind) MarshalJSON() ([]byte, error) {
 	return json.Marshal(k.String())
@@ -82,13 +99,12 @@ func (k *Kind) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &s); err != nil {
 		return err
 	}
-	for i, name := range kindNames {
-		if name == s {
-			*k = Kind(i)
-			return nil
-		}
+	kk, ok := ParseKind(s)
+	if !ok {
+		return fmt.Errorf("obs: unknown event kind %q", s)
 	}
-	return fmt.Errorf("obs: unknown event kind %q", s)
+	*k = kk
+	return nil
 }
 
 // Event is one decision-trace record. Which fields are meaningful
