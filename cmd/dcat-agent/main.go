@@ -9,8 +9,12 @@
 // and re-enrolls when the coordinator returns.
 //
 //	dcat-agent -coord http://coord:9400 -name host-a -demo
+//	dcat-agent -coord http://coord:9400 -name host-a -demo -sockets 2
 //	dcat-agent -coord http://coord:9400 -name host-b \
 //	    -group web=0-3@4 -group batch=4-7@2 -period 1s
+//
+// With -demo -sockets N the agent simulates a NUMA host and executes
+// coordinator placement directives (live cross-socket migrations).
 package main
 
 import (
@@ -98,6 +102,7 @@ func main() {
 		journal   = flag.Int("journal", obs.DefaultJournalSize, "in-memory decision journal capacity in events (served at /debug/journal)")
 		pprofOn   = flag.Bool("pprof", false, "expose /debug/pprof on the -http address")
 		streamBuf = flag.Int("stream-buffer", 4096, "decision events buffered for upload to the fleet flight recorder (drop-oldest when full)")
+		sockets   = flag.Int("sockets", 0, "demo NUMA sockets (0 = single-socket demo); >1 enables placement directives")
 	)
 	flag.Var(&groups, "group", "managed group as name=cpus@baseline (repeatable, hardware mode)")
 	flag.Parse()
@@ -129,7 +134,7 @@ func main() {
 
 	var err error
 	if *demo {
-		err = runDemo(ctx, *name, client, *httpAddr, *period, *intervals, ob)
+		err = runDemo(ctx, *name, client, *httpAddr, *period, *intervals, *sockets, ob)
 	} else {
 		err = runHardware(ctx, *name, client, *httpAddr, *period, *root, *msrRoot, groups, ob)
 	}
@@ -146,45 +151,105 @@ func defaultName() string {
 	return "dcat-agent"
 }
 
-// simLocal adapts a simulation to the agent's Local surface: each tick
-// advances the simulated socket one interval, then runs the
-// controller — the same path dcatd -demo drives.
+// simLocal adapts a simulation — single- or multi-socket — to the
+// agent's Local surface: each tick advances the simulated host one
+// interval, then runs the controller(s), the same path dcatd -demo
+// drives. On multi-socket hosts it also implements cluster.Mover, so
+// coordinator placement directives become live migrations.
 type simLocal struct {
 	sim *dcat.Simulation
 }
 
 func (s *simLocal) Tick() error             { return s.sim.Step() }
-func (s *simLocal) Ticks() int              { return s.sim.Controller().Ticks() }
 func (s *simLocal) Snapshot() []core.Status { return s.sim.Snapshot() }
-func (s *simLocal) TotalWays() int          { return s.sim.Controller().TotalWays() }
+
+func (s *simLocal) Ticks() int {
+	if m := s.sim.Multi(); m != nil {
+		return m.Ticks()
+	}
+	return s.sim.Controller().Ticks()
+}
+
+func (s *simLocal) TotalWays() int {
+	if m := s.sim.Multi(); m != nil {
+		return m.TotalWays()
+	}
+	return s.sim.Controller().TotalWays()
+}
+
 func (s *simLocal) SetWayCap(name string, ways int) bool {
+	if m := s.sim.Multi(); m != nil {
+		return m.SetWayCap(name, ways)
+	}
 	return s.sim.Controller().SetWayCap(name, ways)
 }
 
-// runDemo runs the agent over the simulated socket (MLR + MLOAD +
-// lookbusy tenants, as in dcatd -demo).
-func runDemo(ctx context.Context, name string, client *cluster.Client, httpAddr string, period time.Duration, intervals int, ob obsWiring) error {
-	sim, err := dcat.NewSimulation(dcat.SimConfig{})
+func (s *simLocal) MigrateVM(name string, toSocket int) error {
+	return s.sim.MigrateVM(name, toSocket)
+}
+
+// loopObs is the observability surface runAgent wires regardless of
+// loop shape — *dcat.Controller and *dcat.MultiController both
+// implement it.
+type loopObs interface {
+	SetSink(obs.Sink)
+	RegisterMetrics(*telemetry.Registry)
+}
+
+// runDemo runs the agent over the simulated host (MLR + MLOAD +
+// lookbusy tenants, as in dcatd -demo). With -sockets N > 1 the demo
+// becomes a NUMA host: every tenant starts crowded onto socket 0 while
+// the other sockets idle with one lookbusy each — the imbalanced
+// layout a coordinator placement engine exists to fix. The NUMA demo
+// trades the single 8 MB MLR for three 16 MB ones (the placement
+// experiment's tenancy): together they want more ways than one socket
+// has, so the pool genuinely exhausts and a coordinator running
+// -placement has a starved Receiver to move.
+func runDemo(ctx context.Context, name string, client *cluster.Client, httpAddr string, period time.Duration, intervals, sockets int, ob obsWiring) error {
+	sim, err := dcat.NewSimulation(dcat.SimConfig{Sockets: sockets})
 	if err != nil {
 		return err
 	}
-	mlr, err := sim.NewMLR(8<<20, 1)
-	if err != nil {
-		return err
-	}
-	mload, err := sim.NewMLOAD(60 << 20)
-	if err != nil {
-		return err
-	}
-	lb, err := sim.NewLookbusy()
-	if err != nil {
-		return err
-	}
-	for _, vm := range []struct {
+	type tenant struct {
 		name string
 		w    dcat.Workload
-	}{{"mlr", mlr}, {"mload", mload}, {"lookbusy", lb}} {
-		if err := sim.AddVM(vm.name, 2, vm.w); err != nil {
+	}
+	var vms []tenant
+	if sockets > 1 {
+		for i, seed := range []int64{1, 2, 3} {
+			m, err := sim.NewMLROn(0, 16<<20, seed)
+			if err != nil {
+				return err
+			}
+			vms = append(vms, tenant{fmt.Sprintf("mlr-%c", 'a'+i), m})
+		}
+	} else {
+		mlr, err := sim.NewMLROn(0, 8<<20, 1)
+		if err != nil {
+			return err
+		}
+		vms = append(vms, tenant{"mlr", mlr})
+	}
+	mload, err := sim.NewMLOADOn(0, 60<<20)
+	if err != nil {
+		return err
+	}
+	lb, err := sim.NewLookbusyOn(0)
+	if err != nil {
+		return err
+	}
+	vms = append(vms, tenant{"mload", mload}, tenant{"lookbusy", lb})
+	for _, vm := range vms {
+		if err := sim.AddVMOn(0, vm.name, 2, vm.w); err != nil {
+			return err
+		}
+	}
+	for s := 1; s < sockets; s++ {
+		idle, err := sim.NewLookbusyOn(s)
+		if err != nil {
+			return err
+		}
+		if err := sim.AddVMOn(s, fmt.Sprintf("idle-%d", s), 2, idle); err != nil {
 			return err
 		}
 	}
@@ -195,7 +260,14 @@ func runDemo(ctx context.Context, name string, client *cluster.Client, httpAddr 
 	if err := sim.Start(dcat.DefaultConfig(), baselines); err != nil {
 		return err
 	}
-	return runAgent(ctx, name, client, httpAddr, period, intervals, &simLocal{sim: sim}, sim.Controller(), ob)
+	local := &simLocal{sim: sim}
+	var lo loopObs = sim.Controller()
+	var mover cluster.Mover
+	if m := sim.Multi(); m != nil {
+		lo = m
+		mover = local
+	}
+	return runAgent(ctx, name, client, httpAddr, period, intervals, local, lo, mover, ob)
 }
 
 // runHardware runs the agent over resctrl + MSR counters, dcatd's
@@ -222,7 +294,7 @@ func runHardware(ctx context.Context, name string, client *cluster.Client, httpA
 	if err != nil {
 		return err
 	}
-	return runAgent(ctx, name, client, httpAddr, period, 0, ctl, ctl, ob)
+	return runAgent(ctx, name, client, httpAddr, period, 0, ctl, ctl, nil, ob)
 }
 
 // runAgent wraps the local loop in a cluster agent, serves local
@@ -232,7 +304,7 @@ func runHardware(ctx context.Context, name string, client *cluster.Client, httpA
 // tally so the coordinator sees fleet-wide transition rates, and — in
 // coordinator mode — the flight-recorder streamer that uploads every
 // event to the fleet store.
-func runAgent(ctx context.Context, name string, client *cluster.Client, httpAddr string, period time.Duration, intervals int, local cluster.Local, ctl *dcat.Controller, ob obsWiring) error {
+func runAgent(ctx context.Context, name string, client *cluster.Client, httpAddr string, period time.Duration, intervals int, local cluster.Local, ctl loopObs, mover cluster.Mover, ob obsWiring) error {
 	var streamer *cluster.Streamer
 	if client != nil {
 		var err error
@@ -251,6 +323,7 @@ func runAgent(ctx context.Context, name string, client *cluster.Client, httpAddr
 		StatusAddr: httpAddr,
 		Client:     client,
 		Streamer:   streamer,
+		Mover:      mover,
 	}, local)
 	if err != nil {
 		return err
@@ -273,8 +346,12 @@ func runAgent(ctx context.Context, name string, client *cluster.Client, httpAddr
 		opts.Trace = fs
 		sinks = append(sinks, fs)
 	}
-	ctl.SetSink(obs.Multi(sinks...))
+	chain := obs.Multi(sinks...)
+	ctl.SetSink(chain)
 	ctl.RegisterMetrics(ob.reg)
+	// The agent's own events (placement executions) take the same path
+	// as the controller's, so they reach the fleet recorder too.
+	agent.SetSink(chain)
 	if httpAddr != "" {
 		src := httpstatus.Locked{Src: localSource{local}, Do: agent.Do}
 		srv := httpstatus.ServeOpts(httpAddr, src, opts)

@@ -12,6 +12,7 @@
 //	GET /cluster/series.csv  — fleet time series
 //	GET /fleet/events        — flight-recorder query plane (-recorder-dir)
 //	GET /fleet/explain?vm=X  — why did workload X change allocation?
+//	GET /fleet/placement     — placement engine status (-placement)
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 	"repro/internal/flightrec"
 	"repro/internal/httpstatus"
 	"repro/internal/obs"
+	"repro/internal/placement"
 	"repro/internal/telemetry"
 )
 
@@ -45,6 +47,12 @@ func main() {
 		segBytes    = flag.Int64("segment-bytes", 4<<20, "rotate a recorder segment at this size")
 		segAge      = flag.Duration("segment-age", time.Hour, "rotate a recorder segment at this age")
 		retain      = flag.Int("retain", 64, "recorder segments kept before the oldest are pruned")
+		retainBytes = flag.Int64("retain-bytes", 0, "total recorder bytes kept before the oldest segments are pruned (0 = no byte budget)")
+
+		placementOn   = flag.Bool("placement", false, "run the fleet placement engine: issue cross-socket move directives over /v1/placement")
+		placeEvery    = flag.Int("placement-every", 1, "evaluate placement every N accepted reports")
+		placeCooldown = flag.Int("placement-cooldown", 5, "evaluations a moved workload sits out before it may move again")
+		placeVerify   = flag.Int("placement-verify", 5, "evaluations to wait for recorder evidence before rolling a move back")
 	)
 	flag.Parse()
 
@@ -55,6 +63,7 @@ func main() {
 		HeartbeatExpiry: *expiry,
 		ReportEvery:     *reportEvery,
 		StreamingQuorum: *quorum,
+		PlacementEvery:  *placeEvery,
 	})
 	journal := obs.NewJournal(*journalLen)
 	reg := telemetry.NewRegistry()
@@ -82,6 +91,7 @@ func main() {
 			SegmentMaxBytes: *segBytes,
 			SegmentMaxAge:   *segAge,
 			MaxSegments:     *retain,
+			RetainBytes:     *retainBytes,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "dcat-coord: opening flight recorder:", err)
@@ -92,6 +102,17 @@ func main() {
 		coord.SetRecorder(store)
 		opts.Recorder = store
 		fmt.Printf("dcat-coord: flight recorder at %s (query at /fleet/events)\n", *recDir)
+	}
+	if *placementOn {
+		engine := placement.NewEngine(placement.Config{
+			Cooldown:      *placeCooldown,
+			VerifyTimeout: *placeVerify,
+			Recorder:      coord.Recorder(),
+		})
+		engine.SetSink(obs.Multi(sinks...))
+		coord.SetPlacement(engine)
+		opts.Placement = engine
+		fmt.Println("dcat-coord: placement engine on (status at /fleet/placement)")
 	}
 	status := httpstatus.ClusterHandlerOpts(coord, opts)
 	mux := http.NewServeMux()

@@ -20,14 +20,16 @@ import (
 	"time"
 
 	"repro/internal/flightrec"
+	"repro/internal/placement"
 )
 
 // fleetCommands dispatches os.Args[1]; anything else falls through to
 // the legacy trace-file inspector.
 var fleetCommands = map[string]func(args []string) error{
-	"tail":    runTail,
-	"query":   runQuery,
-	"explain": runExplain,
+	"tail":      runTail,
+	"query":     runQuery,
+	"explain":   runExplain,
+	"placement": runPlacement,
 }
 
 // fleetFlags are the filters every fleet subcommand shares; they map
@@ -212,6 +214,53 @@ func runExplain(args []string) error {
 		return nil
 	}
 	return printRecords(os.Stdout, recs, ff.jsonl)
+}
+
+// runPlacement shows the coordinator placement engine's status:
+// counters, inflight directives, and active cooldowns.
+func runPlacement(args []string) error {
+	fs := flag.NewFlagSet("dcat-trace placement", flag.ExitOnError)
+	coord := fs.String("coord", "http://localhost:9400", "coordinator base URL")
+	jsonl := fs.Bool("json", false, "print the raw engine state as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u := strings.TrimRight(*coord, "/") + "/fleet/placement"
+	res, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(res.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s (is dcat-coord running with -placement?)",
+			u, res.Status, strings.TrimSpace(string(body)))
+	}
+	if *jsonl {
+		_, err := os.Stdout.Write(body)
+		return err
+	}
+	var st placement.State
+	if err := json.Unmarshal(body, &st); err != nil {
+		return fmt.Errorf("bad /fleet/placement body: %w", err)
+	}
+	fmt.Printf("evaluations %d  issued %d  executed %d  settled %d  rolled-back %d  failed %d\n",
+		st.Evaluations, st.Issued, st.Executed, st.Settled, st.RolledBack, st.Failed)
+	for _, d := range st.Inflight {
+		flag := ""
+		if d.Rollback {
+			flag = " [rollback]"
+		}
+		fmt.Printf("inflight #%d %s/%s socket %d->%d %s age %d%s: %s\n",
+			d.ID, d.Agent, d.Workload, d.FromSocket, d.ToSocket, d.Phase, d.Age, flag, d.Reason)
+	}
+	for key, left := range st.Cooldowns {
+		fmt.Printf("cooldown %s: %d evaluations left\n", key, left)
+	}
+	return nil
 }
 
 // runTail prints recent records, then follows the fleet recorder by

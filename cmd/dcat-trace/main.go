@@ -5,7 +5,9 @@
 //
 //	dcat-trace tail -coord http://coord:9400
 //	dcat-trace query -coord http://coord:9400 -agent host-a -kind WayReclaim -n 50
+//	dcat-trace query -coord http://coord:9400 -kind PlacementExecuted
 //	dcat-trace explain -coord http://coord:9400 web
+//	dcat-trace placement -coord http://coord:9400
 //
 // Without one it inspects a recorded access trace (see
 // dcat-sim -record): its footprint, and — by running the trace through

@@ -362,6 +362,39 @@ func (s *Simulation) Controller() *Controller { return s.ctl }
 // simulation (nil before Start or on single-socket hosts).
 func (s *Simulation) Multi() *MultiController { return s.mctl }
 
+// MigrateVM live-migrates a running VM's execution to another socket:
+// the host reassigns its cores there, and the destination socket's
+// dCat loop adopts the workload with its learned controller state
+// (phase baseline, performance tables) carried over, so it resumes at
+// its preferred allocation instead of re-learning. The VM's memory
+// stays homed on the original socket — subsequent DRAM misses pay the
+// remote penalty, while LLC hits are socket-local. Only meaningful on
+// a started multi-socket simulation.
+func (s *Simulation) MigrateVM(name string, toSocket int) error {
+	if s.mctl == nil {
+		return fmt.Errorf("dcat: MigrateVM needs a started multi-socket simulation")
+	}
+	vm, ok := s.h.VM(name)
+	if !ok {
+		return fmt.Errorf("dcat: no VM %q", name)
+	}
+	fromSocket := vm.Socket
+	moved, err := s.h.MigrateVM(name, toSocket)
+	if err != nil {
+		return err
+	}
+	if err := s.mctl.Migrate(name, toSocket, moved.Cores); err != nil {
+		// The controller rejected the adoption (e.g. the destination
+		// pool cannot honor the baseline); put the host cores back so
+		// host and controller views stay consistent.
+		if _, backErr := s.h.MigrateVM(name, fromSocket); backErr != nil {
+			return fmt.Errorf("dcat: migrate %q: %v (host rollback failed: %v)", name, err, backErr)
+		}
+		return err
+	}
+	return nil
+}
+
 // Occupancy reports each VM's current LLC footprint in bytes — the
 // simulation's equivalent of Intel CMT monitoring. On a NUMA host the
 // footprint is within the VM's own socket's LLC.

@@ -129,13 +129,29 @@ func (m *Manager) CreateGroup(name string, cores []int) (*Group, error) {
 			return nil, fmt.Errorf("cat: core %d already owned by group %q", c, owner)
 		}
 	}
-	g := &Group{Name: name, COS: len(m.groups) + 1, Cores: append([]int(nil), cores...)}
+	g := &Group{Name: name, COS: m.nextCOS(), Cores: append([]int(nil), cores...)}
 	m.groups[name] = g
 	m.order = append(m.order, name)
 	for _, c := range cores {
 		m.coreUse[c] = name
 	}
 	return g, nil
+}
+
+// nextCOS returns the smallest class of service not held by any group.
+// COS 0 stays reserved for the default class. Simply counting groups
+// would hand out a COS still in use once RemoveGroup has punched a hole
+// in the sequence (tenant churn, migration).
+func (m *Manager) nextCOS() int {
+	used := make(map[int]bool, len(m.groups))
+	for _, g := range m.groups {
+		used[g.COS] = true
+	}
+	cos := 1
+	for used[cos] {
+		cos++
+	}
+	return cos
 }
 
 // RemoveGroup forgets a tenant and frees its cores. Its ways return to

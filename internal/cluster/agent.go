@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/placement"
 )
 
 // Local is the per-host control surface the agent drives — a
@@ -44,6 +45,18 @@ type AgentConfig struct {
 	// fleet flight recorder after each tick's cluster duties. Wire its
 	// Emit into the controller's sink chain alongside EventSink.
 	Streamer *Streamer
+	// Mover, when set, lets the agent execute coordinator placement
+	// directives: each tick it polls /v1/placement, runs pending moves
+	// through the Mover, and acks the outcomes. Nil disables polling.
+	Mover Mover
+}
+
+// Mover executes a live cross-socket migration on the local host —
+// dcat.Simulation.MigrateVM wrapped in whatever locking the embedder
+// needs. It is called under the agent's lock, mutually excluded with
+// local ticks.
+type Mover interface {
+	MigrateVM(name string, toSocket int) error
 }
 
 // Agent wraps a host's local dCat loop with cluster duties: enroll,
@@ -68,6 +81,17 @@ type Agent struct {
 	// reports (see EventSink); each accepted report drains it into the
 	// request's EventSummary.
 	tally *obs.TransitionTally
+
+	// pendingAcks are directive outcomes awaiting delivery on the next
+	// placement poll; maxDirective is the highest directive ID already
+	// executed (the engine re-serves directives until acked, so the
+	// agent dedups by ID).
+	pendingAcks  []placement.DirectiveAck
+	maxDirective uint64
+
+	// sink receives the agent's own decision events (today:
+	// PlacementExecuted) — see SetSink.
+	sink obs.Sink
 }
 
 // NewAgent wires an agent around a local control loop.
@@ -93,6 +117,17 @@ func NewAgent(cfg AgentConfig, local Local) (*Agent, error) {
 		caps:  make(map[string]int),
 		tally: obs.NewTransitionTally(),
 	}, nil
+}
+
+// SetSink installs the sink receiving the agent's own decision events
+// (today: PlacementExecuted after a successful migration). Wire the
+// same chain the controller uses — journal plus Streamer.Emit — so
+// placement executions reach the fleet flight recorder, where the
+// engine looks for its verification evidence. Nil disables emission.
+func (a *Agent) SetSink(s obs.Sink) {
+	a.mu.Lock()
+	a.sink = s
+	a.mu.Unlock()
 }
 
 // EventSink returns the sink that accumulates this host's decision
@@ -180,6 +215,12 @@ func (a *Agent) clusterDuties(ctx context.Context, ticks int, snap []core.Status
 		a.heartbeat(ctx, id, ticks)
 	}
 
+	if a.cfg.Mover != nil {
+		// Placement poll before the streamer flush, so an execution
+		// event emitted this tick reaches the recorder this tick too.
+		a.placementPoll(ctx, id, ticks)
+	}
+
 	if a.cfg.Streamer != nil {
 		// Flight-recorder upload; failures stay inside the streamer
 		// (its own backoff) except a 404, which means the coordinator
@@ -187,6 +228,57 @@ func (a *Agent) clusterDuties(ctx context.Context, ticks int, snap []core.Status
 		if err := a.cfg.Streamer.Flush(ctx, id); errors.Is(err, ErrUnknownAgent) {
 			a.noteFailure(err)
 		}
+	}
+}
+
+// placementPoll delivers queued directive acks, fetches pending
+// directives, and executes new ones through the Mover. Execution runs
+// under the agent's lock — a migration mutates the same host and
+// controller state the local tick does.
+func (a *Agent) placementPoll(ctx context.Context, id string, ticks int) {
+	a.mu.Lock()
+	acks := a.pendingAcks
+	a.pendingAcks = nil
+	a.mu.Unlock()
+
+	resp, err := a.cfg.Client.Placement(ctx, &PlacementRequest{
+		Version: ProtocolVersion, AgentID: id, Acks: acks,
+	})
+	if err != nil {
+		// The acks never arrived; requeue them ahead of anything a
+		// concurrent execution added meanwhile.
+		a.mu.Lock()
+		a.pendingAcks = append(acks, a.pendingAcks...)
+		a.mu.Unlock()
+		a.noteFailure(err)
+		return
+	}
+
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.lastErr = nil
+	a.failures = 0
+	for _, d := range resp.Directives {
+		if d.ID <= a.maxDirective {
+			continue // already executed; the ack is queued or in flight
+		}
+		a.maxDirective = d.ID
+		ack := placement.DirectiveAck{ID: d.ID, OK: true}
+		if err := a.cfg.Mover.MigrateVM(d.Workload, d.ToSocket); err != nil {
+			ack.OK = false
+			ack.Detail = err.Error()
+		} else if a.sink != nil {
+			a.sink.Emit(obs.Event{
+				Tick:     ticks,
+				Kind:     obs.KindPlacementExecuted,
+				Workload: d.Workload,
+				Socket:   d.ToSocket,
+				From:     fmt.Sprintf("socket %d", d.FromSocket),
+				To:       fmt.Sprintf("socket %d", d.ToSocket),
+				Reason:   d.Reason,
+			})
+		}
+		a.pendingAcks = append(a.pendingAcks, ack)
 	}
 }
 

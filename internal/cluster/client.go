@@ -165,6 +165,15 @@ func (c *Client) Events(ctx context.Context, req *EventsRequest) (*EventsRespons
 	return &resp, nil
 }
 
+// Placement acks executed directives and polls for pending ones.
+func (c *Client) Placement(ctx context.Context, req *PlacementRequest) (*PlacementResponse, error) {
+	var resp PlacementResponse
+	if err := c.post(ctx, PathPlacement, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // Heartbeat sends a liveness ping.
 func (c *Client) Heartbeat(ctx context.Context, req *HeartbeatRequest) (*HeartbeatResponse, error) {
 	var resp HeartbeatResponse

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/flightrec"
 	"repro/internal/obs"
+	"repro/internal/placement"
 	"repro/internal/telemetry"
 )
 
@@ -28,6 +29,9 @@ type CoordinatorConfig struct {
 	// classify a same-named workload Streaming before the coordinator
 	// hints the remaining replicas to cap at baseline (default 2).
 	StreamingQuorum int
+	// PlacementEvery is how many accepted reports pass between placement
+	// evaluations when an engine is attached (default 1: every report).
+	PlacementEvery int
 	// Now supplies the clock; tests inject a manual one (default
 	// time.Now).
 	Now func() time.Time
@@ -42,6 +46,9 @@ func (c *CoordinatorConfig) fill() {
 	}
 	if c.StreamingQuorum <= 0 {
 		c.StreamingQuorum = 2
+	}
+	if c.PlacementEvery <= 0 {
+		c.PlacementEvery = 1
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -90,6 +97,11 @@ type Coordinator struct {
 	sink     obs.Sink
 	metrics  *coordMetrics
 	recorder *flightrec.Store
+
+	// engine, when attached, turns the coordinator into a fleet
+	// rebalancer: report-derived views feed it and /v1/placement serves
+	// its directives.
+	engine *placement.Engine
 }
 
 // coordMetrics holds the coordinator's registered metrics.
@@ -136,6 +148,48 @@ func (c *Coordinator) Recorder() *flightrec.Store {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.recorder
+}
+
+// SetPlacement attaches the fleet placement engine. Nil detaches it:
+// /v1/placement then answers every poll with no directives, so agents
+// need no reconfiguration when rebalancing is switched off.
+func (c *Coordinator) SetPlacement(e *placement.Engine) {
+	c.mu.Lock()
+	c.engine = e
+	c.mu.Unlock()
+}
+
+// Placement returns the attached engine (nil when rebalancing is off).
+func (c *Coordinator) Placement() *placement.Engine {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.engine
+}
+
+// placementViewsLocked projects the alive fleet into the engine's
+// input: one AgentView per alive agent, keyed by the stable agent name
+// (the same key flight-recorder records use, so the engine can match
+// execution evidence).
+func (c *Coordinator) placementViewsLocked() []placement.AgentView {
+	now := c.cfg.Now()
+	var views []placement.AgentView
+	for _, rec := range c.agents {
+		if !c.aliveLocked(rec, now) {
+			continue
+		}
+		v := placement.AgentView{Agent: rec.name, TotalWays: rec.totalWays}
+		for _, wl := range rec.workloads {
+			v.Workloads = append(v.Workloads, placement.WorkloadView{
+				Name:     wl.Name,
+				Socket:   wl.Socket,
+				Category: wl.Category,
+				Ways:     wl.Ways,
+				Baseline: wl.BaselineWays,
+			})
+		}
+		views = append(views, v)
+	}
+	return views
 }
 
 // RegisterMetrics registers the coordinator's counters on reg:
@@ -270,6 +324,7 @@ func (c *Coordinator) Handler() http.Handler {
 	mux.HandleFunc(PathReport, c.handleReport)
 	mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
 	mux.HandleFunc(PathEvents, c.handleEvents)
+	mux.HandleFunc(PathPlacement, c.handlePlacement)
 	return mux
 }
 
@@ -393,6 +448,16 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 		c.metrics.reports.Inc()
 	}
 	c.recordFleetLocked()
+	// Placement evaluation runs outside the registry lock — the engine
+	// reads the flight recorder (disk I/O) while scoring.
+	var (
+		engine *placement.Engine
+		views  []placement.AgentView
+	)
+	if c.engine != nil && c.reports%c.cfg.PlacementEvery == 0 {
+		engine = c.engine
+		views = c.placementViewsLocked()
+	}
 	hints := c.hintsForLocked(rec)
 	if c.sink != nil {
 		// hints[i] corresponds to rec.workloads[i], so the hint event
@@ -411,7 +476,44 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	c.mu.Unlock()
+	if engine != nil {
+		engine.Evaluate(views)
+	}
 	writeJSON(w, ReportResponse{Version: ProtocolVersion, Hints: hints})
+}
+
+// handlePlacement serves an agent's directive poll: acks first (they
+// finish previously polled moves), then whatever is pending for that
+// agent. With no engine attached the poll is a cheap no-op, so agents
+// can always run with placement polling on.
+func (c *Coordinator) handlePlacement(w http.ResponseWriter, r *http.Request) {
+	data := readBody(w, r)
+	if data == nil {
+		return
+	}
+	req, err := DecodePlacementRequest(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	c.mu.Lock()
+	rec, ok := c.agents[req.AgentID]
+	if !ok {
+		c.mu.Unlock()
+		writeError(w, http.StatusNotFound, ErrUnknownAgent)
+		return
+	}
+	rec.lastSeen = c.cfg.Now()
+	name := rec.name
+	engine := c.engine
+	c.mu.Unlock()
+
+	resp := PlacementResponse{Version: ProtocolVersion}
+	if engine != nil {
+		engine.Ack(name, req.Acks)
+		resp.Directives = engine.Directives(name)
+	}
+	writeJSON(w, resp)
 }
 
 // handleEvents ingests one flight-recorder upload. The store append

@@ -22,6 +22,9 @@ func FuzzDecodeProtocol(f *testing.F) {
 	f.Add([]byte(`{"version":1,"agent_id":"agent-1","epoch":42,"first_seq":7,"events":[{"tick":3,"kind":"WayGrant","workload":"web","old_ways":3,"new_ways":4,"reason":"sensitive"}]}`))
 	f.Add([]byte(`{"version":1,"agent_id":"a","epoch":1,"first_seq":18446744073709551615,"events":[{"tick":0,"kind":"WayGrant","reason":""}]}`))
 	f.Add([]byte(`{"version":1,"agent_id":"a","epoch":1,"first_seq":0,"events":[{"tick":0,"kind":"NotAKind","reason":""}]}`))
+	f.Add([]byte(`{"version":1,"agent_id":"agent-1","acks":[{"id":3,"ok":true},{"id":4,"ok":false,"detail":"out of cores"}]}`))
+	f.Add([]byte(`{"version":1,"agent_id":"agent-1","acks":[{"id":0,"ok":true}]}`))
+	f.Add([]byte(`{"version":1,"agent_id":"agent-1","acks":[]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if req, err := DecodeEnrollRequest(data); err == nil {
 			if err := req.Validate(); err != nil {
@@ -42,6 +45,14 @@ func FuzzDecodeProtocol(f *testing.F) {
 		if req, err := DecodeHeartbeatRequest(data); err == nil {
 			if err := req.Validate(); err != nil {
 				t.Fatalf("decoded heartbeat fails revalidation: %v", err)
+			}
+		}
+		if req, err := DecodePlacementRequest(data); err == nil {
+			if err := req.Validate(); err != nil {
+				t.Fatalf("decoded placement poll fails revalidation: %v", err)
+			}
+			if _, err := json.Marshal(req); err != nil {
+				t.Fatalf("decoded placement poll fails re-encoding: %v", err)
 			}
 		}
 		if req, err := DecodeEventsRequest(data); err == nil {

@@ -24,6 +24,7 @@ import (
 	"math"
 
 	"repro/internal/obs"
+	"repro/internal/placement"
 )
 
 // ProtocolVersion is the wire version both sides must speak. Version
@@ -37,6 +38,7 @@ const (
 	PathReport    = "/v1/report"
 	PathHeartbeat = "/v1/heartbeat"
 	PathEvents    = "/v1/events"
+	PathPlacement = "/v1/placement"
 )
 
 // MaxBodyBytes bounds any protocol message body; bigger payloads are
@@ -61,6 +63,9 @@ const (
 	maxSocket = 4096
 	// maxReasonLen bounds an event's free-text reason.
 	maxReasonLen = 512
+	// maxDirectiveBatch bounds one placement poll's ack list; the engine
+	// caps inflight moves far below this.
+	maxDirectiveBatch = 64
 )
 
 // WorkloadSpec announces one managed workload at enrollment.
@@ -178,6 +183,25 @@ type EventsRequest struct {
 type EventsResponse struct {
 	Version int    `json:"version"`
 	NextSeq uint64 `json:"next_seq"`
+}
+
+// PlacementRequest is an agent's placement poll: it acknowledges
+// directives executed (or failed) since the last poll and asks for any
+// pending ones. Like every other leg, the agent dials the coordinator,
+// so migration commands ride on the same one-directional transport.
+type PlacementRequest struct {
+	Version int    `json:"version"`
+	AgentID string `json:"agent_id"`
+	// Acks reports the outcome of previously polled directives.
+	Acks []placement.DirectiveAck `json:"acks,omitempty"`
+}
+
+// PlacementResponse returns the directives currently pending for the
+// polling agent. Directives are re-sent until acked; agents dedup by
+// directive ID.
+type PlacementResponse struct {
+	Version    int                       `json:"version"`
+	Directives []placement.MoveDirective `json:"directives,omitempty"`
 }
 
 // HeartbeatRequest is the cheap liveness ping between reports.
@@ -374,6 +398,28 @@ func (r *EventsRequest) Validate() error {
 	return nil
 }
 
+// Validate checks a placement poll.
+func (r *PlacementRequest) Validate() error {
+	if err := validVersion(r.Version); err != nil {
+		return err
+	}
+	if err := validName("agent id", r.AgentID); err != nil {
+		return err
+	}
+	if len(r.Acks) > maxDirectiveBatch {
+		return fmt.Errorf("cluster: %d acks exceeds the %d batch limit", len(r.Acks), maxDirectiveBatch)
+	}
+	for i, a := range r.Acks {
+		if a.ID == 0 {
+			return fmt.Errorf("cluster: ack %d has zero directive id", i)
+		}
+		if len(a.Detail) > maxReasonLen {
+			return fmt.Errorf("cluster: ack %d detail longer than %d bytes", i, maxReasonLen)
+		}
+	}
+	return nil
+}
+
 // Validate checks a heartbeat.
 func (r *HeartbeatRequest) Validate() error {
 	if err := validVersion(r.Version); err != nil {
@@ -431,6 +477,18 @@ func DecodeReportRequest(data []byte) (*ReportRequest, error) {
 // body.
 func DecodeEventsRequest(data []byte) (*EventsRequest, error) {
 	var r EventsRequest
+	if err := decodeStrict(data, &r); err != nil {
+		return nil, err
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// DecodePlacementRequest parses and validates a placement-poll body.
+func DecodePlacementRequest(data []byte) (*PlacementRequest, error) {
+	var r PlacementRequest
 	if err := decodeStrict(data, &r); err != nil {
 		return nil, err
 	}

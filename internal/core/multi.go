@@ -77,6 +77,15 @@ func (m *MultiController) Tick() error {
 	return nil
 }
 
+// Ticks returns the decision-loop count — all sockets tick together,
+// so any one controller's count is the host's.
+func (m *MultiController) Ticks() int { return m.ctls[m.order[0]].Ticks() }
+
+// TotalWays returns one socket's LLC associativity. The modeled hosts
+// have identical per-socket CAT domains, and the fleet protocol
+// reports per-socket capacity.
+func (m *MultiController) TotalWays() int { return m.ctls[m.order[0]].TotalWays() }
+
 // Sockets returns the socket IDs in tick order.
 func (m *MultiController) Sockets() []int { return append([]int(nil), m.order...) }
 
@@ -112,6 +121,43 @@ func (m *MultiController) SetWayCap(name string, ways int) bool {
 		return m.ctls[s].SetWayCap(name, ways)
 	}
 	return false
+}
+
+// Migrate moves a workload's decision-loop state from its current
+// socket's controller to another's: the source exports and drops it,
+// the destination imports it on the given cores (the ones the host
+// assigned there — see host.MigrateVM) at its contracted baseline, with
+// the learned phase baseline and performance tables carried over so the
+// destination loop resumes instead of re-learning. If the destination
+// rejects the workload it is restored on the source, so it is never
+// left unmanaged.
+func (m *MultiController) Migrate(name string, toSocket int, cores []int) error {
+	from, ok := m.homeOf[name]
+	if !ok {
+		return fmt.Errorf("core: no workload %q", name)
+	}
+	if from == toSocket {
+		return fmt.Errorf("core: workload %q is already on socket %d", name, toSocket)
+	}
+	dst, ok := m.ctls[toSocket]
+	if !ok {
+		return fmt.Errorf("core: no controller on socket %d", toSocket)
+	}
+	src := m.ctls[from]
+	st, err := src.RemoveTarget(name)
+	if err != nil {
+		return err
+	}
+	if err := dst.AddTarget(Target{Name: name, Cores: cores, BaselineWays: st.BaselineWays}, &st); err != nil {
+		restoreErr := src.AddTarget(Target{Name: name, Cores: st.Cores, BaselineWays: st.BaselineWays}, &st)
+		if restoreErr != nil {
+			return fmt.Errorf("core: migrate %q to socket %d: %v (restore on socket %d failed: %v)",
+				name, toSocket, err, from, restoreErr)
+		}
+		return fmt.Errorf("core: migrate %q to socket %d: %w", name, toSocket, err)
+	}
+	m.homeOf[name] = toSocket
+	return nil
 }
 
 // Snapshot concatenates the per-socket snapshots in tick order.

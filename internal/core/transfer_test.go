@@ -1,0 +1,279 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cat"
+	"repro/internal/perf"
+)
+
+// TestRemoveTargetExportsState: a learned workload exports its phase
+// baseline and table, its group disappears, and its ways return to the
+// pool.
+func TestRemoveTargetExportsState(t *testing.T) {
+	r := newRig(t, DefaultConfig(), 20, []string{"a", "b", "c"}, []int{3, 3, 3},
+		map[string]behavior{
+			"a": tableBehavior(8, 0.08),
+			"b": idleBehavior(),
+			"c": idleBehavior(),
+		})
+	r.run(12)
+	waysBefore := r.ctl.Ways("a")
+	if waysBefore <= 3 {
+		t.Fatalf("precondition: a should have grown past baseline, has %d", waysBefore)
+	}
+	st, err := r.ctl.RemoveTarget("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Name != "a" || st.BaselineWays != 3 || st.Ways != waysBefore {
+		t.Errorf("export mismatch: %+v", st)
+	}
+	if st.BaselineIPC <= 0 {
+		t.Errorf("baseline IPC not exported: %+v", st)
+	}
+	if len(st.Table) < 3 {
+		t.Errorf("performance table not exported: %v", st.Table)
+	}
+	if len(st.Cores) != 1 || st.Cores[0] != 0 {
+		t.Errorf("cores not exported: %v", st.Cores)
+	}
+	if _, ok := r.ctl.StateOf("a"); ok {
+		t.Error("removed target still reported")
+	}
+	if _, ok := r.mgr.Group("a"); ok {
+		t.Error("CLOS group not removed")
+	}
+	if free := r.mgr.FreeWays(); free < waysBefore {
+		t.Errorf("removed target's ways not pooled: %d free", free)
+	}
+	if err := r.mgr.Validate(); err != nil {
+		t.Fatalf("CAT invariants violated after removal: %v", err)
+	}
+	if _, err := r.ctl.RemoveTarget("a"); err == nil {
+		t.Error("double removal should fail")
+	}
+	if _, err := r.ctl.RemoveTarget("b"); err != nil {
+		t.Errorf("removing b: %v", err)
+	}
+	if _, err := r.ctl.RemoveTarget("c"); err == nil {
+		t.Error("removing the last target should fail")
+	}
+}
+
+// xferRig is a controller rig with spare perf-file cores, so tests can
+// AddTarget onto cores no initial workload owns (newRig sizes its file
+// exactly to the initial set).
+type xferRig struct {
+	t         *testing.T
+	file      *perf.File
+	mgr       *cat.Manager
+	ctl       *Controller
+	behaviors map[string]behavior
+	coreOf    map[string]int
+}
+
+func newXferRig(t *testing.T, totalWays, fileCores int, targets []Target,
+	behaviors map[string]behavior) *xferRig {
+	t.Helper()
+	file := perf.NewFile(fileCores)
+	mgr, err := cat.NewManager(&fakeBackend{ways: totalWays})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := New(DefaultConfig(), mgr, file, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreOf := make(map[string]int, len(targets))
+	for _, tg := range targets {
+		coreOf[tg.Name] = tg.Cores[0]
+	}
+	return &xferRig{t: t, file: file, mgr: mgr, ctl: ctl, behaviors: behaviors, coreOf: coreOf}
+}
+
+func (r *xferRig) run(n int) {
+	r.t.Helper()
+	for i := 0; i < n; i++ {
+		for name, core := range r.coreOf {
+			s := r.behaviors[name](r.ctl.Ways(name))
+			bank := r.file.Core(core)
+			bank.Add(perf.L1Hits, s.L1Ref)
+			bank.Add(perf.LLCReferences, s.LLCRef)
+			bank.Add(perf.LLCMisses, s.LLCMiss)
+			bank.Add(perf.RetiredInstructions, s.RetIns)
+			bank.Add(perf.UnhaltedCycles, s.Cycles)
+		}
+		if err := r.ctl.Tick(); err != nil {
+			r.t.Fatal(err)
+		}
+	}
+}
+
+// TestAddTargetFresh: a nil-state arrival behaves like a brand-new
+// workload — baseline allocation, first interval measures the phase
+// baseline.
+func TestAddTargetFresh(t *testing.T) {
+	r := newXferRig(t, 20, 8,
+		[]Target{
+			{Name: "a", Cores: []int{0}, BaselineWays: 3},
+			{Name: "b", Cores: []int{1}, BaselineWays: 3},
+		},
+		map[string]behavior{
+			"a":    idleBehavior(),
+			"b":    idleBehavior(),
+			"late": idleBehavior(),
+		})
+	r.run(3)
+	if err := r.ctl.AddTarget(Target{Name: "late", Cores: []int{5}, BaselineWays: 4}, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.coreOf["late"] = 5
+	if got := r.ctl.Ways("late"); got != 4 {
+		t.Errorf("arrival allocation %d, want the baseline 4", got)
+	}
+	if err := r.ctl.AddTarget(Target{Name: "late", Cores: []int{6}, BaselineWays: 1}, nil); err == nil {
+		t.Error("duplicate target should fail")
+	}
+	if err := r.ctl.AddTarget(Target{Name: "huge", Cores: []int{7}, BaselineWays: 15}, nil); err == nil {
+		t.Error("baseline overflow should fail")
+	}
+	r.run(2) // the adopted loop must tick cleanly
+	if err := r.mgr.Validate(); err != nil {
+		t.Fatalf("CAT invariants violated: %v", err)
+	}
+}
+
+// TestAddTargetReclaimsFromSurplus: when the pool cannot cover an
+// arrival's baseline, ways come out of the largest above-baseline
+// holder — the same priority the allocator's over-commit resolution
+// uses.
+func TestAddTargetReclaimsFromSurplus(t *testing.T) {
+	r := newXferRig(t, 12, 8,
+		[]Target{
+			{Name: "a", Cores: []int{0}, BaselineWays: 3},
+			{Name: "b", Cores: []int{1}, BaselineWays: 3},
+		},
+		map[string]behavior{
+			"a": tableBehavior(9, 0.08), // grows to fill the pool
+			"b": idleBehavior(),
+		})
+	r.run(12)
+	if free := r.mgr.FreeWays(); free > 2 {
+		t.Fatalf("precondition: pool should be nearly drained, %d free", free)
+	}
+	surplusBefore := r.ctl.Ways("a")
+	if err := r.ctl.AddTarget(Target{Name: "late", Cores: []int{5}, BaselineWays: 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.ctl.Ways("late"); got != 3 {
+		t.Errorf("arrival allocation %d, want 3", got)
+	}
+	if got := r.ctl.Ways("a"); got >= surplusBefore {
+		t.Errorf("surplus holder kept %d ways (had %d); should have been shaved", got, surplusBefore)
+	}
+	if err := r.mgr.Validate(); err != nil {
+		t.Fatalf("CAT invariants violated: %v", err)
+	}
+}
+
+// TestMigrateCarriesState is the state-transfer acceptance path: a
+// workload that learned its preferred allocation on socket 0 migrates
+// to socket 1 and jumps straight back instead of re-growing one way
+// per round.
+func TestMigrateCarriesState(t *testing.T) {
+	file := perf.NewFile(4)
+	newMgr := func() *cat.Manager {
+		m, err := cat.NewManager(&fakeBackend{ways: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	multi, err := NewMulti(DefaultConfig(), file, []SocketSpec{
+		{Socket: 0, Mgr: newMgr(), Targets: []Target{
+			{Name: "mover", Cores: []int{0}, BaselineWays: 3},
+			{Name: "stay", Cores: []int{1}, BaselineWays: 3},
+		}},
+		{Socket: 1, Mgr: newMgr(), Targets: []Target{
+			{Name: "filler", Cores: []int{2}, BaselineWays: 3},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	behaviors := map[string]behavior{
+		"mover":  tableBehavior(10, 0.08),
+		"stay":   idleBehavior(),
+		"filler": idleBehavior(),
+	}
+	coreOf := map[string]int{"mover": 0, "stay": 1, "filler": 2}
+	tick := func() {
+		t.Helper()
+		for name, core := range coreOf {
+			s := behaviors[name](multi.Ways(name))
+			bank := file.Core(core)
+			bank.Add(perf.L1Hits, s.L1Ref)
+			bank.Add(perf.LLCReferences, s.LLCRef)
+			bank.Add(perf.LLCMisses, s.LLCMiss)
+			bank.Add(perf.RetiredInstructions, s.RetIns)
+			bank.Add(perf.UnhaltedCycles, s.Cycles)
+		}
+		if err := multi.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		tick()
+	}
+	waysBefore := multi.Ways("mover")
+	if waysBefore < 9 {
+		t.Fatalf("precondition: mover should have grown to ~10 ways, has %d", waysBefore)
+	}
+	if st, _ := multi.StateOf("mover"); st != StateKeeper {
+		t.Fatalf("precondition: mover should have settled as Keeper, is %v", st)
+	}
+
+	// Migrating the sole tenant of a socket must fail (the loop keeps
+	// at least one target) and leave everything managed.
+	if err := multi.Migrate("filler", 0, []int{3}); err == nil {
+		t.Fatal("migrating a socket's last workload should fail")
+	}
+	if s, ok := multi.SocketOf("filler"); !ok || s != 1 {
+		t.Fatalf("failed migration lost track of filler: socket %d ok=%v", s, ok)
+	}
+
+	if err := multi.Migrate("mover", 1, []int{3}); err != nil {
+		t.Fatal(err)
+	}
+	coreOf["mover"] = 3
+	if s, _ := multi.SocketOf("mover"); s != 1 {
+		t.Fatalf("mover still homed on socket %d", s)
+	}
+	if got := multi.Ways("mover"); got != 3 {
+		t.Fatalf("arrival allocation %d, want the baseline 3", got)
+	}
+	tb, ok := multi.Controller(1).Table("mover")
+	if !ok || len(tb) < 3 {
+		t.Fatalf("performance table not carried: %v", tb)
+	}
+
+	// One tick later the carried table must have jumped the allocation
+	// back near its learned preference — not +1 way.
+	tick()
+	if got := multi.Ways("mover"); got < waysBefore-1 {
+		t.Fatalf("re-learning dip: mover at %d ways one tick after migration (had %d)", got, waysBefore)
+	}
+	snap := multi.Snapshot()
+	for _, s := range snap {
+		if s.Name != "mover" {
+			continue
+		}
+		if s.Socket != 1 {
+			t.Errorf("snapshot socket %d, want 1", s.Socket)
+		}
+		if s.NormIPC <= 0 {
+			t.Errorf("baseline IPC lost in migration: NormIPC %v", s.NormIPC)
+		}
+	}
+}

@@ -66,6 +66,7 @@ func All() []Runner {
 		tabRunner("ablation-detector", "Phase-detector ablation", AblationDetector),
 		tabRunner("ablation-replacement", "LLC replacement-policy ablation", AblationReplacement),
 		tabRunner("numa-placement", "Local vs remote memory placement on a 2-socket host", NUMAPlacement),
+		tabRunner("placement", "Fleet placement: live rebalancing of an exhausted socket", FleetPlacement),
 	}
 }
 

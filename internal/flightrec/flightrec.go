@@ -137,6 +137,11 @@ type Config struct {
 	// included (default 64). The oldest closed segments are deleted
 	// first.
 	MaxSegments int
+	// RetainBytes caps the total bytes across retained segments
+	// (0 = no byte budget). The oldest closed segments are deleted
+	// until the store fits; the active segment is never pruned, so the
+	// effective floor is one segment.
+	RetainBytes int64
 	// Now supplies the clock; tests inject a manual one (default
 	// time.Now).
 	Now func() time.Time

@@ -301,16 +301,32 @@ func (s *Store) rotateIfNeededLocked(now time.Time, incoming int64) error {
 	return nil
 }
 
-// pruneLocked enforces the retention cap by deleting the oldest
+// pruneLocked enforces the retention caps — segment count and, when a
+// byte budget is configured, total bytes — by deleting the oldest
 // closed segments. The active segment is never pruned.
 func (s *Store) pruneLocked() {
 	for len(s.segs) > s.cfg.MaxSegments && len(s.segs) > 1 {
-		oldest := s.segs[0]
-		_ = os.Remove(oldest.path)
-		s.segs = s.segs[1:]
-		if s.metrics != nil {
-			s.metrics.pruned.Inc()
-		}
+		s.dropOldestLocked()
+	}
+	if s.cfg.RetainBytes <= 0 {
+		return
+	}
+	var total int64
+	for _, seg := range s.segs {
+		total += seg.bytes
+	}
+	for total > s.cfg.RetainBytes && len(s.segs) > 1 {
+		total -= s.segs[0].bytes
+		s.dropOldestLocked()
+	}
+}
+
+func (s *Store) dropOldestLocked() {
+	oldest := s.segs[0]
+	_ = os.Remove(oldest.path)
+	s.segs = s.segs[1:]
+	if s.metrics != nil {
+		s.metrics.pruned.Inc()
 	}
 }
 

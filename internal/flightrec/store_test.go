@@ -219,6 +219,46 @@ func TestStoreRetention(t *testing.T) {
 	}
 }
 
+func TestStoreRetentionByBytes(t *testing.T) {
+	clock := newTestClock()
+	dir := t.TempDir()
+	// Small segments, generous segment-count cap: the byte budget is
+	// the binding constraint.
+	s := openStore(t, Config{Dir: dir, SegmentMaxBytes: 256, MaxSegments: 64,
+		RetainBytes: 1024, Now: clock.Now})
+	for i := 0; i < 40; i++ {
+		mustAppend(t, s, "a", 1, uint64(i*2), evs(2, "w", i*2), 0)
+	}
+	var total int64
+	st := s.Stats()
+	total = st.Bytes
+	// One upload batch may overshoot a segment, and the active segment
+	// is never pruned; allow one segment's slack above the budget.
+	if total > 1024+256+256 {
+		t.Fatalf("store holds %d bytes, budget 1024", total)
+	}
+	if st.Segments < 2 {
+		t.Fatalf("expected several retained segments, got %d", st.Segments)
+	}
+	// The newest records survive pruning.
+	recs := mustSelect(t, s, Query{Agent: "a"})
+	if len(recs) == 0 || len(recs) >= 80 {
+		t.Fatalf("got %d records, want pruned-but-nonempty", len(recs))
+	}
+	if last := recs[len(recs)-1]; last.Seq != 79 {
+		t.Errorf("newest record seq %d, want 79", last.Seq)
+	}
+
+	// Zero budget disables byte pruning entirely.
+	s2 := openStore(t, Config{Dir: t.TempDir(), SegmentMaxBytes: 256, MaxSegments: 64, Now: clock.Now})
+	for i := 0; i < 40; i++ {
+		mustAppend(t, s2, "a", 1, uint64(i*2), evs(2, "w", i*2), 0)
+	}
+	if recs := mustSelect(t, s2, Query{Agent: "a"}); len(recs) != 80 {
+		t.Fatalf("unbudgeted store pruned: %d records, want 80", len(recs))
+	}
+}
+
 func TestStoreReopenRestoresCursorsAndDedups(t *testing.T) {
 	clock := newTestClock()
 	dir := t.TempDir()

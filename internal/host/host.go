@@ -11,6 +11,7 @@ package host
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/addr"
 	"repro/internal/memsys"
@@ -147,7 +148,11 @@ type Host struct {
 	// placement decides which memory a workload's frames land in.
 	allocs    []*addr.RandAllocator
 	perSocket uint64 // DRAM bytes per socket
-	nextCore  []int  // next free socket-local core, per socket
+	// freeCores holds each socket's unpinned local core IDs, kept sorted
+	// ascending. AddVMOn pops the lowest IDs, so as long as no VM has
+	// been removed the assignment is identical to the original bump
+	// allocator; RemoveVM and MigrateVM return cores here for reuse.
+	freeCores [][]int
 	vms       []*VM
 	interval  int
 	lineBuf   []uint64 // reused per block for batched memory access
@@ -162,7 +167,14 @@ func New(cfg Config) (*Host, error) {
 		return nil, fmt.Errorf("host: block size %d too coarse for budget %d",
 			cfg.BlockInstr, cfg.CyclesPerInterval)
 	}
-	h := &Host{cfg: cfg, nextCore: make([]int, cfg.NumSockets())}
+	h := &Host{cfg: cfg, freeCores: make([][]int, cfg.NumSockets())}
+	for s := range h.freeCores {
+		free := make([]int, cfg.Mem.Cores)
+		for i := range free {
+			free[i] = i
+		}
+		h.freeCores[s] = free
+	}
 	if cfg.Sockets < 1 {
 		sys, err := memsys.New(cfg.Mem)
 		if err != nil {
@@ -271,27 +283,103 @@ func (h *Host) AddVMOn(socket int, name string, numCores int, gen workload.Gener
 	if numCores < 1 {
 		return nil, fmt.Errorf("host: VM %q needs at least one core", name)
 	}
-	if socket < 0 || socket >= len(h.nextCore) {
-		return nil, fmt.Errorf("host: socket %d out of range [0,%d)", socket, len(h.nextCore))
+	if socket < 0 || socket >= len(h.freeCores) {
+		return nil, fmt.Errorf("host: socket %d out of range [0,%d)", socket, len(h.freeCores))
 	}
 	for _, v := range h.vms {
 		if v.Name == name {
 			return nil, fmt.Errorf("host: VM %q already exists", name)
 		}
 	}
-	next := h.nextCore[socket]
-	if next+numCores > h.cfg.Mem.Cores {
+	cores, err := h.takeCores(socket, numCores)
+	if err != nil {
+		return nil, err
+	}
+	vm := &VM{Name: name, Cores: cores, Socket: socket, Gen: gen}
+	h.vms = append(h.vms, vm)
+	return vm, nil
+}
+
+// takeCores pops the lowest numCores free cores of a socket as global
+// core IDs.
+func (h *Host) takeCores(socket, numCores int) ([]int, error) {
+	free := h.freeCores[socket]
+	if numCores > len(free) {
 		return nil, fmt.Errorf("host: out of cores on socket %d: %d requested, %d free",
-			socket, numCores, h.cfg.Mem.Cores-next)
+			socket, numCores, len(free))
 	}
 	base := socket * h.cfg.Mem.Cores
 	cores := make([]int, numCores)
 	for i := range cores {
-		cores[i] = base + next + i
+		cores[i] = base + free[i]
 	}
-	h.nextCore[socket] = next + numCores
-	vm := &VM{Name: name, Cores: cores, Socket: socket, Gen: gen}
-	h.vms = append(h.vms, vm)
+	h.freeCores[socket] = free[numCores:]
+	return cores, nil
+}
+
+// releaseCores returns a VM's global core IDs to their socket's free
+// list, keeping it sorted so later placements stay deterministic.
+func (h *Host) releaseCores(socket int, cores []int) {
+	base := socket * h.cfg.Mem.Cores
+	free := h.freeCores[socket]
+	for _, c := range cores {
+		free = append(free, c-base)
+	}
+	sort.Ints(free)
+	h.freeCores[socket] = free
+}
+
+// FreeCores reports how many unpinned cores a socket has left.
+func (h *Host) FreeCores(socket int) int {
+	if socket < 0 || socket >= len(h.freeCores) {
+		return 0
+	}
+	return len(h.freeCores[socket])
+}
+
+// RemoveVM tears a tenant down: its cores return to the socket's free
+// list for reuse by later AddVMOn/MigrateVM calls and the VM drops out
+// of the interval loop. Cached lines the workload left behind decay by
+// natural eviction, as on real hardware; the tenant's CLOS group and
+// ways are the controller's to reclaim (core.Controller.RemoveTarget).
+func (h *Host) RemoveVM(name string) error {
+	for i, v := range h.vms {
+		if v.Name != name {
+			continue
+		}
+		h.releaseCores(v.Socket, v.Cores)
+		h.vms = append(h.vms[:i], h.vms[i+1:]...)
+		return nil
+	}
+	return fmt.Errorf("host: no VM %q", name)
+}
+
+// MigrateVM live-migrates a tenant's execution to another socket: the
+// same number of cores is taken from the destination's free list, the
+// old cores are released, and the VM keeps running its workload with no
+// loss of state. Its memory does not move — frames stay homed where the
+// workload allocated them, so after a migration DRAM misses to the old
+// socket pay the remote penalty while the new socket's LLC warms up
+// with the working set. The caller owns the controller side (CLOS
+// groups, sampler state): see core.MultiController.Migrate.
+func (h *Host) MigrateVM(name string, toSocket int) (*VM, error) {
+	if toSocket < 0 || toSocket >= len(h.freeCores) {
+		return nil, fmt.Errorf("host: socket %d out of range [0,%d)", toSocket, len(h.freeCores))
+	}
+	vm, ok := h.VM(name)
+	if !ok {
+		return nil, fmt.Errorf("host: no VM %q", name)
+	}
+	if vm.Socket == toSocket {
+		return nil, fmt.Errorf("host: VM %q is already on socket %d", name, toSocket)
+	}
+	cores, err := h.takeCores(toSocket, len(vm.Cores))
+	if err != nil {
+		return nil, err
+	}
+	h.releaseCores(vm.Socket, vm.Cores)
+	vm.Cores = cores
+	vm.Socket = toSocket
 	return vm, nil
 }
 

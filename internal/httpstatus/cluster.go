@@ -125,6 +125,6 @@ func ClusterHandlerOpts(src ClusterSource, opts Options) http.Handler {
 		})
 	}
 	mountDebug(mux, opts)
-	mountFleet(mux, opts.Recorder)
+	mountFleet(mux, opts)
 	return mux
 }

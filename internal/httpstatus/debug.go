@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/flightrec"
 	"repro/internal/obs"
+	"repro/internal/placement"
 	"repro/internal/telemetry"
 )
 
@@ -56,6 +57,20 @@ type Options struct {
 	//
 	// Only the coordinator sets this.
 	Recorder *flightrec.Store
+	// Placement, when set, mounts the fleet placement engine's status:
+	//
+	//	GET /fleet/placement — engine counters, inflight directives,
+	//	                       and active cooldowns as JSON
+	//
+	// Only a coordinator running the rebalancer sets this (a
+	// *placement.Engine satisfies it).
+	Placement PlacementSource
+}
+
+// PlacementSource exposes the placement engine's externally visible
+// state for the /fleet/placement endpoint.
+type PlacementSource interface {
+	State() placement.State
 }
 
 // defaultJournalTail bounds /debug/journal responses when the client

@@ -1,6 +1,7 @@
 package httpstatus
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"strconv"
@@ -13,9 +14,20 @@ import (
 // does not pass ?n=.
 const defaultExplainTail = 64
 
-// mountFleet adds the flight-recorder query plane to mux. A nil store
-// mounts nothing.
-func mountFleet(mux *http.ServeMux, store *flightrec.Store) {
+// mountFleet adds the fleet surfaces selected by opts: the
+// flight-recorder query plane (Recorder) and the placement engine's
+// status (Placement). Nil fields mount nothing.
+func mountFleet(mux *http.ServeMux, opts Options) {
+	if opts.Placement != nil {
+		src := opts.Placement
+		mux.HandleFunc("/fleet/placement", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(src.State())
+		})
+	}
+	store := opts.Recorder
 	if store == nil {
 		return
 	}

@@ -130,7 +130,7 @@ func HandlerOpts(src Source, opts Options) http.Handler {
 		}
 	})
 	mountDebug(mux, opts)
-	mountFleet(mux, opts.Recorder)
+	mountFleet(mux, opts)
 	return mux
 }
 

@@ -49,17 +49,33 @@ const (
 	// KindHintIssued: the coordinator pushed a fleet-level allocation
 	// cap to an agent.
 	KindHintIssued
+	// KindPlacementIssued: the placement engine issued a cross-socket
+	// move directive for a workload.
+	KindPlacementIssued
+	// KindPlacementExecuted: an agent live-migrated a workload to
+	// another socket, carrying its controller state along.
+	KindPlacementExecuted
+	// KindPlacementVerified: the engine found the execution evidence in
+	// the flight recorder and settled the move.
+	KindPlacementVerified
+	// KindPlacementRolledBack: verification failed or timed out; the
+	// engine issued the reverse move.
+	KindPlacementRolledBack
 )
 
 var kindNames = [...]string{
-	KindPhaseChange:     "PhaseChange",
-	KindStateTransition: "StateTransition",
-	KindWayGrant:        "WayGrant",
-	KindWayReclaim:      "WayReclaim",
-	KindTableHit:        "TableHit",
-	KindBaselineSet:     "BaselineSet",
-	KindAgentEnrolled:   "AgentEnrolled",
-	KindHintIssued:      "HintIssued",
+	KindPhaseChange:         "PhaseChange",
+	KindStateTransition:     "StateTransition",
+	KindWayGrant:            "WayGrant",
+	KindWayReclaim:          "WayReclaim",
+	KindTableHit:            "TableHit",
+	KindBaselineSet:         "BaselineSet",
+	KindAgentEnrolled:       "AgentEnrolled",
+	KindHintIssued:          "HintIssued",
+	KindPlacementIssued:     "PlacementIssued",
+	KindPlacementExecuted:   "PlacementExecuted",
+	KindPlacementVerified:   "PlacementVerified",
+	KindPlacementRolledBack: "PlacementRolledBack",
 }
 
 // String names the kind as it appears in JSONL output.

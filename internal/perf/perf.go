@@ -173,5 +173,16 @@ func (sm *Sampler) SampleCores(cores []int) Sample {
 	return agg
 }
 
+// Prime snapshots the given cores without producing a sample, so the
+// next SampleCores delta starts from now. A controller adopting cores
+// it has never sampled — or cores whose history belongs to a previous
+// tenant — primes them first; otherwise the first sample would span
+// the cores' whole cumulative past.
+func (sm *Sampler) Prime(cores []int) {
+	for _, core := range cores {
+		sm.prev[core] = sm.snapshot(core)
+	}
+}
+
 // Reset forgets previous snapshots, so the next sample is cumulative.
 func (sm *Sampler) Reset() { sm.prev = make(map[int]Counters) }

@@ -1,0 +1,262 @@
+package placement
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/flightrec"
+	"repro/internal/obs"
+)
+
+func mustOpenStore(t *testing.T, dir string) *flightrec.Store {
+	t.Helper()
+	store, err := flightrec.Open(flightrec.Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("flightrec.Open: %v", err)
+	}
+	return store
+}
+
+// view builds a one-agent fleet view; ways is per-socket associativity.
+func view(agent string, ways int, wls ...WorkloadView) []AgentView {
+	return []AgentView{{Agent: agent, TotalWays: ways, Workloads: wls}}
+}
+
+func wl(name string, socket int, cat string, ways, baseline int) WorkloadView {
+	return WorkloadView{Name: name, Socket: socket, Category: cat, Ways: ways, Baseline: baseline}
+}
+
+// TestScoring drives the pressure → decision table: each case is one
+// fleet view and the move (or silence) it must produce.
+func TestScoring(t *testing.T) {
+	cases := []struct {
+		name string
+		view []AgentView
+		want *MoveDirective // nil: no directive
+	}{
+		{
+			name: "exhausted socket sheds its hungriest receiver",
+			view: view("host-a", 8,
+				wl("hungry", 0, "Receiver", 5, 2),
+				wl("noise", 0, "Streaming", 1, 2),
+				wl("donor", 0, "Donor", 1, 2),
+				wl("filler", 1, "Keeper", 3, 2)),
+			want: &MoveDirective{Agent: "host-a", Workload: "hungry", FromSocket: 0, ToSocket: 1},
+		},
+		{
+			name: "no pressure: pool still has headroom",
+			view: view("host-a", 8,
+				wl("hungry", 0, "Receiver", 4, 2),
+				wl("noise", 0, "Donor", 1, 2),
+				wl("filler", 1, "Keeper", 3, 2)),
+			want: nil,
+		},
+		{
+			name: "single socket is inert",
+			view: view("host-a", 8,
+				wl("hungry", 0, "Receiver", 6, 2),
+				wl("noise", 0, "Streaming", 1, 2),
+				wl("donor", 0, "Donor", 1, 2)),
+			want: nil,
+		},
+		{
+			name: "no movable category on the hot socket",
+			view: view("host-a", 8,
+				wl("keeper", 0, "Keeper", 6, 2),
+				wl("stream", 0, "Streaming", 1, 2),
+				wl("donor", 0, "Donor", 1, 2),
+				wl("filler", 1, "Keeper", 2, 2)),
+			want: nil,
+		},
+		{
+			name: "sole workload on the hot socket stays",
+			view: view("host-a", 8,
+				wl("hungry", 0, "Receiver", 7, 2),
+				wl("filler", 1, "Keeper", 2, 2)),
+			want: nil,
+		},
+		{
+			name: "destination without enough headroom rejects the move",
+			view: view("host-a", 8,
+				wl("hungry", 0, "Receiver", 5, 2),
+				wl("noise", 0, "Streaming", 1, 2),
+				wl("donor", 0, "Donor", 1, 2),
+				wl("filler", 1, "Keeper", 5, 2)),
+			want: nil,
+		},
+		{
+			name: "hungriest of several receivers wins",
+			view: view("host-a", 10,
+				wl("big", 0, "Receiver", 5, 2),
+				wl("small", 0, "Receiver", 3, 2),
+				wl("donor", 0, "Donor", 1, 2),
+				wl("filler", 1, "Keeper", 2, 2)),
+			want: &MoveDirective{Agent: "host-a", Workload: "big", FromSocket: 0, ToSocket: 1},
+		},
+		{
+			name: "coolest of three sockets is the destination",
+			view: view("host-a", 8,
+				wl("hungry", 0, "Unknown", 6, 2),
+				wl("noise", 0, "Donor", 1, 2),
+				wl("mid", 1, "Keeper", 4, 2),
+				wl("cool", 2, "Donor", 1, 2)),
+			want: &MoveDirective{Agent: "host-a", Workload: "hungry", FromSocket: 0, ToSocket: 2},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			e := NewEngine(Config{})
+			got := e.Evaluate(tc.view)
+			if tc.want == nil {
+				if len(got) != 0 {
+					t.Fatalf("expected no directive, got %+v", got)
+				}
+				return
+			}
+			if len(got) != 1 {
+				t.Fatalf("expected one directive, got %d: %+v", len(got), got)
+			}
+			d := got[0]
+			d.ID, d.Reason = 0, ""
+			if !reflect.DeepEqual(d, *tc.want) {
+				t.Fatalf("directive mismatch:\n got  %+v\n want %+v", d, *tc.want)
+			}
+		})
+	}
+}
+
+// TestSingleSocketInert is the Sockets=1 determinism guard at the
+// engine level: however hard a single-LLC host is squeezed, the engine
+// never issues a directive, never emits an event, and its state stays
+// at the zero counters — so wiring the engine into a single-socket
+// deployment cannot perturb it.
+func TestSingleSocketInert(t *testing.T) {
+	e := NewEngine(Config{})
+	var emitted []obs.Event
+	e.SetSink(sinkFunc(func(ev obs.Event) { emitted = append(emitted, ev) }))
+	v := view("host-a", 8,
+		wl("hungry", 0, "Receiver", 6, 2),
+		wl("greedy", 0, "Unknown", 1, 2),
+		wl("noise", 0, "Streaming", 1, 2))
+	for i := 0; i < 50; i++ {
+		if got := e.Evaluate(v); len(got) != 0 {
+			t.Fatalf("evaluation %d issued %+v on a single-socket host", i, got)
+		}
+	}
+	if len(emitted) != 0 {
+		t.Fatalf("engine emitted %d events on a single-socket host", len(emitted))
+	}
+	st := e.State()
+	if st.Issued != 0 || st.Executed != 0 || st.Settled != 0 || st.RolledBack != 0 || st.Failed != 0 ||
+		len(st.Inflight) != 0 || len(st.Cooldowns) != 0 {
+		t.Fatalf("engine state not inert: %+v", st)
+	}
+}
+
+type sinkFunc func(obs.Event)
+
+func (f sinkFunc) Emit(ev obs.Event) { f(ev) }
+
+// TestLifecycleAckSettlesWithoutRecorder: with no recorder wired, an
+// OK ack settles the move directly and starts the cooldown.
+func TestLifecycleAckSettlesWithoutRecorder(t *testing.T) {
+	e := NewEngine(Config{Cooldown: 3})
+	v := view("host-a", 8,
+		wl("hungry", 0, "Receiver", 5, 2),
+		wl("noise", 0, "Streaming", 1, 2),
+		wl("donor", 0, "Donor", 1, 2),
+		wl("filler", 1, "Keeper", 3, 2))
+	got := e.Evaluate(v)
+	if len(got) != 1 {
+		t.Fatalf("expected one directive, got %+v", got)
+	}
+	if ds := e.Directives("host-a"); len(ds) != 1 || ds[0].ID != got[0].ID {
+		t.Fatalf("poll mismatch: %+v", ds)
+	}
+	if ds := e.Directives("host-b"); len(ds) != 0 {
+		t.Fatalf("foreign agent polled someone else's directive: %+v", ds)
+	}
+	e.Ack("host-a", []DirectiveAck{{ID: got[0].ID, OK: true}})
+	st := e.State()
+	if st.Settled != 1 || st.Executed != 1 || len(st.Inflight) != 0 {
+		t.Fatalf("ack did not settle: %+v", st)
+	}
+	if st.Cooldowns["host-a/hungry"] == 0 {
+		t.Fatalf("no cooldown after settle: %+v", st)
+	}
+	// While cooling (and with the fleet unchanged — the view still shows
+	// the old layout), the workload must not be re-issued.
+	for i := 0; i < 2; i++ {
+		if got := e.Evaluate(v); len(got) != 0 {
+			t.Fatalf("re-issued during cooldown: %+v", got)
+		}
+	}
+}
+
+// TestLifecycleFailedAckCoolsDown: a failed ack abandons the move
+// without a rollback directive.
+func TestLifecycleFailedAckCoolsDown(t *testing.T) {
+	e := NewEngine(Config{})
+	v := view("host-a", 8,
+		wl("hungry", 0, "Receiver", 5, 2),
+		wl("noise", 0, "Streaming", 1, 2),
+		wl("donor", 0, "Donor", 1, 2),
+		wl("filler", 1, "Keeper", 3, 2))
+	got := e.Evaluate(v)
+	if len(got) != 1 {
+		t.Fatalf("expected one directive, got %+v", got)
+	}
+	e.Ack("host-a", []DirectiveAck{{ID: got[0].ID, OK: false, Detail: "out of cores"}})
+	st := e.State()
+	if st.Failed != 1 || st.Settled != 0 || len(st.Inflight) != 0 {
+		t.Fatalf("failed ack mishandled: %+v", st)
+	}
+	if st.Cooldowns["host-a/hungry"] == 0 {
+		t.Fatalf("no cooldown after failure: %+v", st)
+	}
+}
+
+// TestLifecycleVerifyTimeoutRollsBack: an acked move that never shows
+// execution evidence is rolled back with a reverse directive, and the
+// reverse directive is never itself rolled back.
+func TestLifecycleVerifyTimeoutRollsBack(t *testing.T) {
+	// A recorder is required for the verifying phase; give the engine
+	// one that simply never contains the evidence.
+	dir := t.TempDir()
+	store := mustOpenStore(t, dir)
+	defer store.Close()
+	e := NewEngine(Config{VerifyTimeout: 2, Recorder: store})
+	v := view("host-a", 8,
+		wl("hungry", 0, "Receiver", 5, 2),
+		wl("noise", 0, "Streaming", 1, 2),
+		wl("donor", 0, "Donor", 1, 2),
+		wl("filler", 1, "Keeper", 3, 2))
+	got := e.Evaluate(v)
+	if len(got) != 1 {
+		t.Fatalf("expected one directive, got %+v", got)
+	}
+	e.Ack("host-a", []DirectiveAck{{ID: got[0].ID, OK: true}})
+	for i := 0; i < 3; i++ {
+		e.Evaluate(v)
+	}
+	st := e.State()
+	if st.RolledBack != 1 {
+		t.Fatalf("no rollback after verify timeout: %+v", st)
+	}
+	if len(st.Inflight) != 1 || !st.Inflight[0].Rollback ||
+		st.Inflight[0].FromSocket != 1 || st.Inflight[0].ToSocket != 0 {
+		t.Fatalf("reverse directive missing or wrong: %+v", st.Inflight)
+	}
+	// Let the reverse directive expire too: it must be abandoned, not
+	// reversed again.
+	for i := 0; i < 4; i++ {
+		e.Evaluate(v)
+	}
+	st = e.State()
+	if len(st.Inflight) != 0 {
+		t.Fatalf("rollback directive not abandoned: %+v", st.Inflight)
+	}
+	if st.RolledBack != 2 {
+		t.Fatalf("expected two rollback events (move + abandoned reverse), got %+v", st)
+	}
+}
