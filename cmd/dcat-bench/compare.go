@@ -38,9 +38,10 @@ func loadReport(path string) (report, error) {
 }
 
 // compareReports writes a per-experiment old/new/ratio trend table to
-// w and returns the experiments that regressed past the gate.
-// Experiments absent from the old report (new since the baseline) and
-// experiments that failed in either run are reported but never gate.
+// w and returns the entries that regressed past the gate — experiment
+// timings and hot-path throughput alike. Entries absent from the old
+// report (new since the baseline) and experiments that failed in
+// either run are reported but never gate.
 func compareReports(w io.Writer, oldRep, newRep report) []regression {
 	if oldRep.Quick != newRep.Quick {
 		fmt.Fprintf(w, "warning: comparing quick=%t against baseline quick=%t — timings are not like-for-like\n",
@@ -69,6 +70,39 @@ func compareReports(w io.Writer, oldRep, newRep report) []regression {
 			fmt.Fprintf(w, "%-20s %10.2f %10.2f %7.2fx%s\n", e.ID, prev.Seconds, e.Seconds, ratio, mark)
 		}
 	}
+	regs = append(regs, compareThroughput(w, oldRep.Throughput, newRep.Throughput)...)
 	sort.Slice(regs, func(i, j int) bool { return regs[i].Ratio > regs[j].Ratio })
+	return regs
+}
+
+// compareThroughput gates the hot-path accesses/sec entries: a path
+// that got more than regressionRatio times slower regresses. Ratios
+// here are old/new throughput, so the same >regressionRatio threshold
+// reads the same way as for timings ("2.00x" means half the speed).
+// Entries only in one report never gate.
+func compareThroughput(w io.Writer, oldT, newT []throughputEntry) []regression {
+	if len(newT) == 0 {
+		return nil
+	}
+	oldByName := make(map[string]throughputEntry, len(oldT))
+	for _, e := range oldT {
+		oldByName[e.Name] = e
+	}
+	var regs []regression
+	fmt.Fprintf(w, "%-20s %10s %10s %8s  (accesses/sec)\n", "throughput", "old", "new", "ratio")
+	for _, e := range newT {
+		prev, known := oldByName[e.Name]
+		if !known || prev.AccessesPerSec == 0 || e.AccessesPerSec == 0 {
+			fmt.Fprintf(w, "%-20s %10s %10.2e %8s  (new)\n", e.Name, "-", e.AccessesPerSec, "-")
+			continue
+		}
+		ratio := prev.AccessesPerSec / e.AccessesPerSec
+		mark := ""
+		if ratio > regressionRatio {
+			mark = "  REGRESSION"
+			regs = append(regs, regression{ID: "throughput/" + e.Name, Old: prev.AccessesPerSec, New: e.AccessesPerSec, Ratio: ratio})
+		}
+		fmt.Fprintf(w, "%-20s %10.2e %10.2e %7.2fx%s\n", e.Name, prev.AccessesPerSec, e.AccessesPerSec, ratio, mark)
+	}
 	return regs
 }

@@ -98,7 +98,39 @@ func writeJSON(t *testing.T, path string, rep report) {
 			Elapsed: time.Duration(e.Seconds * float64(time.Second)),
 		})
 	}
-	if err := writeReport(path, cfg, results, 0); err != nil {
+	if err := writeReport(path, cfg, results, nil, 0); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func thruEntry(name string, perSec float64) throughputEntry {
+	return throughputEntry{Name: name, AccessesPerSec: perSec, Accesses: 1 << 20, Seconds: 1}
+}
+
+// TestCompareThroughput checks the accesses/sec gate: only paths more
+// than regressionRatio slower regress; new paths report but never gate.
+func TestCompareThroughput(t *testing.T) {
+	oldRep := report{Throughput: []throughputEntry{
+		thruEntry("cache-hit", 100e6),
+		thruEntry("cache-miss", 50e6),
+	}}
+	newRep := report{Throughput: []throughputEntry{
+		thruEntry("cache-hit", 90e6),  // fine: 1.11x slower
+		thruEntry("cache-miss", 20e6), // regression: 2.5x slower
+		thruEntry("cache-masked", 1),  // new path: not gated
+	}}
+	var sb strings.Builder
+	regs := compareReports(&sb, oldRep, newRep)
+	if len(regs) != 1 || regs[0].ID != "throughput/cache-miss" {
+		t.Fatalf("regressions = %+v, want exactly throughput/cache-miss", regs)
+	}
+	if regs[0].Ratio < 2.4 || regs[0].Ratio > 2.6 {
+		t.Fatalf("ratio = %g, want ~2.5", regs[0].Ratio)
+	}
+	out := sb.String()
+	for _, want := range []string{"REGRESSION", "(new)", "accesses/sec"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("throughput trend table missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -28,6 +28,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -48,24 +49,32 @@ func main() {
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "experiments to run in parallel")
 		jsonOut  = flag.Bool("json", false, "write per-experiment timings to "+jsonReportPath)
 		failFast = flag.Bool("failfast", false, "cancel pending experiments after the first failure")
-		compare  = flag.String("compare", "", "compare this run's timings against a previous "+jsonReportPath+"; exit non-zero on a >2x per-experiment regression")
+		compare  = flag.String("compare", "", "compare this run's timings and throughput against a previous "+jsonReportPath+"; exit non-zero on a >2x per-experiment or throughput regression")
 		sockets  = flag.Int("sockets", 0, "run every experiment on an N-socket NUMA host (0 = original single-socket host)")
 		penalty  = flag.Uint64("remote-penalty", 0, "cross-socket DRAM penalty in cycles (0 = default when -sockets > 1)")
+		tracePth = flag.String("trace", "", "also replay this recorded trace (dcat-sim -record) as the chunked 'trace-replay' experiment")
+		noThru   = flag.Bool("no-throughput", false, "skip the accesses/sec hot-path throughput report")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof)")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit (pprof)")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := realMain(ctx, config{
-		quick:    *quick,
-		run:      *run,
-		out:      *out,
-		list:     *list,
-		jobs:     *jobs,
-		jsonOut:  *jsonOut,
-		failFast: *failFast,
-		compare:  *compare,
-		sockets:  *sockets,
-		penalty:  *penalty,
+		quick:      *quick,
+		run:        *run,
+		out:        *out,
+		list:       *list,
+		jobs:       *jobs,
+		jsonOut:    *jsonOut,
+		failFast:   *failFast,
+		compare:    *compare,
+		sockets:    *sockets,
+		penalty:    *penalty,
+		trace:      *tracePth,
+		throughput: !*noThru,
+		cpuProfile: *cpuProf,
+		memProfile: *memProf,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "dcat-bench:", err)
 		os.Exit(1)
@@ -73,16 +82,20 @@ func main() {
 }
 
 type config struct {
-	quick    bool
-	run      string
-	out      string
-	list     bool
-	jobs     int
-	jsonOut  bool
-	failFast bool
-	compare  string
-	sockets  int
-	penalty  uint64
+	quick      bool
+	run        string
+	out        string
+	list       bool
+	jobs       int
+	jsonOut    bool
+	failFast   bool
+	compare    string
+	sockets    int
+	penalty    uint64
+	trace      string
+	throughput bool
+	cpuProfile string
+	memProfile string
 }
 
 func realMain(ctx context.Context, cfg config) error {
@@ -91,6 +104,31 @@ func realMain(ctx context.Context, cfg config) error {
 			fmt.Printf("%-20s %s\n", r.ID, r.Title)
 		}
 		return nil
+	}
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if cfg.memProfile != "" {
+		defer func() {
+			f, err := os.Create(cfg.memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dcat-bench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "dcat-bench:", err)
+			}
+		}()
 	}
 	opts := experiments.Default()
 	if cfg.quick {
@@ -101,12 +139,29 @@ func realMain(ctx context.Context, cfg config) error {
 	// opts.Jobs stays unset: RunAll attaches the shared -j worker
 	// budget, so in-experiment sweeps widen onto idle slots instead of
 	// multiplying the parallelism per layer.
+	//
+	// The trace-replay experiment exists only when -trace names a
+	// recorded trace; it appends after the registry so the default
+	// output is untouched.
+	extra := map[string]experiments.Runner{}
+	if cfg.trace != "" {
+		r := experiments.TraceReplayRunner(cfg.trace)
+		extra[r.ID] = r
+	}
 	var runners []experiments.Runner
 	if cfg.run == "" {
 		runners = experiments.All()
+		for _, r := range extra {
+			runners = append(runners, r)
+		}
 	} else {
 		for _, id := range strings.Split(cfg.run, ",") {
-			r, err := experiments.ByID(strings.TrimSpace(id))
+			id = strings.TrimSpace(id)
+			if r, ok := extra[id]; ok {
+				runners = append(runners, r)
+				continue
+			}
+			r, err := experiments.ByID(id)
 			if err != nil {
 				return err
 			}
@@ -150,8 +205,17 @@ func realMain(ctx context.Context, cfg config) error {
 		}
 	}
 
+	// The hot-path throughput microbenches run after the experiments so
+	// they measure an idle machine; their accesses/sec entries feed the
+	// JSON report and the -compare gate alongside the timings.
+	var thru []throughputEntry
+	if cfg.throughput {
+		thru = measureThroughput()
+		printThroughput(os.Stderr, thru)
+	}
+
 	if cfg.jsonOut {
-		if err := writeReport(jsonReportPath, cfg, results, total); err != nil {
+		if err := writeReport(jsonReportPath, cfg, results, thru, total); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "dcat-bench: wrote %s\n", jsonReportPath)
@@ -170,9 +234,9 @@ func realMain(ctx context.Context, cfg config) error {
 		if err != nil {
 			return err
 		}
-		regs := compareReports(os.Stderr, old, buildReport(cfg, results, total))
+		regs := compareReports(os.Stderr, old, buildReport(cfg, results, thru, total))
 		if len(regs) > 0 {
-			return fmt.Errorf("%d experiments regressed more than %.0fx vs %s (worst: %s at %.2fx)",
+			return fmt.Errorf("%d entries regressed more than %.0fx vs %s (worst: %s at %.2fx)",
 				len(regs), regressionRatio, cfg.compare, regs[0].ID, regs[0].Ratio)
 		}
 		fmt.Fprintf(os.Stderr, "dcat-bench: no regressions vs %s\n", cfg.compare)

@@ -9,14 +9,15 @@ import (
 )
 
 // report is the BENCH_bench.json schema: one timing entry per
-// experiment plus enough run metadata (scale, parallelism) to compare
-// numbers across PRs.
+// experiment, the hot-path throughput microbenches, and enough run
+// metadata (scale, parallelism) to compare numbers across PRs.
 type report struct {
-	Timestamp    string        `json:"timestamp"`
-	Quick        bool          `json:"quick"`
-	Jobs         int           `json:"jobs"`
-	TotalSeconds float64       `json:"total_seconds"`
-	Experiments  []reportEntry `json:"experiments"`
+	Timestamp    string            `json:"timestamp"`
+	Quick        bool              `json:"quick"`
+	Jobs         int               `json:"jobs"`
+	TotalSeconds float64           `json:"total_seconds"`
+	Experiments  []reportEntry     `json:"experiments"`
+	Throughput   []throughputEntry `json:"throughput,omitempty"`
 }
 
 type reportEntry struct {
@@ -27,12 +28,13 @@ type reportEntry struct {
 	Error   string  `json:"error,omitempty"`
 }
 
-func buildReport(cfg config, results []experiments.RunResult, total time.Duration) report {
+func buildReport(cfg config, results []experiments.RunResult, thru []throughputEntry, total time.Duration) report {
 	rep := report{
 		Timestamp:    time.Now().UTC().Format(time.RFC3339),
 		Quick:        cfg.quick,
 		Jobs:         cfg.jobs,
 		TotalSeconds: total.Seconds(),
+		Throughput:   thru,
 	}
 	for _, r := range results {
 		e := reportEntry{
@@ -49,8 +51,8 @@ func buildReport(cfg config, results []experiments.RunResult, total time.Duratio
 	return rep
 }
 
-func writeReport(path string, cfg config, results []experiments.RunResult, total time.Duration) error {
-	data, err := json.MarshalIndent(buildReport(cfg, results, total), "", "  ")
+func writeReport(path string, cfg config, results []experiments.RunResult, thru []throughputEntry, total time.Duration) error {
+	data, err := json.MarshalIndent(buildReport(cfg, results, thru, total), "", "  ")
 	if err != nil {
 		return err
 	}

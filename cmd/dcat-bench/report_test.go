@@ -18,7 +18,8 @@ func TestWriteReport(t *testing.T) {
 	}
 	path := filepath.Join(t.TempDir(), "BENCH_bench.json")
 	cfg := config{quick: true, jobs: 4}
-	if err := writeReport(path, cfg, results, 3*time.Second); err != nil {
+	thru := []throughputEntry{{Name: "cache-hit", Accesses: 1 << 20, Seconds: 0.5, AccessesPerSec: 2 << 20}}
+	if err := writeReport(path, cfg, results, thru, 3*time.Second); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -40,5 +41,8 @@ func TestWriteReport(t *testing.T) {
 	}
 	if e := rep.Experiments[1]; e.ID != "fig2" || e.OK || e.Error != "boom" {
 		t.Fatalf("entry 1 wrong: %+v", e)
+	}
+	if len(rep.Throughput) != 1 || rep.Throughput[0].Name != "cache-hit" || rep.Throughput[0].AccessesPerSec != 2<<20 {
+		t.Fatalf("throughput wrong: %+v", rep.Throughput)
 	}
 }

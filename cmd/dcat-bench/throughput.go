@@ -1,0 +1,116 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/bits"
+	"repro/internal/cache"
+	"repro/internal/memsys"
+)
+
+// Hot-path throughput report: a handful of fixed-work microbenches over
+// the simulator's inner loops, reported as accesses per second. Unlike
+// the per-experiment timings (which mix many code paths), each entry
+// isolates one hot path — the L1 hit scan, the steady-state miss/victim
+// path, a narrow CAT mask, a cold fill, and the fused interval pass —
+// so a regression points at the loop that slowed down. Entries feed the
+// JSON report and the -compare gate next to the experiment timings.
+
+// throughputEntry is one microbench outcome in BENCH_bench.json.
+type throughputEntry struct {
+	Name           string  `json:"name"`
+	Accesses       uint64  `json:"accesses"`
+	Seconds        float64 `json:"seconds"`
+	AccessesPerSec float64 `json:"accesses_per_sec"`
+}
+
+// thruAccesses is the fixed work per microbench. Fixed work (not fixed
+// time) keeps the simulated access sequence — and therefore the code
+// path distribution — identical across runs and machines.
+const thruAccesses = 1 << 22
+
+// measureThroughput runs the hot-path microbenches and returns their
+// accesses/sec. Each bench pre-generates its address stream so the
+// timed region is the simulator loop alone.
+func measureThroughput() []throughputEntry {
+	l1 := cache.Config{Name: "bench", SizeBytes: 32 << 10, Ways: 8}
+	full := bits.FullMask(l1.Ways)
+	narrow := bits.MustCBM(0, 2)
+
+	hitLines := make([]uint64, thruAccesses)
+	for i := range hitLines {
+		hitLines[i] = uint64(i % 512) // fits in 1/8 of the cache: all hits after warmup
+	}
+	missLines := make([]uint64, thruAccesses)
+	span := uint64(l1.Sets()*l1.Ways) * 4
+	for i := range missLines {
+		missLines[i] = uint64(i) % span * uint64(l1.Sets()) // same-set stream: always a miss
+	}
+	fillLines := make([]uint64, l1.Sets()*l1.Ways)
+	for i := range fillLines {
+		fillLines[i] = uint64(i)
+	}
+
+	return []throughputEntry{
+		timeBench("cache-hit", func() uint64 {
+			c := cache.MustNew(l1)
+			c.AccessMany(hitLines[:1024], full, 0) // warm
+			c.AccessMany(hitLines, full, 0)
+			return thruAccesses
+		}),
+		timeBench("cache-miss", func() uint64 {
+			c := cache.MustNew(l1)
+			c.AccessMany(missLines, full, 0)
+			return thruAccesses
+		}),
+		timeBench("cache-masked", func() uint64 {
+			c := cache.MustNew(l1)
+			c.AccessMany(missLines, narrow, 0)
+			return thruAccesses
+		}),
+		timeBench("cache-cold-fill", func() uint64 {
+			c := cache.MustNew(l1)
+			n := uint64(0)
+			for n < thruAccesses {
+				c.Flush()
+				c.AccessMany(fillLines, full, 0)
+				n += uint64(len(fillLines))
+			}
+			return n
+		}),
+		timeBench("memsys-interval", func() uint64 {
+			sys := memsys.MustNew(memsys.XeonD())
+			p := sys.BeginInterval(0)
+			p.AccessMany(missLines)
+			p.Close()
+			return thruAccesses
+		}),
+	}
+}
+
+// timeBench times one fixed-work bench. Cache/system construction
+// happens inside fn but is O(capacity) against thruAccesses of work, so
+// it is noise, and including it keeps every run's timed region
+// identical.
+func timeBench(name string, fn func() uint64) throughputEntry {
+	start := time.Now()
+	n := fn()
+	secs := time.Since(start).Seconds()
+	e := throughputEntry{Name: name, Accesses: n, Seconds: secs}
+	if secs > 0 {
+		e.AccessesPerSec = float64(n) / secs
+	}
+	return e
+}
+
+// printThroughput renders the report to w (stderr in practice — it
+// never touches the byte-identical experiment stdout).
+func printThroughput(w io.Writer, entries []throughputEntry) {
+	fmt.Fprintf(w, "dcat-bench: hot-path throughput (%d accesses each)\n", thruAccesses)
+	fmt.Fprintf(w, "  %-18s %14s %10s\n", "path", "accesses/sec", "time (s)")
+	for _, e := range entries {
+		fmt.Fprintf(w, "  %-18s %14.3e %10.3f\n", e.Name, e.AccessesPerSec, e.Seconds)
+	}
+}

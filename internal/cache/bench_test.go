@@ -54,6 +54,46 @@ func BenchmarkCacheAccess(b *testing.B) {
 			c.Access(uint64(i)%lines*uint64(c.Sets()), narrow, 0)
 		}
 	})
+	b.Run("masked-hit", func(b *testing.B) {
+		// A CAT partition living in the *upper* ways of a 20-way LLC,
+		// with the rest of the set empty — the common shape right after
+		// ways are reallocated and flushed. Hits used to scan every way
+		// below the partition first; the occupancy bitmask goes straight
+		// to the resident lines.
+		c, err := New(Config{Name: "llc", SizeBytes: 45 << 15, Ways: 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		high := bits.MustCBM(18, 2)
+		c.Access(7, high, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Access(7, high, 0)
+		}
+		if c.Stats().Hits == 0 {
+			b.Fatal("expected hits")
+		}
+	})
+	b.Run("cold-fill", func(b *testing.B) {
+		// Filling an empty (or partially filled) set: the occupancy
+		// bitmask finds the invalid way with one bit-scan where the old
+		// path compared every way's tag.
+		c := benchCache(b, ReplLRU)
+		full := bits.FullMask(c.Ways())
+		capacity := c.Sets() * c.Ways()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i += capacity {
+			c.Flush()
+			for j := 0; j < capacity && i+j < b.N; j++ {
+				c.Access(uint64(j), full, 0)
+			}
+		}
+		if c.Stats().Hits != 0 {
+			b.Fatal("cold fill should never hit")
+		}
+	})
 	b.Run("nonpow2-hit", func(b *testing.B) {
 		// The paper's Xeon E5 LLC geometry scaled down: 20 ways with a
 		// non-power-of-two set count, exercising the modulo path.

@@ -10,6 +10,7 @@ package cache
 
 import (
 	"fmt"
+	mbits "math/bits"
 
 	"repro/internal/bits"
 )
@@ -138,15 +139,35 @@ type Cache struct {
 	sharers []uint32 // cores that touched the line while resident
 	rrpv    []uint8  // SRRIP re-reference prediction values
 
+	// occ is the per-set occupancy bitmask: bit w set iff tags[set*ways+w]
+	// is valid. The hit path scans only resident ways through it, and the
+	// miss path picks an invalid allowed way with one bit-scan instead of
+	// walking every way's tag. The per-set valid-way count is
+	// OnesCount64(occ[set]); storing it separately would be redundant
+	// state to keep coherent. Invariant (guarded by tests): a bit is set
+	// exactly when the corresponding tag is non-zero.
+	occ []uint64
+	// mru is the per-set way of the most recent hit or fill, probed
+	// before the occupancy scan. Pure way prediction: tags are unique
+	// within a set (fills happen only on miss), so a hit's outcome is
+	// scan-order independent and checking the hot way first cannot
+	// change behaviour — it only skips the scan for temporally local
+	// access streams. A stale prediction costs one extra tag compare.
+	mru []uint8
+	// waysMask has the low Ways bits set — the widest mask the geometry
+	// admits; bits beyond it in a caller's CBM are ignored.
+	waysMask uint64
+
 	clock    uint64
 	rngState uint64 // xorshift state for ReplRandom
 	stats    Stats
 
-	// Victim selection iterates the ways a CBM allows; deriving that
-	// list per miss dominates the miss path, so it is memoized per
-	// mask. lastMask/lastWays short-circuit the common case (the same
-	// core missing repeatedly under one mask); wayLists keeps every
-	// mask ever seen (a handful per socket — one per class of service).
+	// ReplRandom victim choice indexes into the ascending list of ways a
+	// CBM allows (LRU/SRRIP iterate the mask bits directly); the list is
+	// memoized per mask. lastMask/lastWays short-circuit the common case
+	// (the same core missing repeatedly under one mask); wayLists keeps
+	// every mask ever seen (a handful per socket — one per class of
+	// service).
 	lastMask bits.CBM
 	lastWays []uint8
 	wayLists map[bits.CBM][]uint8
@@ -166,6 +187,9 @@ func New(cfg Config) (*Cache, error) {
 		tick:     make([]uint64, n),
 		owner:    make([]uint16, n),
 		sharers:  make([]uint32, n),
+		occ:      make([]uint64, cfg.Sets()),
+		mru:      make([]uint8, cfg.Sets()),
+		waysMask: uint64(bits.FullMask(cfg.Ways)),
 		rngState: uint64(cfg.Seed)*2685821657736338717 + 88172645463325252,
 		wayLists: make(map[bits.CBM][]uint8),
 	}
@@ -246,15 +270,31 @@ func (c *Cache) Access(line uint64, mask bits.CBM, core uint16) Result {
 	c.clock++
 
 	// Hit path: a line may reside in any way, including ways outside
-	// the current mask (e.g. filled under an earlier, wider mask).
+	// the current mask (e.g. filled under an earlier, wider mask) — but
+	// only in a *resident* one. The predicted (most recently hit or
+	// filled) way is probed first; otherwise scan the occupancy bitmask
+	// instead of every way. Cold and partially filled sets exit after
+	// exactly as many tag compares as they hold lines.
 	tag := line + 1
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.tags[base+w] == tag {
-			c.tick[base+w] = c.clock
-			c.sharers[base+w] |= 1 << (core % MaxCores)
+	if i := base + int(c.mru[set]); c.tags[i] == tag {
+		c.tick[i] = c.clock
+		c.sharers[i] |= 1 << (core % MaxCores)
+		if c.rrpv != nil {
+			c.rrpv[i] = 0 // SRRIP: near re-reference on hit
+		}
+		c.stats.Hits++
+		return Result{Hit: true}
+	}
+	for m := c.occ[set]; m != 0; m &= m - 1 {
+		w := mbits.TrailingZeros64(m)
+		i := base + w
+		if c.tags[i] == tag {
+			c.tick[i] = c.clock
+			c.sharers[i] |= 1 << (core % MaxCores)
 			if c.rrpv != nil {
-				c.rrpv[base+w] = 0 // SRRIP: near re-reference on hit
+				c.rrpv[i] = 0 // SRRIP: near re-reference on hit
 			}
+			c.mru[set] = uint8(w)
 			c.stats.Hits++
 			return Result{Hit: true}
 		}
@@ -263,7 +303,7 @@ func (c *Cache) Access(line uint64, mask bits.CBM, core uint16) Result {
 	// Miss: fill into an allowed way — an invalid one if available,
 	// otherwise evict per the replacement policy among allowed ways.
 	c.stats.Misses++
-	victim := c.selectVictim(base, mask)
+	victim := c.selectVictim(set, base, mask)
 	if victim < 0 {
 		// Empty mask: the access bypasses the cache entirely. CAT
 		// cannot express this (minimum one way), but the simulator
@@ -280,6 +320,8 @@ func (c *Cache) Access(line uint64, mask bits.CBM, core uint16) Result {
 		c.stats.Evictions++
 	}
 	c.tags[i] = tag
+	c.occ[set] |= 1 << uint(victim)
+	c.mru[set] = uint8(victim)
 	c.tick[i] = c.clock
 	c.owner[i] = core
 	c.sharers[i] = 1 << (core % MaxCores)
@@ -315,34 +357,34 @@ const (
 )
 
 // selectVictim picks the way to fill within the mask, or -1 when the
-// mask is empty. Invalid ways are always preferred. Iteration order
-// over allowed ways is ascending (via the memoized list), matching a
-// direct scan of the mask bit by bit.
-func (c *Cache) selectVictim(base int, mask bits.CBM) int {
-	ways := c.allowedWays(mask)
-	if len(ways) == 0 {
+// mask is empty. Invalid ways are always preferred: the lowest allowed
+// way absent from the occupancy bitmask is found with one bit-scan,
+// matching the old ascending tag walk bit for bit. Eviction iterates
+// the allowed ways in ascending order straight off the mask bits.
+func (c *Cache) selectVictim(set, base int, mask bits.CBM) int {
+	allowed := uint64(mask) & c.waysMask
+	if allowed == 0 {
 		return -1
 	}
-	for _, w := range ways {
-		if c.tags[base+int(w)] == 0 {
-			return int(w)
-		}
+	if inv := allowed &^ c.occ[set]; inv != 0 {
+		return mbits.TrailingZeros64(inv)
 	}
 	switch c.cfg.Repl {
 	case ReplRandom:
+		ways := c.allowedWays(mask)
 		return int(ways[c.xorshift()%uint64(len(ways))])
 	case ReplSRRIP:
 		for {
-			for _, w := range ways {
-				if c.rrpv[base+int(w)] == srripMax {
-					return int(w)
+			for m := allowed; m != 0; m &= m - 1 {
+				if w := mbits.TrailingZeros64(m); c.rrpv[base+w] == srripMax {
+					return w
 				}
 			}
 			// Age every allowed line and retry (bounded: at most
 			// srripMax rounds reach the max value).
-			for _, w := range ways {
-				if c.rrpv[base+int(w)] < srripMax {
-					c.rrpv[base+int(w)]++
+			for m := allowed; m != 0; m &= m - 1 {
+				if w := mbits.TrailingZeros64(m); c.rrpv[base+w] < srripMax {
+					c.rrpv[base+w]++
 				}
 			}
 		}
@@ -350,9 +392,10 @@ func (c *Cache) selectVictim(base int, mask bits.CBM) int {
 	// LRU (and the default path): oldest tick among allowed ways.
 	victim := -1
 	var victimTick uint64 = ^uint64(0)
-	for _, w := range ways {
-		if i := base + int(w); c.tick[i] < victimTick {
-			victim = int(w)
+	for m := allowed; m != 0; m &= m - 1 {
+		w := mbits.TrailingZeros64(m)
+		if i := base + w; c.tick[i] < victimTick {
+			victim = w
 			victimTick = c.tick[i]
 		}
 	}
@@ -372,10 +415,11 @@ func (c *Cache) xorshift() uint64 {
 
 // Probe reports whether the line is resident, without side effects.
 func (c *Cache) Probe(line uint64) bool {
-	base := c.SetIndex(line) * c.cfg.Ways
+	set := c.SetIndex(line)
+	base := set * c.cfg.Ways
 	tag := line + 1
-	for w := 0; w < c.cfg.Ways; w++ {
-		if c.tags[base+w] == tag {
+	for m := c.occ[set]; m != 0; m &= m - 1 {
+		if c.tags[base+mbits.TrailingZeros64(m)] == tag {
 			return true
 		}
 	}
@@ -384,11 +428,14 @@ func (c *Cache) Probe(line uint64) bool {
 
 // Invalidate removes the line if resident, returning whether it was.
 func (c *Cache) Invalidate(line uint64) bool {
-	base := c.SetIndex(line) * c.cfg.Ways
+	set := c.SetIndex(line)
+	base := set * c.cfg.Ways
 	tag := line + 1
-	for w := 0; w < c.cfg.Ways; w++ {
+	for m := c.occ[set]; m != 0; m &= m - 1 {
+		w := mbits.TrailingZeros64(m)
 		if c.tags[base+w] == tag {
 			c.tags[base+w] = 0
+			c.occ[set] &^= 1 << uint(w)
 			return true
 		}
 	}
@@ -399,6 +446,9 @@ func (c *Cache) Invalidate(line uint64) bool {
 func (c *Cache) Flush() {
 	for i := range c.tags {
 		c.tags[i] = 0
+	}
+	for s := range c.occ {
+		c.occ[s] = 0
 	}
 }
 
@@ -417,6 +467,7 @@ func (c *Cache) FlushWays(mask bits.CBM) int {
 			i := s*c.cfg.Ways + w
 			if c.tags[i] != 0 {
 				c.tags[i] = 0
+				c.occ[s] &^= 1 << uint(w)
 				n++
 			}
 		}
@@ -424,19 +475,18 @@ func (c *Cache) FlushWays(mask bits.CBM) int {
 	return n
 }
 
-// OccupancyBySet returns, for each set, how many valid lines it holds.
+// OccupancyBySet returns, for each set, how many valid lines it holds —
+// a popcount of the occupancy bitmask.
 func (c *Cache) OccupancyBySet() []int {
 	occ := make([]int, c.sets)
-	for s := 0; s < c.sets; s++ {
-		base := s * c.cfg.Ways
-		for w := 0; w < c.cfg.Ways; w++ {
-			if c.tags[base+w] != 0 {
-				occ[s]++
-			}
-		}
+	for s := range occ {
+		occ[s] = mbits.OnesCount64(c.occ[s])
 	}
 	return occ
 }
+
+// SetOccupancy returns how many valid lines one set holds.
+func (c *Cache) SetOccupancy(set int) int { return mbits.OnesCount64(c.occ[set]) }
 
 // OccupancyByCore returns resident line counts keyed by owning core.
 func (c *Cache) OccupancyByCore() map[uint16]int {
@@ -449,17 +499,24 @@ func (c *Cache) OccupancyByCore() map[uint16]int {
 	return occ
 }
 
+// LinesPerSet maps the given physical lines onto a cache with sets sets
+// and returns how many land in each — the shared pass behind
+// SetHistogram and FractionSetsAtLeast.
+func LinesPerSet(lines []uint64, sets int) []int {
+	perSet := make([]int, sets)
+	for _, l := range lines {
+		perSet[int(l%uint64(sets))]++
+	}
+	return perSet
+}
+
 // SetHistogram computes, for a cache with sets sets, how many of the
 // given physical lines map to each set, and returns a histogram
 // hist[k] = number of sets with exactly k lines mapped (k capped at
 // the last bucket). This is the analysis behind paper Fig. 3.
 func SetHistogram(lines []uint64, sets, maxBucket int) []int {
-	perSet := make([]int, sets)
-	for _, l := range lines {
-		perSet[int(l%uint64(sets))]++
-	}
 	hist := make([]int, maxBucket+1)
-	for _, n := range perSet {
+	for _, n := range LinesPerSet(lines, sets) {
 		if n > maxBucket {
 			n = maxBucket
 		}
@@ -472,12 +529,8 @@ func SetHistogram(lines []uint64, sets, maxBucket int) []int {
 // given lines mapped to them (e.g. the paper's "32.5% of sets have 3 or
 // more cache lines mapped").
 func FractionSetsAtLeast(lines []uint64, sets, k int) float64 {
-	perSet := make([]int, sets)
-	for _, l := range lines {
-		perSet[int(l%uint64(sets))]++
-	}
 	n := 0
-	for _, c := range perSet {
+	for _, c := range LinesPerSet(lines, sets) {
 		if c >= k {
 			n++
 		}

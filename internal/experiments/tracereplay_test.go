@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func writeTestTrace(t *testing.T, accesses int) string {
+	t.Helper()
+	lines := make([]uint64, accesses)
+	x := uint64(0x5eed)
+	for i := range lines {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		lines[i] = x % 500_000
+	}
+	tr, err := workload.NewTrace("test", workload.Params{AccessesPerInstr: 0.3, MLP: 2, BaseCPI: 1}, lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "test.trace")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestTraceReplayRunnerDeterministicAcrossJobs extends the engine's
+// byte-identical-output guarantee to the trace-replay experiment: the
+// rendered table must not depend on the sweep's parallelism.
+func TestTraceReplayRunnerDeterministicAcrossJobs(t *testing.T) {
+	path := writeTestTrace(t, 30_000)
+	r := TraceReplayRunner(path)
+	if r.ID != "trace-replay" {
+		t.Fatalf("runner id %q", r.ID)
+	}
+	opts := Quick()
+	opts.Jobs = 1
+	serial, err := r.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Jobs = 8
+	parallel, err := r.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial != parallel {
+		t.Fatalf("output depends on jobs:\n--- j1 ---\n%s--- j8 ---\n%s", serial, parallel)
+	}
+	for _, want := range []string{"chunked", "exact", "miss rate"} {
+		if !strings.Contains(serial, want) {
+			t.Fatalf("output missing %q:\n%s", want, serial)
+		}
+	}
+}
+
+func TestTraceReplayRunnerMissingFile(t *testing.T) {
+	r := TraceReplayRunner(filepath.Join(t.TempDir(), "nope.trace"))
+	if _, err := r.Run(Quick()); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}

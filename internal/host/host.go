@@ -133,7 +133,11 @@ func (v *VM) Total() IntervalMetrics { return v.total }
 // memoryPath is what the interval loop needs from either topology —
 // *memsys.System and *memsys.NUMASystem both satisfy it.
 type memoryPath interface {
-	AccessMany(core int, lines []uint64) uint64
+	// BeginInterval opens a fused access pass for one core; the host
+	// opens one per VM per interval and closes it when the VM's budget
+	// is exhausted, so per-block bank/L1/mask lookups and counter
+	// flushes happen once per interval instead of once per block.
+	BeginInterval(core int) memsys.IntervalPass
 	Retire(core int, instructions, cycles uint64)
 }
 
@@ -396,19 +400,32 @@ func (h *Host) VM(name string) (*VM, bool) {
 	return nil, false
 }
 
-// runBlock executes one block of instructions for vm on its lead core
+// vmState tracks one VM through one interval. Workload parameters are
+// hoisted to interval start (every in-tree generator only changes them
+// in Tick, which runs at interval end) and the fused memory pass stays
+// open across all of the VM's blocks.
+type vmState struct {
+	vm     *VM
+	budget uint64
+	m      IntervalMetrics
+	params workload.Params
+	pass   memsys.IntervalPass    // nil for idle guests
+	bulk   workload.BulkGenerator // non-nil when the generator draws in bulk
+}
+
+// runBlock executes one block of instructions for a VM on its lead core
 // and returns the metrics and cycles consumed.
-func (h *Host) runBlock(vm *VM) IntervalMetrics {
-	p := vm.Gen.Params()
+func (h *Host) runBlock(st *vmState) IntervalMetrics {
+	p := st.params
 	instr := h.cfg.BlockInstr
-	core := vm.Cores[0]
+	vm := st.vm
 	var m IntervalMetrics
 	m.Instructions = instr
 	if p.AccessesPerInstr == 0 {
 		// Idle guest: the vCPU is halted almost the whole interval; a
 		// token instruction stream models the guest kernel tick.
 		m.Cycles = h.cfg.CyclesPerInterval
-		h.mem.Retire(core, instr, m.Cycles)
+		h.mem.Retire(vm.Cores[0], instr, m.Cycles)
 		return m
 	}
 	accesses := uint64(float64(instr) * p.AccessesPerInstr)
@@ -420,15 +437,19 @@ func (h *Host) runBlock(vm *VM) IntervalMetrics {
 		h.lineBuf = make([]uint64, accesses)
 	}
 	buf := h.lineBuf[:accesses]
-	for i := range buf {
-		buf[i] = vm.Gen.NextLine()
+	if st.bulk != nil {
+		st.bulk.NextLines(buf)
+	} else {
+		for i := range buf {
+			buf[i] = vm.Gen.NextLine()
+		}
 	}
 	if vm.observer != nil {
 		for _, line := range buf {
 			vm.observer.Observe(line)
 		}
 	}
-	latSum := h.mem.AccessMany(core, buf)
+	latSum := st.pass.AccessMany(buf)
 	m.Accesses = accesses
 	m.LatencySum = latSum
 	stall := float64(latSum) / p.MLP
@@ -436,7 +457,7 @@ func (h *Host) runBlock(vm *VM) IntervalMetrics {
 	if m.Cycles == 0 {
 		m.Cycles = 1
 	}
-	h.mem.Retire(core, instr, m.Cycles)
+	h.mem.Retire(vm.Cores[0], instr, m.Cycles)
 	return m
 }
 
@@ -445,23 +466,26 @@ func (h *Host) runBlock(vm *VM) IntervalMetrics {
 // VMs. Non-lead cores idle (the paper's benchmarks are single-threaded
 // inside 2-vCPU guests).
 func (h *Host) RunInterval() {
-	type state struct {
-		vm     *VM
-		budget uint64
-		m      IntervalMetrics
-	}
-	active := make([]*state, 0, len(h.vms))
+	active := make([]*vmState, 0, len(h.vms))
 	for _, vm := range h.vms {
 		vm.last = IntervalMetrics{}
-		active = append(active, &state{vm: vm, budget: h.cfg.CyclesPerInterval})
+		st := &vmState{vm: vm, budget: h.cfg.CyclesPerInterval, params: vm.Gen.Params()}
+		if st.params.AccessesPerInstr > 0 {
+			st.pass = h.mem.BeginInterval(vm.Cores[0])
+			st.bulk, _ = vm.Gen.(workload.BulkGenerator)
+		}
+		active = append(active, st)
 	}
 	for len(active) > 0 {
 		next := active[:0]
 		for _, st := range active {
-			bm := h.runBlock(st.vm)
+			bm := h.runBlock(st)
 			st.m.add(bm)
 			if bm.Cycles >= st.budget {
 				st.budget = 0
+				if st.pass != nil {
+					st.pass.Close()
+				}
 				st.vm.last = st.m
 				st.vm.total.add(st.m)
 				st.vm.Gen.Tick()

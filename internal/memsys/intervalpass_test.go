@@ -1,0 +1,189 @@
+package memsys
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/perf"
+)
+
+// TestIntervalPassMatchesAccessMany is the guard the IntervalPass doc
+// promises: a fused pass (BeginInterval / batched AccessMany / Close)
+// must leave the system in exactly the state per-batch AccessMany does
+// — same latency per batch, same counter banks after Close, same cache
+// contents — including when masks change between batches.
+func TestIntervalPassMatchesAccessMany(t *testing.T) {
+	cfg := XeonD()
+	plain := MustNew(cfg)
+	fused := MustNew(cfg)
+	setMask := func(core int, m bits.CBM) {
+		t.Helper()
+		if err := plain.SetMask(core, m); err != nil {
+			t.Fatal(err)
+		}
+		if err := fused.SetMask(core, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for core := 0; core < 4; core++ {
+		setMask(core, bits.MustCBM(core*3, 3))
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	// One interval per core, many batches per interval — the host's
+	// shape. Passes stay open across all batches of the interval.
+	passes := make([]IntervalPass, 4)
+	for core := range passes {
+		passes[core] = fused.BeginInterval(core)
+	}
+	for block := 0; block < 60; block++ {
+		core := block % 4
+		lines := make([]uint64, 1500)
+		for i := range lines {
+			lines[i] = rng.Uint64() % 150_000
+		}
+		want := plain.AccessMany(core, lines)
+		got := passes[core].AccessMany(lines)
+		if got != want {
+			t.Fatalf("block %d core %d: latency %d != %d", block, core, got, want)
+		}
+		if block == 30 {
+			// corePass re-reads the fill mask per batch: an install
+			// between batches must apply to both systems identically.
+			setMask(1, bits.MustCBM(0, 6))
+		}
+	}
+	for _, p := range passes {
+		p.Close()
+	}
+
+	for core := 0; core < cfg.Cores; core++ {
+		for e := perf.Event(0); int(e) < perf.NumEvents; e++ {
+			a := plain.Counters().ReadCounter(core, e)
+			b := fused.Counters().ReadCounter(core, e)
+			if a != b {
+				t.Fatalf("core %d %s: %d != %d", core, e, a, b)
+			}
+		}
+	}
+	if plain.LLC().Stats() != fused.LLC().Stats() {
+		t.Fatalf("LLC stats diverged: %+v vs %+v", plain.LLC().Stats(), fused.LLC().Stats())
+	}
+	for core := 0; core < 4; core++ {
+		if plain.L1(core).Stats() != fused.L1(core).Stats() {
+			t.Fatalf("L1 %d stats diverged", core)
+		}
+	}
+}
+
+// TestIntervalPassCountersLagUntilClose pins the documented contract:
+// perf reads before Close see none of the pass's traffic, and Close
+// flushes all of it at once.
+func TestIntervalPassCountersLagUntilClose(t *testing.T) {
+	sys := MustNew(XeonD())
+	p := sys.BeginInterval(0)
+	lines := make([]uint64, 4096)
+	for i := range lines {
+		lines[i] = uint64(i)
+	}
+	if p.AccessMany(lines) == 0 {
+		t.Fatal("no latency accumulated")
+	}
+	if n := sys.Counters().ReadCounter(0, perf.L1Misses); n != 0 {
+		t.Fatalf("counters visible before Close: %d L1 misses", n)
+	}
+	p.Close()
+	if n := sys.Counters().ReadCounter(0, perf.L1Misses); n == 0 {
+		t.Fatal("Close flushed nothing")
+	}
+}
+
+// TestNUMAIntervalPassMatchesAccessMany extends the fused-pass guard to
+// the multi-socket path: same-home run splitting and remote-penalty
+// accounting must agree with NUMASystem.AccessMany exactly.
+func TestNUMAIntervalPassMatchesAccessMany(t *testing.T) {
+	cfg := NUMAConfig{
+		Sockets:           2,
+		Socket:            XeonD(),
+		MemBytesPerSocket: 1 << 20,
+		RemotePenalty:     DefaultRemotePenalty,
+	}
+	plain := MustNewNUMA(cfg)
+	fused := MustNewNUMA(cfg)
+	cores := []int{0, 2, cfg.Socket.Cores, cfg.Socket.Cores + 1} // both sockets
+	for _, c := range cores {
+		m := bits.MustCBM((c%4)*3, 3)
+		if err := plain.SetMask(c, m); err != nil {
+			t.Fatal(err)
+		}
+		if err := fused.SetMask(c, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	span := 2 * (cfg.MemBytesPerSocket / 64) // lines across both homes
+	rng := rand.New(rand.NewSource(31))
+	passes := make(map[int]IntervalPass, len(cores))
+	for _, c := range cores {
+		passes[c] = fused.BeginInterval(c)
+	}
+	for block := 0; block < 60; block++ {
+		core := cores[block%len(cores)]
+		lines := make([]uint64, 1200)
+		for i := range lines {
+			if rng.Intn(3) == 0 {
+				// Short same-home runs: exercise the run splitter.
+				lines[i] = rng.Uint64() % span
+			} else {
+				lines[i] = rng.Uint64() % (span / 2)
+			}
+		}
+		want := plain.AccessMany(core, lines)
+		got := passes[core].AccessMany(lines)
+		if got != want {
+			t.Fatalf("block %d core %d: latency %d != %d", block, core, got, want)
+		}
+	}
+	for _, c := range cores {
+		passes[c].Close()
+	}
+
+	for s := 0; s < cfg.Sockets; s++ {
+		if a, b := plain.RemoteAccesses(s), fused.RemoteAccesses(s); a != b {
+			t.Fatalf("socket %d remote accesses: %d != %d", s, a, b)
+		}
+		if a, b := plain.RemotePenaltyCycles(s), fused.RemotePenaltyCycles(s); a != b {
+			t.Fatalf("socket %d remote cycles: %d != %d", s, a, b)
+		}
+		if plain.Socket(s).LLC().Stats() != fused.Socket(s).LLC().Stats() {
+			t.Fatalf("socket %d LLC stats diverged", s)
+		}
+	}
+	for core := 0; core < cfg.TotalCores(); core++ {
+		for e := perf.Event(0); int(e) < perf.NumEvents; e++ {
+			a := plain.Counters().ReadCounter(core, e)
+			b := fused.Counters().ReadCounter(core, e)
+			if a != b {
+				t.Fatalf("core %d %s: %d != %d", core, e, a, b)
+			}
+		}
+	}
+}
+
+// TestNUMABeginIntervalDelegates checks the fast path: with one socket
+// or no penalty, BeginInterval returns the socket's own pass, keeping
+// that configuration bit-identical to the single-socket System.
+func TestNUMABeginIntervalDelegates(t *testing.T) {
+	cfg := NUMAConfig{Sockets: 2, Socket: XeonD(), MemBytesPerSocket: 1 << 20}
+	n := MustNewNUMA(cfg) // RemotePenalty 0
+	if _, ok := n.BeginInterval(0).(*corePass); !ok {
+		t.Fatalf("penalty 0: BeginInterval returned %T, want *corePass", n.BeginInterval(0))
+	}
+	cfg.Sockets = 1
+	cfg.RemotePenalty = DefaultRemotePenalty
+	n = MustNewNUMA(cfg)
+	if _, ok := n.BeginInterval(0).(*corePass); !ok {
+		t.Fatalf("one socket: BeginInterval returned %T, want *corePass", n.BeginInterval(0))
+	}
+}

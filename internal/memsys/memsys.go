@@ -214,6 +214,94 @@ func (s *System) AccessMany(core int, lines []uint64) uint64 {
 	return latSum
 }
 
+// IntervalPass is a fused multi-batch access pass for one core across
+// one host interval: bank/L1/latency lookups are resolved once at
+// BeginInterval and perf-counter updates are flushed once at Close,
+// instead of per block. Between the two, AccessMany replays batches
+// with the exact cache-state and latency semantics of
+// System.AccessMany (guarded by TestIntervalPassMatchesAccessMany).
+//
+// Counter reads through Counters() lag until Close, so callers must
+// close every pass before reading counters — the host closes each VM's
+// pass when its interval budget is exhausted, before any controller
+// runs.
+type IntervalPass interface {
+	// AccessMany replays lines in order and returns the summed latency.
+	AccessMany(lines []uint64) uint64
+	// Close flushes the accumulated perf-counter deltas. The pass must
+	// not be used afterwards.
+	Close()
+}
+
+// corePass is System's IntervalPass: the hot per-line loop touches only
+// fields resolved at BeginInterval plus the shared caches. The LLC fill
+// mask is re-read per batch (not per line) so a mask installed between
+// batches — nothing in-tree does this mid-interval — would still apply.
+type corePass struct {
+	sys  *System
+	core int
+	l1   *cache.Cache
+	c16  uint16
+	lat  Latency
+
+	l1Hits    uint64
+	llcHits   uint64
+	llcMisses uint64
+}
+
+// BeginInterval opens a fused access pass for one core. The returned
+// pass must be closed before the core's perf counters are read.
+func (s *System) BeginInterval(core int) IntervalPass {
+	return &corePass{sys: s, core: core, l1: s.l1[core], c16: uint16(core), lat: s.cfg.Lat}
+}
+
+// run replays lines and accumulates outcome counts without touching the
+// perf banks; numaPass reuses it to recover per-run miss deltas.
+func (p *corePass) run(lines []uint64) {
+	l1 := p.l1
+	l1Mask := p.sys.l1Full
+	llc := p.sys.llc
+	llcMask := p.sys.masks[p.core]
+	c16 := p.c16
+	var l1Hits, llcHits, llcMisses uint64
+	for _, line := range lines {
+		if r := l1.Access(line, l1Mask, c16); r.Hit {
+			l1Hits++
+			continue
+		}
+		r := llc.Access(line, llcMask, c16)
+		if r.Hit {
+			llcHits++
+			continue
+		}
+		llcMisses++
+		p.sys.backInvalidate(r)
+	}
+	p.l1Hits += l1Hits
+	p.llcHits += llcHits
+	p.llcMisses += llcMisses
+}
+
+// AccessMany implements IntervalPass. The latency sum is computed from
+// the batch's outcome counts — identical arithmetic to the per-line
+// additions, hoisted out of the inner loop.
+func (p *corePass) AccessMany(lines []uint64) uint64 {
+	h1, hl, ml := p.l1Hits, p.llcHits, p.llcMisses
+	p.run(lines)
+	return (p.l1Hits-h1)*p.lat.L1Hit + (p.llcHits-hl)*p.lat.LLCHit + (p.llcMisses-ml)*p.lat.DRAM
+}
+
+// Close implements IntervalPass.
+func (p *corePass) Close() {
+	bank := p.sys.ctrs.Core(p.core)
+	l1Misses := p.llcHits + p.llcMisses
+	bank.Add(perf.L1Hits, p.l1Hits)
+	bank.Add(perf.L1Misses, l1Misses)
+	bank.Add(perf.LLCReferences, l1Misses)
+	bank.Add(perf.LLCMisses, p.llcMisses)
+	p.l1Hits, p.llcHits, p.llcMisses = 0, 0, 0
+}
+
 // Retire accounts n retired instructions and the given unhalted cycles
 // to a core. The host computes cycles from its CPI model.
 func (s *System) Retire(core int, instructions, cycles uint64) {

@@ -210,6 +210,64 @@ func (n *NUMASystem) AccessMany(core int, lines []uint64) uint64 {
 	return latSum
 }
 
+// numaPass is NUMASystem's IntervalPass for hosts with a remote
+// penalty: batches split into maximal same-home runs exactly like
+// AccessMany, with the per-run miss count recovered from the inner
+// pass's own accumulator instead of a perf-bank delta (the bank is not
+// flushed until Close).
+type numaPass struct {
+	n      *NUMASystem
+	socket int
+	inner  corePass
+}
+
+// BeginInterval opens a fused access pass for a global core. With no
+// remote penalty (or one socket) the owning socket's pass is returned
+// directly, keeping the Sockets=1 path identical to the single-socket
+// System.
+func (n *NUMASystem) BeginInterval(core int) IntervalPass {
+	s, local := n.SocketOf(core)
+	sys := n.sockets[s]
+	if n.cfg.RemotePenalty == 0 || len(n.sockets) == 1 {
+		return sys.BeginInterval(local)
+	}
+	return &numaPass{
+		n:      n,
+		socket: s,
+		inner:  corePass{sys: sys, core: local, l1: sys.l1[local], c16: uint16(local), lat: sys.cfg.Lat},
+	}
+}
+
+// AccessMany implements IntervalPass, mirroring NUMASystem.AccessMany.
+func (p *numaPass) AccessMany(lines []uint64) uint64 {
+	var latSum uint64
+	lat := p.inner.lat
+	for start := 0; start < len(lines); {
+		home := p.n.HomeOf(lines[start])
+		end := start + 1
+		for end < len(lines) && p.n.HomeOf(lines[end]) == home {
+			end++
+		}
+		run := lines[start:end]
+		h1, hl, ml := p.inner.l1Hits, p.inner.llcHits, p.inner.llcMisses
+		p.inner.run(run)
+		latSum += (p.inner.l1Hits-h1)*lat.L1Hit + (p.inner.llcHits-hl)*lat.LLCHit + (p.inner.llcMisses-ml)*lat.DRAM
+		if home != p.socket {
+			// Every miss in a remote run is a remote DRAM access by
+			// construction.
+			penalty := (p.inner.llcMisses - ml) * p.n.cfg.RemotePenalty
+			latSum += penalty
+			p.n.remoteAccesses[p.socket] += uint64(len(run))
+			p.n.remoteCycles[p.socket] += penalty
+		}
+		start = end
+	}
+	return latSum
+}
+
+// Close implements IntervalPass.
+func (p *numaPass) Close() { p.inner.Close() }
+
 // Retire accounts retired instructions and cycles to a global core.
 func (n *NUMASystem) Retire(core int, instructions, cycles uint64) {
 	s, local := n.SocketOf(core)

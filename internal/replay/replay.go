@@ -1,0 +1,207 @@
+// Package replay turns a recorded access trace into cache statistics
+// by replaying it through a simulated cache — in parallel, without
+// giving up determinism.
+//
+// A trace is split into fixed-size chunks. Each chunk replays on its
+// own fresh cache, preceded by a warmup window (the accesses
+// immediately before the chunk) that builds an approximation of the
+// cache state the chunk would have seen in a serial replay; warmup
+// outcomes are discarded. Chunk results merge in index order, so the
+// output is a pure function of (trace, geometry, options) — the same
+// bytes whether chunks ran on one worker or sixteen, which is the
+// property the experiment engine's byte-identical-stdout guarantee
+// needs.
+//
+// Chunking is an approximation at the boundaries: a chunk's warmup
+// window cannot reproduce reuse distances longer than itself, so
+// chunked totals can differ from an exact serial replay. Run reports
+// both when asked (Options.Exact) so callers can see the boundary
+// error instead of guessing at it.
+package replay
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bits"
+	"repro/internal/cache"
+)
+
+// Sweeper fans fn(0..n-1) out over some worker budget and returns the
+// first (lowest-index) error. experiments.Options.sweep satisfies this
+// shape, which is how chunked replay rides the experiment engine's
+// shared -j worker pool; standalone callers use Parallel or Serial.
+type Sweeper func(n int, fn func(i int) error) error
+
+// Serial is the degenerate Sweeper: chunks replay in index order on
+// the calling goroutine.
+func Serial(n int, fn func(i int) error) error {
+	for i := 0; i < n; i++ {
+		if err := fn(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Parallel returns a Sweeper running up to jobs workers. Like the
+// experiment engine's sweeps, every index runs regardless of failures
+// and the reported error is the lowest-index one, so results are
+// deterministic no matter how workers interleave.
+func Parallel(jobs int) Sweeper {
+	return func(n int, fn func(i int) error) error {
+		w := jobs
+		if w > n {
+			w = n
+		}
+		if w <= 1 {
+			return Serial(n, fn)
+		}
+		errs := make([]error, n)
+		idx := make(chan int)
+		go func() {
+			defer close(idx)
+			for i := 0; i < n; i++ {
+				idx <- i
+			}
+		}()
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// Options tune a chunked replay.
+type Options struct {
+	// ChunkLines is the chunk size in accesses. 0 picks a default that
+	// balances parallelism against warmup overhead.
+	ChunkLines int
+	// WarmupLines is the warmup window per chunk in accesses. 0 picks
+	// one LLC's worth of lines (capped at the chunk size); chunk 0
+	// never warms up (nothing precedes it), matching a cold serial
+	// start.
+	WarmupLines int
+	// Mask is the fill mask replayed under; 0 means the full mask.
+	Mask bits.CBM
+	// Sweep drives chunk fan-out; nil means Serial.
+	Sweep Sweeper
+	// Exact additionally runs an unchunked serial replay on one cache
+	// so the result reports the boundary error of chunking.
+	Exact bool
+}
+
+// DefaultChunkLines is the chunk size picked when Options leaves it 0.
+const DefaultChunkLines = 1 << 20
+
+// ChunkResult is one chunk's outcome.
+type ChunkResult struct {
+	Start  int // index of the chunk's first access in the trace
+	Len    int // accesses in the chunk body
+	Warmup int // warmup accesses replayed (discarded) before the body
+	Stats  cache.Stats
+}
+
+// Result is a chunked replay's outcome.
+type Result struct {
+	Total  cache.Stats   // sum over chunk bodies
+	Chunks []ChunkResult // per chunk, in trace order
+	// Exact holds the unchunked serial replay's stats when requested
+	// (Options.Exact); Total approximates it with boundary error
+	// bounded by the warmup window.
+	Exact *cache.Stats
+}
+
+// Run replays lines through the given cache geometry in warmup-prefixed
+// chunks. The result is identical for any Sweeper (guarded by
+// TestRunDeterministicAcrossSweepers).
+func Run(lines []uint64, cfg cache.Config, opts Options) (*Result, error) {
+	if len(lines) == 0 {
+		return nil, fmt.Errorf("replay: no accesses")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	chunk := opts.ChunkLines
+	if chunk < 0 {
+		return nil, fmt.Errorf("replay: chunk size %d must be positive", chunk)
+	}
+	if chunk == 0 {
+		chunk = DefaultChunkLines
+	}
+	warm := opts.WarmupLines
+	if warm < 0 {
+		return nil, fmt.Errorf("replay: warmup %d must not be negative", warm)
+	}
+	if warm == 0 {
+		warm = cfg.Sets() * cfg.Ways
+		if warm > chunk {
+			warm = chunk
+		}
+	}
+	mask := opts.Mask
+	if mask == 0 {
+		mask = bits.FullMask(cfg.Ways)
+	}
+	sweep := opts.Sweep
+	if sweep == nil {
+		sweep = Serial
+	}
+
+	n := (len(lines) + chunk - 1) / chunk
+	res := &Result{Chunks: make([]ChunkResult, n)}
+	err := sweep(n, func(i int) error {
+		start := i * chunk
+		end := start + chunk
+		if end > len(lines) {
+			end = len(lines)
+		}
+		wstart := start - warm
+		if wstart < 0 {
+			wstart = 0
+		}
+		c, err := cache.New(cfg)
+		if err != nil {
+			return err
+		}
+		c.AccessMany(lines[wstart:start], mask, 0)
+		c.ResetStats()
+		res.Chunks[i] = ChunkResult{
+			Start:  start,
+			Len:    end - start,
+			Warmup: start - wstart,
+			Stats:  c.AccessMany(lines[start:end], mask, 0),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, cr := range res.Chunks {
+		res.Total.Hits += cr.Stats.Hits
+		res.Total.Misses += cr.Stats.Misses
+		res.Total.Evictions += cr.Stats.Evictions
+	}
+	if opts.Exact {
+		c, err := cache.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		exact := c.AccessMany(lines, mask, 0)
+		res.Exact = &exact
+	}
+	return res, nil
+}

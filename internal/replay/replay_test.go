@@ -1,0 +1,197 @@
+package replay
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/bits"
+	"repro/internal/cache"
+)
+
+func testLines(n int, seed, span uint64) []uint64 {
+	lines := make([]uint64, n)
+	x := seed*2685821657736338717 + 88172645463325252
+	for i := range lines {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		lines[i] = x % span
+	}
+	return lines
+}
+
+var testCfg = cache.Config{Name: "t", SizeBytes: 256 * 8 * cache.LineSize, Ways: 8}
+
+// TestRunDeterministicAcrossSweepers is the guard the Run doc promises:
+// the result is a pure function of (trace, geometry, options) — the
+// same for the serial sweeper and any parallel width.
+func TestRunDeterministicAcrossSweepers(t *testing.T) {
+	lines := testLines(50_000, 3, 20_000)
+	opts := Options{ChunkLines: 4096, Exact: true}
+	var results []*Result
+	for _, sweep := range []Sweeper{nil, Serial, Parallel(1), Parallel(4), Parallel(16)} {
+		o := opts
+		o.Sweep = sweep
+		res, err := Run(lines, testCfg, o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	for i, res := range results[1:] {
+		if !reflect.DeepEqual(res, results[0]) {
+			t.Fatalf("sweeper %d diverged:\n%+v\nvs\n%+v", i+1, res, results[0])
+		}
+	}
+}
+
+// TestRunChunkLayout checks the chunk bookkeeping: chunks tile the
+// trace exactly, chunk 0 has no warmup (a cold serial start), and later
+// chunks warm up over the accesses immediately before them.
+func TestRunChunkLayout(t *testing.T) {
+	lines := testLines(10_000, 5, 8_000)
+	res, err := Run(lines, testCfg, Options{ChunkLines: 3000, WarmupLines: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) != 4 {
+		t.Fatalf("%d chunks, want 4", len(res.Chunks))
+	}
+	next := 0
+	for i, cr := range res.Chunks {
+		if cr.Start != next {
+			t.Fatalf("chunk %d starts at %d, want %d", i, cr.Start, next)
+		}
+		wantWarm := 500
+		if i == 0 {
+			wantWarm = 0
+		}
+		if cr.Warmup != wantWarm {
+			t.Fatalf("chunk %d warmup %d, want %d", i, cr.Warmup, wantWarm)
+		}
+		if got := cr.Stats.Accesses(); got != uint64(cr.Len) {
+			t.Fatalf("chunk %d stats cover %d accesses, want %d (warmup must be discarded)", i, got, cr.Len)
+		}
+		next += cr.Len
+	}
+	if next != len(lines) {
+		t.Fatalf("chunks cover %d accesses, want %d", next, len(lines))
+	}
+	var sum cache.Stats
+	for _, cr := range res.Chunks {
+		sum.Hits += cr.Stats.Hits
+		sum.Misses += cr.Stats.Misses
+		sum.Evictions += cr.Stats.Evictions
+	}
+	if sum != res.Total {
+		t.Fatalf("Total %+v is not the chunk sum %+v", res.Total, sum)
+	}
+}
+
+// TestRunSingleChunkMatchesExact: with one chunk there is no boundary,
+// so the chunked totals must equal the exact serial replay bit for bit.
+func TestRunSingleChunkMatchesExact(t *testing.T) {
+	lines := testLines(8_000, 9, 6_000)
+	res, err := Run(lines, testCfg, Options{ChunkLines: len(lines), Exact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Chunks) != 1 {
+		t.Fatalf("%d chunks, want 1", len(res.Chunks))
+	}
+	if res.Total != *res.Exact {
+		t.Fatalf("single chunk diverged from exact: %+v vs %+v", res.Total, *res.Exact)
+	}
+}
+
+// TestRunWarmupShrinksBoundaryError: with a reuse-heavy trace, warmed
+// chunks must approximate the serial replay at least as well as cold
+// chunks do — the point of the warmup window.
+func TestRunWarmupShrinksBoundaryError(t *testing.T) {
+	lines := testLines(60_000, 1, 4_000) // working set fits: heavy reuse
+	run := func(warm int) float64 {
+		res, err := Run(lines, testCfg, Options{ChunkLines: 5000, WarmupLines: warm, Exact: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bias := res.Total.MissRate() - res.Exact.MissRate()
+		if bias < 0 {
+			bias = -bias
+		}
+		return bias
+	}
+	// WarmupLines is clamped to >= 0 in Options; 1 is the closest to
+	// "cold" the API allows without the default kicking in.
+	cold, warm := run(1), run(2048)
+	if warm > cold {
+		t.Fatalf("warmup made the boundary error worse: %.5f warm vs %.5f cold", warm, cold)
+	}
+}
+
+func TestRunUnderMask(t *testing.T) {
+	lines := testLines(20_000, 2, 20_000)
+	narrow, err := Run(lines, testCfg, Options{ChunkLines: 4096, Mask: bits.MustCBM(0, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(lines, testCfg, Options{ChunkLines: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Total.Misses <= full.Total.Misses {
+		t.Fatalf("2-way mask misses (%d) should exceed full-mask misses (%d)",
+			narrow.Total.Misses, full.Total.Misses)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	lines := testLines(100, 1, 100)
+	if _, err := Run(nil, testCfg, Options{}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := Run(lines, cache.Config{}, Options{}); err == nil {
+		t.Fatal("invalid geometry accepted")
+	}
+	if _, err := Run(lines, testCfg, Options{ChunkLines: -1}); err == nil {
+		t.Fatal("negative chunk size accepted")
+	}
+	if _, err := Run(lines, testCfg, Options{WarmupLines: -1}); err == nil {
+		t.Fatal("negative warmup accepted")
+	}
+}
+
+// TestParallelReportsLowestIndexError mirrors the experiment engine's
+// sweep contract: every index runs, and the error that surfaces is the
+// lowest-index one regardless of worker interleaving.
+func TestParallelReportsLowestIndexError(t *testing.T) {
+	ran := make([]bool, 64)
+	err := Parallel(8)(len(ran), func(i int) error {
+		ran[i] = true
+		if i == 7 || i == 40 {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "boom 7" {
+		t.Fatalf("err = %v, want boom 7", err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("index %d never ran", i)
+		}
+	}
+	if err := Parallel(4)(10, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	sentinel := errors.New("serial")
+	if err := Parallel(1)(3, func(i int) error {
+		if i == 1 {
+			return sentinel
+		}
+		return nil
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("width-1 sweeper lost the error: %v", err)
+	}
+}

@@ -26,6 +26,10 @@ const traceMagic = "DCT1"
 // MaxTraceLines bounds in-memory traces (8 B per access).
 const MaxTraceLines = 1 << 27
 
+// traceIOChunk is how many line addresses serialize per buffered
+// read/write when streaming a trace body.
+const traceIOChunk = 8 << 10
+
 // Trace is a recorded access stream replayed cyclically.
 type Trace struct {
 	name   string
@@ -64,11 +68,28 @@ func (t *Trace) NextLine() uint64 {
 	return l
 }
 
+// NextLines implements BulkGenerator: copy-out with cyclic wraparound,
+// identical to len(buf) successive NextLine calls.
+func (t *Trace) NextLines(buf []uint64) {
+	for n := 0; n < len(buf); {
+		k := copy(buf[n:], t.lines[t.pos:])
+		n += k
+		t.pos += k
+		if t.pos == len(t.lines) {
+			t.pos = 0
+		}
+	}
+}
+
 // Tick implements Generator.
 func (t *Trace) Tick() {}
 
 // Len returns the trace length in accesses.
 func (t *Trace) Len() int { return len(t.lines) }
+
+// Lines exposes the recorded access stream (read-only: callers must not
+// mutate it). Chunked replay slices it directly.
+func (t *Trace) Lines() []uint64 { return t.lines }
 
 // WriteTo serializes the trace.
 func (t *Trace) WriteTo(w io.Writer) (int64, error) {
@@ -103,9 +124,18 @@ func (t *Trace) WriteTo(w io.Writer) (int64, error) {
 	if err := count(bw.Write(buf[:])); err != nil {
 		return n, err
 	}
-	for _, l := range t.lines {
-		binary.LittleEndian.PutUint64(buf[:], l)
-		if err := count(bw.Write(buf[:])); err != nil {
+	// Encode the body in chunks: per-line 8-byte writes dominate the
+	// save time of long traces.
+	chunk := make([]byte, traceIOChunk*8)
+	for start := 0; start < len(t.lines); start += traceIOChunk {
+		body := t.lines[start:]
+		if len(body) > traceIOChunk {
+			body = body[:traceIOChunk]
+		}
+		for i, l := range body {
+			binary.LittleEndian.PutUint64(chunk[i*8:], l)
+		}
+		if err := count(bw.Write(chunk[:len(body)*8])); err != nil {
 			return n, err
 		}
 	}
@@ -147,11 +177,19 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("workload: trace count %d out of range", count)
 	}
 	lines := make([]uint64, count)
-	for i := range lines {
-		if _, err := io.ReadFull(br, buf[:]); err != nil {
+	chunk := make([]byte, traceIOChunk*8)
+	for i := 0; i < len(lines); {
+		n := len(lines) - i
+		if n > traceIOChunk {
+			n = traceIOChunk
+		}
+		if _, err := io.ReadFull(br, chunk[:n*8]); err != nil {
 			return nil, fmt.Errorf("workload: trace body at access %d: %w", i, err)
 		}
-		lines[i] = binary.LittleEndian.Uint64(buf[:])
+		for j := 0; j < n; j++ {
+			lines[i+j] = binary.LittleEndian.Uint64(chunk[j*8:])
+		}
+		i += n
 	}
 	return NewTrace(string(name), params, lines)
 }

@@ -71,6 +71,67 @@ func TestTraceRoundTrip(t *testing.T) {
 	}
 }
 
+// TestTraceNextLinesMatchesNextLine checks the bulk draw against the
+// per-line one: arbitrary buffer sizes, including ones that wrap the
+// cyclic replay mid-buffer, must yield the identical stream.
+func TestTraceNextLinesMatchesNextLine(t *testing.T) {
+	lines := make([]uint64, 37) // prime-ish length: buffers rarely align
+	for i := range lines {
+		lines[i] = uint64(i * 13)
+	}
+	one, err := NewTrace("t", testParams(), lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bulk, err := NewTrace("t", testParams(), lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 5, 36, 37, 38, 100} {
+		buf := make([]uint64, n)
+		bulk.NextLines(buf)
+		for i, got := range buf {
+			if want := one.NextLine(); got != want {
+				t.Fatalf("buf size %d, access %d: %d want %d", n, i, got, want)
+			}
+		}
+	}
+}
+
+// TestTraceRoundTripAcrossIOChunks round-trips a trace larger than the
+// serialization chunk, with a length that is not a chunk multiple, so
+// both the full-chunk and tail paths of WriteTo/ReadTrace are covered.
+func TestTraceRoundTripAcrossIOChunks(t *testing.T) {
+	lines := make([]uint64, traceIOChunk*2+17)
+	for i := range lines {
+		lines[i] = uint64(i)*2654435761 + 7
+	}
+	tr, err := NewTrace("big", testParams(), lines)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := tr.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != len(lines) {
+		t.Fatalf("len %d want %d", got.Len(), len(lines))
+	}
+	for i, want := range lines {
+		if g := got.Lines()[i]; g != want {
+			t.Fatalf("access %d: %d want %d", i, g, want)
+		}
+	}
+}
+
 func TestReadTraceRejectsGarbage(t *testing.T) {
 	if _, err := ReadTrace(bytes.NewReader([]byte("nope"))); err == nil {
 		t.Error("bad magic should be rejected")

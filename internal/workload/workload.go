@@ -66,6 +66,16 @@ type Sized interface {
 	WorkingSetBytes() uint64
 }
 
+// BulkGenerator is implemented by generators that can draw a whole
+// block's line stream in one call, equivalent to len(buf) successive
+// NextLine calls. The host's interval loop uses it to skip per-line
+// interface dispatch for trace replay.
+type BulkGenerator interface {
+	Generator
+	// NextLines fills buf with the next len(buf) line addresses.
+	NextLines(buf []uint64)
+}
+
 // space builds an address space for a working set, defaulting to 4 KB
 // pages from the given allocator.
 func space(ws uint64, pageSize addr.PageSize, alloc addr.FrameAllocator) (*addr.Space, error) {
