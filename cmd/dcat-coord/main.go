@@ -13,6 +13,8 @@
 //	GET /fleet/events        — flight-recorder query plane (-recorder-dir)
 //	GET /fleet/explain?vm=X  — why did workload X change allocation?
 //	GET /fleet/placement     — placement engine status (-placement)
+//	GET /fleet/trace?id=T    — one decision's causality tree (-recorder-dir)
+//	GET /fleet/metrics       — per-tenant time series (JSON; ?format=prometheus)
 package main
 
 import (
@@ -53,6 +55,9 @@ func main() {
 		placeEvery    = flag.Int("placement-every", 1, "evaluate placement every N accepted reports")
 		placeCooldown = flag.Int("placement-cooldown", 5, "evaluations a moved workload sits out before it may move again")
 		placeVerify   = flag.Int("placement-verify", 5, "evaluations to wait for recorder evidence before rolling a move back")
+
+		metricsRing    = flag.Int("metrics-ring", 0, "per-tenant time-series samples kept at /fleet/metrics (0 = default 256, -1 disables)")
+		metricsTenants = flag.Int("metrics-tenants", 0, "max (agent, workload) pairs the time-series plane stores (0 = default 1024)")
 	)
 	flag.Parse()
 
@@ -60,15 +65,18 @@ func main() {
 	defer stop()
 
 	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
-		HeartbeatExpiry: *expiry,
-		ReportEvery:     *reportEvery,
-		StreamingQuorum: *quorum,
-		PlacementEvery:  *placeEvery,
+		HeartbeatExpiry:   *expiry,
+		ReportEvery:       *reportEvery,
+		StreamingQuorum:   *quorum,
+		PlacementEvery:    *placeEvery,
+		MetricsRingSize:   *metricsRing,
+		MetricsMaxTenants: *metricsTenants,
 	})
 	journal := obs.NewJournal(*journalLen)
 	reg := telemetry.NewRegistry()
 	coord.RegisterMetrics(reg)
-	opts := httpstatus.Options{Journal: journal, Metrics: reg, Pprof: *pprofOn}
+	coord.RegisterSelfMetrics(reg)
+	opts := httpstatus.Options{Journal: journal, Metrics: reg, Pprof: *pprofOn, Tenants: coord}
 	sinks := []obs.Sink{journal}
 	if *trace != "" {
 		fs, err := obs.NewFileSink(*trace)
@@ -83,7 +91,6 @@ func main() {
 		opts.Trace = fs
 		sinks = append(sinks, fs)
 	}
-	coord.SetSink(obs.Multi(sinks...))
 
 	if *recDir != "" {
 		store, err := flightrec.Open(flightrec.Config{
@@ -101,13 +108,21 @@ func main() {
 		store.RegisterMetrics(reg)
 		coord.SetRecorder(store)
 		opts.Recorder = store
-		fmt.Printf("dcat-coord: flight recorder at %s (query at /fleet/events)\n", *recDir)
+		// The coordinator's own decision events — placement pressure,
+		// directives, settlements — land in the durable store next to
+		// the agents' streams, so /fleet/trace can reconstruct a whole
+		// causality chain from one log. The wall-clock epoch keeps this
+		// incarnation's sequence space clear of recovered cursors.
+		sinks = append(sinks, flightrec.NewSink(store, "coord", time.Now().UnixNano()))
+		fmt.Printf("dcat-coord: flight recorder at %s (query at /fleet/events, causality at /fleet/trace)\n", *recDir)
 	}
+	coord.SetSink(obs.Multi(sinks...))
 	if *placementOn {
 		engine := placement.NewEngine(placement.Config{
 			Cooldown:      *placeCooldown,
 			VerifyTimeout: *placeVerify,
 			Recorder:      coord.Recorder(),
+			Trace:         obs.NewIDGen(0),
 		})
 		engine.SetSink(obs.Multi(sinks...))
 		coord.SetPlacement(engine)

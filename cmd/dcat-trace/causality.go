@@ -1,0 +1,201 @@
+// The causality subcommand reconstructs one placement decision's
+// cross-process span tree — pressure evidence at the coordinator,
+// directive issued, agent execution, recorder settlement — from the
+// fleet flight recorder; top renders the coordinator's per-tenant
+// time-series plane as a live fleet table.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+
+	"repro/internal/cluster"
+	"repro/internal/flightrec"
+)
+
+// runCausality renders one trace's decision tree. The argument is a
+// trace id (decimal, 0x-hex, or 16 hex digits) or a workload name —
+// the latter resolves to the workload's newest traced event.
+func runCausality(args []string) error {
+	fs := flag.NewFlagSet("dcat-trace causality", flag.ExitOnError)
+	coord := fs.String("coord", "http://localhost:9400", "coordinator base URL")
+	jsonOut := fs.Bool("json", false, "print the raw trace tree as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: dcat-trace causality [flags] <trace-id|vm>")
+	}
+	arg := fs.Arg(0)
+	id, ok := parseTraceIDArg(arg)
+	if !ok {
+		// Not a trace id: treat it as a workload and chase its newest
+		// traced event.
+		recs, err := fetchFleet(*coord, "/fleet/events", url.Values{"vm": {arg}})
+		if err != nil {
+			return err
+		}
+		for i := len(recs) - 1; i >= 0; i-- {
+			if recs[i].Event.TraceID != 0 {
+				id = recs[i].Event.TraceID
+				break
+			}
+		}
+		if id == 0 {
+			return fmt.Errorf("no traced events recorded for workload %q", arg)
+		}
+	}
+
+	tree, err := fetchTraceTree(*coord, id)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(tree)
+	}
+	printTraceTree(os.Stdout, tree)
+	return nil
+}
+
+// fetchTraceTree GETs /fleet/trace for one id.
+func fetchTraceTree(coord string, id uint64) (*flightrec.TraceTree, error) {
+	u := strings.TrimRight(coord, "/") + "/fleet/trace?id=" + strconv.FormatUint(id, 10)
+	res, err := http.Get(u)
+	if err != nil {
+		return nil, err
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(res.Body, 512))
+		return nil, fmt.Errorf("GET %s: %s: %s", u, res.Status, strings.TrimSpace(string(msg)))
+	}
+	var tree flightrec.TraceTree
+	if err := json.NewDecoder(res.Body).Decode(&tree); err != nil {
+		return nil, fmt.Errorf("bad /fleet/trace body: %w", err)
+	}
+	return &tree, nil
+}
+
+// printTraceTree renders the span tree with one formatRecord line per
+// hop (each carries its ingest timestamp), indented by depth.
+func printTraceTree(w io.Writer, tree *flightrec.TraceTree) {
+	fmt.Fprintf(w, "trace %016x: %d spans", tree.TraceID, tree.Spans())
+	if len(tree.Orphans) > 0 {
+		fmt.Fprintf(w, ", %d ORPHANED (parent span missing — broken chain)", len(tree.Orphans))
+	}
+	fmt.Fprintln(w)
+	var walk func(ns []*flightrec.TraceNode, depth int)
+	walk = func(ns []*flightrec.TraceNode, depth int) {
+		for _, n := range ns {
+			fmt.Fprintf(w, "%s%s\n", strings.Repeat("   ", depth), formatRecord(&n.Record))
+			walk(n.Children, depth+1)
+		}
+	}
+	walk(tree.Roots, 0)
+	if len(tree.Orphans) > 0 {
+		fmt.Fprintln(w, "orphans:")
+		walk(tree.Orphans, 1)
+	}
+	if len(tree.Roots) == 0 && len(tree.Orphans) == 0 {
+		fmt.Fprintln(w, "(no recorded spans)")
+	}
+}
+
+// runTop renders the fleet's tenants sorted by cache pain: the latest
+// sample of every per-tenant ring the coordinator keeps.
+func runTop(args []string) error {
+	fs := flag.NewFlagSet("dcat-trace top", flag.ExitOnError)
+	coord := fs.String("coord", "http://localhost:9400", "coordinator base URL")
+	jsonOut := fs.Bool("json", false, "print the raw /fleet/metrics document as JSON")
+	sortBy := fs.String("sort", "mpki", "sort column: mpki, ipc, ways, name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	u := strings.TrimRight(*coord, "/") + "/fleet/metrics"
+	res, err := http.Get(u)
+	if err != nil {
+		return err
+	}
+	defer res.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(res.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if res.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: %s: %s (is dcat-coord running?)",
+			u, res.Status, strings.TrimSpace(string(body)))
+	}
+	if *jsonOut {
+		_, err := os.Stdout.Write(body)
+		return err
+	}
+	var m cluster.TenantMetrics
+	if err := json.Unmarshal(body, &m); err != nil {
+		return fmt.Errorf("bad /fleet/metrics body: %w", err)
+	}
+
+	type row struct {
+		agent, workload, category string
+		socket, ways, samples     int
+		ipc, mpki                 float64
+	}
+	rows := make([]row, 0, len(m.Series))
+	for _, ts := range m.Series {
+		if len(ts.Samples) == 0 {
+			continue
+		}
+		last := ts.Samples[len(ts.Samples)-1]
+		rows = append(rows, row{
+			agent: ts.Agent, workload: ts.Workload, category: last.Category,
+			socket: last.Socket, ways: last.Ways, samples: len(ts.Samples),
+			ipc: last.IPC, mpki: last.MPKI,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		switch *sortBy {
+		case "ipc":
+			if a.ipc != b.ipc {
+				return a.ipc < b.ipc // lowest IPC first: the sufferers
+			}
+		case "ways":
+			if a.ways != b.ways {
+				return a.ways > b.ways
+			}
+		case "name":
+		default: // mpki
+			if a.mpki != b.mpki {
+				return a.mpki > b.mpki
+			}
+		}
+		if a.agent != b.agent {
+			return a.agent < b.agent
+		}
+		return a.workload < b.workload
+	})
+
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "AGENT\tWORKLOAD\tSOCKET\tCATEGORY\tWAYS\tIPC\tMPKI\tSAMPLES")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%d\t%.3f\t%.2f\t%d\n",
+			r.agent, r.workload, r.socket, r.category, r.ways, r.ipc, r.mpki, r.samples)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if m.Overflow > 0 {
+		fmt.Printf("(%d samples dropped: tenant cap %d reached)\n", m.Overflow, m.MaxTenants)
+	}
+	return nil
+}

@@ -33,6 +33,8 @@ var fleetCommands = map[string]func(args []string) error{
 	"explain":   runExplain,
 	"placement": runPlacement,
 	"replay":    runReplay,
+	"causality": runCausality,
+	"top":       runTop,
 }
 
 // fleetFlags are the filters every fleet subcommand shares; they map
@@ -44,6 +46,8 @@ type fleetFlags struct {
 	kind   string
 	socket int
 	n      int
+	since  string
+	until  string
 	jsonl  bool
 }
 
@@ -54,10 +58,12 @@ func (f *fleetFlags) register(fs *flag.FlagSet) {
 	fs.StringVar(&f.kind, "kind", "", "restrict to one event kind, e.g. WayGrant")
 	fs.IntVar(&f.socket, "socket", -1, "restrict to one LLC domain (-1 = all)")
 	fs.IntVar(&f.n, "n", 0, "keep only the most recent n records (0 = all)")
+	fs.StringVar(&f.since, "since", "", "keep records ingested after this: a look-back duration (5m, 1h) or an RFC3339 time")
+	fs.StringVar(&f.until, "until", "", "keep records ingested before this: a look-back duration (5m, 1h) or an RFC3339 time")
 	fs.BoolVar(&f.jsonl, "json", false, "print raw records as JSON Lines instead of the human format")
 }
 
-func (f *fleetFlags) values() url.Values {
+func (f *fleetFlags) values() (url.Values, error) {
 	v := url.Values{}
 	if f.agent != "" {
 		v.Set("agent", f.agent)
@@ -74,7 +80,17 @@ func (f *fleetFlags) values() url.Values {
 	if f.n > 0 {
 		v.Set("n", strconv.Itoa(f.n))
 	}
-	return v
+	for name, s := range map[string]string{"since": f.since, "until": f.until} {
+		if s == "" {
+			continue
+		}
+		t, err := parseTimeFlag(s, time.Now())
+		if err != nil {
+			return nil, fmt.Errorf("-%s: %w", name, err)
+		}
+		v.Set(name, strconv.FormatInt(t.Unix(), 10))
+	}
+	return v, nil
 }
 
 // fetchFleet GETs one /fleet path and decodes its NDJSON body.
@@ -152,6 +168,9 @@ func formatRecord(rec *flightrec.Record) string {
 	if ev.Reason != "" {
 		fmt.Fprintf(&b, ": %s", ev.Reason)
 	}
+	if ev.TraceID != 0 {
+		fmt.Fprintf(&b, " [trace %016x]", ev.TraceID)
+	}
 	return b.String()
 }
 
@@ -161,16 +180,23 @@ func runQuery(args []string) error {
 	var ff fleetFlags
 	ff.register(fs)
 	after := fs.Uint64("after", 0, "keep only records with id > after (resume cursor)")
-	since := fs.Duration("since", 0, "keep only records ingested within this window, e.g. 10m (0 = all)")
+	trace := fs.String("trace", "", "restrict to one causality trace id (decimal or hex)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	v := ff.values()
+	v, err := ff.values()
+	if err != nil {
+		return err
+	}
 	if *after > 0 {
 		v.Set("after", strconv.FormatUint(*after, 10))
 	}
-	if *since > 0 {
-		v.Set("since", strconv.FormatInt(time.Now().Add(-*since).Unix(), 10))
+	if *trace != "" {
+		id, ok := parseTraceIDArg(*trace)
+		if !ok {
+			return fmt.Errorf("-trace: bad trace id %q", *trace)
+		}
+		v.Set("trace", strconv.FormatUint(id, 10))
 	}
 	recs, err := fetchFleet(ff.coord, "/fleet/events", v)
 	if err != nil {
@@ -201,12 +227,15 @@ func runExplain(args []string) error {
 	if ff.vm == "" {
 		return fmt.Errorf("usage: dcat-trace explain [flags] <vm>")
 	}
-	v := url.Values{"vm": {ff.vm}}
-	if ff.agent != "" {
-		v.Set("agent", ff.agent)
+	shared, err := ff.values()
+	if err != nil {
+		return err
 	}
-	if ff.n > 0 {
-		v.Set("n", strconv.Itoa(ff.n))
+	v := url.Values{"vm": {ff.vm}}
+	for _, name := range []string{"agent", "n", "since", "until"} {
+		if s := shared.Get(name); s != "" {
+			v.Set(name, s)
+		}
 	}
 	recs, err := fetchFleet(ff.coord, "/fleet/explain", v)
 	if err != nil {
@@ -281,7 +310,10 @@ func runTail(args []string) error {
 
 	// First fetch: a bounded slice of history (default the last 10)
 	// seeds the cursor; after that only records past it are asked for.
-	v := ff.values()
+	v, err := ff.values()
+	if err != nil {
+		return err
+	}
 	if ff.n <= 0 {
 		v.Set("n", "10")
 	}
@@ -302,7 +334,9 @@ func runTail(args []string) error {
 			return nil
 		case <-time.After(*every):
 		}
-		v = ff.values()
+		if v, err = ff.values(); err != nil {
+			return err
+		}
 		v.Del("n")
 		v.Set("after", strconv.FormatUint(cursor, 10))
 		// A transient fetch error (coordinator restarting) just skips a

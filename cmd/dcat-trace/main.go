@@ -7,6 +7,8 @@
 //	dcat-trace query -coord http://coord:9400 -agent host-a -kind WayReclaim -n 50
 //	dcat-trace query -coord http://coord:9400 -kind PlacementExecuted
 //	dcat-trace explain -coord http://coord:9400 web
+//	dcat-trace causality -coord http://coord:9400 <trace-id|vm>
+//	dcat-trace top -coord http://coord:9400
 //	dcat-trace placement -coord http://coord:9400
 //
 // Without one it inspects a recorded access trace (see

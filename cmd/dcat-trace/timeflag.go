@@ -1,0 +1,46 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// parseTimeFlag resolves one -since/-until value: either a duration
+// looking backwards from now ("5m", "1h30m") or an absolute RFC3339
+// timestamp ("2026-08-05T12:00:00Z"). Operators tailing an incident
+// reach for the former; postmortems quoting a log line use the latter.
+func parseTimeFlag(s string, now time.Time) (time.Time, error) {
+	if d, err := time.ParseDuration(s); err == nil {
+		if d < 0 {
+			return time.Time{}, fmt.Errorf("negative duration %q", s)
+		}
+		return now.Add(-d), nil
+	}
+	if t, err := time.Parse(time.RFC3339, s); err == nil {
+		return t, nil
+	}
+	return time.Time{}, fmt.Errorf("%q is neither a duration (5m, 1h) nor an RFC3339 time", s)
+}
+
+// parseTraceIDArg accepts a trace id as decimal (how records render
+// it), 0x-prefixed hex, or exactly 16 hex digits (one half of the
+// X-Dcat-Trace header). Anything else — like a workload name that
+// happens to use hex letters ("db") — is not a trace id.
+func parseTraceIDArg(s string) (uint64, bool) {
+	if id, err := strconv.ParseUint(s, 10, 64); err == nil && id != 0 {
+		return id, true
+	}
+	if len(s) > 2 && (s[:2] == "0x" || s[:2] == "0X") {
+		if id, err := strconv.ParseUint(s[2:], 16, 64); err == nil && id != 0 {
+			return id, true
+		}
+		return 0, false
+	}
+	if len(s) == 16 {
+		if id, err := strconv.ParseUint(s, 16, 64); err == nil && id != 0 {
+			return id, true
+		}
+	}
+	return 0, false
+}

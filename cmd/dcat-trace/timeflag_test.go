@@ -1,0 +1,66 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseTimeFlag(t *testing.T) {
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		in   string
+		want time.Time
+		err  bool
+	}{
+		{"5m", now.Add(-5 * time.Minute), false},
+		{"1h", now.Add(-time.Hour), false},
+		{"1h30m", now.Add(-90 * time.Minute), false},
+		{"90s", now.Add(-90 * time.Second), false},
+		{"2026-08-05T09:30:00Z", time.Date(2026, 8, 5, 9, 30, 0, 0, time.UTC), false},
+		{"2026-08-05T09:30:00+02:00", time.Date(2026, 8, 5, 7, 30, 0, 0, time.UTC), false},
+		{"-5m", time.Time{}, true},
+		{"yesterday", time.Time{}, true},
+		{"2026-08-05", time.Time{}, true}, // date without time is not RFC3339
+		{"", time.Time{}, true},
+	}
+	for _, tc := range cases {
+		got, err := parseTimeFlag(tc.in, now)
+		if tc.err {
+			if err == nil {
+				t.Errorf("parseTimeFlag(%q): expected error, got %v", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseTimeFlag(%q): %v", tc.in, err)
+			continue
+		}
+		if !got.Equal(tc.want) {
+			t.Errorf("parseTimeFlag(%q) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestParseTraceIDArg(t *testing.T) {
+	cases := []struct {
+		in   string
+		want uint64
+		ok   bool
+	}{
+		{"42", 42, true},
+		{"0x2a", 42, true},
+		{"000000000000002a", 42, true}, // 16 hex digits, header style
+		{"db", 0, false},               // workload name, not hex
+		{"cafe", 0, false},             // short hex without prefix stays a name
+		{"vm0", 0, false},
+		{"0", 0, false},
+		{"0x", 0, false},
+		{"", 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := parseTraceIDArg(tc.in)
+		if ok != tc.ok || got != tc.want {
+			t.Errorf("parseTraceIDArg(%q) = (%d, %t), want (%d, %t)", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}

@@ -49,6 +49,12 @@ type AgentConfig struct {
 	// directives: each tick it polls /v1/placement, runs pending moves
 	// through the Mover, and acks the outcomes. Nil disables polling.
 	Mover Mover
+	// Trace issues span IDs for the agent's own events (today: the
+	// execution span of PlacementExecuted). Nil gets a process-unique
+	// generator; tests inject a fixed-seed one. Span IDs are only drawn
+	// for directives that already carry a trace, so untraced fleets see
+	// zero change.
+	Trace *obs.IDGen
 }
 
 // Mover executes a live cross-socket migration on the local host —
@@ -88,6 +94,11 @@ type Agent struct {
 	// agent dedups by ID).
 	pendingAcks  []placement.DirectiveAck
 	maxDirective uint64
+	// pendingTrace is the causality context (trace + execution span) of
+	// the most recent traced execution, carried as the X-Dcat-Trace
+	// header on the poll that delivers its ack and cleared once that
+	// delivery succeeds.
+	pendingTrace obs.TraceContext
 
 	// sink receives the agent's own decision events (today:
 	// PlacementExecuted) — see SetSink.
@@ -110,6 +121,9 @@ func NewAgent(cfg AgentConfig, local Local) (*Agent, error) {
 	}
 	if cfg.HeartbeatEvery <= 0 {
 		cfg.HeartbeatEvery = 1
+	}
+	if cfg.Trace == nil {
+		cfg.Trace = obs.NewIDGen(0)
 	}
 	return &Agent{
 		cfg:   cfg,
@@ -239,14 +253,16 @@ func (a *Agent) placementPoll(ctx context.Context, id string, ticks int) {
 	a.mu.Lock()
 	acks := a.pendingAcks
 	a.pendingAcks = nil
+	trace := a.pendingTrace
 	a.mu.Unlock()
 
-	resp, err := a.cfg.Client.Placement(ctx, &PlacementRequest{
+	resp, err := a.cfg.Client.PlacementTraced(ctx, &PlacementRequest{
 		Version: ProtocolVersion, AgentID: id, Acks: acks,
-	})
+	}, trace)
 	if err != nil {
 		// The acks never arrived; requeue them ahead of anything a
-		// concurrent execution added meanwhile.
+		// concurrent execution added meanwhile. pendingTrace is
+		// untouched, so the context rides the retry too.
 		a.mu.Lock()
 		a.pendingAcks = append(acks, a.pendingAcks...)
 		a.mu.Unlock()
@@ -258,6 +274,9 @@ func (a *Agent) placementPoll(ctx context.Context, id string, ticks int) {
 	defer a.mu.Unlock()
 	a.lastErr = nil
 	a.failures = 0
+	if a.pendingTrace == trace {
+		a.pendingTrace = obs.TraceContext{} // delivered with its acks
+	}
 	for _, d := range resp.Directives {
 		if d.ID <= a.maxDirective {
 			continue // already executed; the ack is queued or in flight
@@ -267,16 +286,30 @@ func (a *Agent) placementPoll(ctx context.Context, id string, ticks int) {
 		if err := a.cfg.Mover.MigrateVM(d.Workload, d.ToSocket); err != nil {
 			ack.OK = false
 			ack.Detail = err.Error()
-		} else if a.sink != nil {
-			a.sink.Emit(obs.Event{
-				Tick:     ticks,
-				Kind:     obs.KindPlacementExecuted,
-				Workload: d.Workload,
-				Socket:   d.ToSocket,
-				From:     fmt.Sprintf("socket %d", d.FromSocket),
-				To:       fmt.Sprintf("socket %d", d.ToSocket),
-				Reason:   d.Reason,
-			})
+		} else {
+			// The execution joins the directive's causality trace: a
+			// fresh span under the engine's issue span, carried on the
+			// event into the recorder and on the acking poll's
+			// X-Dcat-Trace header back to the engine.
+			var span uint64
+			if d.TraceID != 0 {
+				span = a.cfg.Trace.Next()
+				a.pendingTrace = obs.TraceContext{TraceID: d.TraceID, SpanID: span}
+			}
+			if a.sink != nil {
+				a.sink.Emit(obs.Event{
+					Tick:     ticks,
+					Kind:     obs.KindPlacementExecuted,
+					Workload: d.Workload,
+					Socket:   d.ToSocket,
+					From:     fmt.Sprintf("socket %d", d.FromSocket),
+					To:       fmt.Sprintf("socket %d", d.ToSocket),
+					Reason:   d.Reason,
+					TraceID:  d.TraceID,
+					SpanID:   span,
+					ParentID: d.SpanID,
+				})
+			}
 		}
 		a.pendingAcks = append(a.pendingAcks, ack)
 	}
@@ -325,6 +358,7 @@ func (a *Agent) report(ctx context.Context, id string, ticks int, snap []core.St
 			IPC:          st.IPC,
 			NormIPC:      st.NormIPC,
 			MissRate:     st.MissRate,
+			MAPI:         st.MAPI,
 			Socket:       st.Socket,
 		})
 	}

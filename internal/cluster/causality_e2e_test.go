@@ -1,0 +1,199 @@
+// End-to-end exercise of the causality plane: one placement decision —
+// pressure evidence, directive, live execution on the agent, and the
+// engine's settlement — must come back from /fleet/trace as a single
+// four-span tree under one trace id with no orphaned spans, and the
+// same tree must be reconstructable by a brand-new coordinator process
+// over the reopened store after a restart.
+package cluster_test
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/flightrec"
+	"repro/internal/httpstatus"
+	"repro/internal/obs"
+	"repro/internal/placement"
+)
+
+// fetchTraceTree GETs /fleet/trace?id= and decodes the tree.
+func fetchTraceTree(t *testing.T, base string, traceID uint64) flightrec.TraceTree {
+	t.Helper()
+	res, err := http.Get(base + "/fleet/trace?id=" + strconv.FormatUint(traceID, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(res.Body)
+		t.Fatalf("GET /fleet/trace: status %d: %s", res.StatusCode, body)
+	}
+	var tree flightrec.TraceTree
+	if err := json.NewDecoder(res.Body).Decode(&tree); err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+// requireChain walks the tree asserting it is exactly the linear
+// pressure -> issued -> executed -> settled chain of one decision, with
+// every hop stamped and timestamped.
+func requireChain(t *testing.T, tree flightrec.TraceTree, traceID uint64, kinds []obs.Kind) {
+	t.Helper()
+	if len(tree.Orphans) != 0 {
+		t.Fatalf("trace %016x has %d orphaned spans: %+v", traceID, len(tree.Orphans), tree.Orphans)
+	}
+	if got := tree.Spans(); got != len(kinds) {
+		t.Fatalf("trace %016x has %d spans, want %d", traceID, got, len(kinds))
+	}
+	if len(tree.Roots) != 1 {
+		t.Fatalf("trace %016x has %d roots, want 1", traceID, len(tree.Roots))
+	}
+	node, parentSpan := tree.Roots[0], uint64(0)
+	for i, kind := range kinds {
+		ev := node.Record.Event
+		if ev.Kind != kind {
+			t.Fatalf("span %d: kind %v, want %v", i, ev.Kind, kind)
+		}
+		if ev.TraceID != traceID || ev.SpanID == 0 || ev.ParentID != parentSpan {
+			t.Fatalf("span %d (%v): ids trace=%016x span=%016x parent=%016x, want trace=%016x parent=%016x",
+				i, kind, ev.TraceID, ev.SpanID, ev.ParentID, traceID, parentSpan)
+		}
+		if node.Record.RecvUnix == 0 {
+			t.Fatalf("span %d (%v): no per-hop ingest timestamp", i, kind)
+		}
+		if i == len(kinds)-1 {
+			if len(node.Children) != 0 {
+				t.Fatalf("span %d (%v): unexpected children %+v", i, kind, node.Children)
+			}
+			break
+		}
+		if len(node.Children) != 1 {
+			t.Fatalf("span %d (%v): %d children, want 1", i, kind, len(node.Children))
+		}
+		parentSpan = ev.SpanID
+		node = node.Children[0]
+	}
+}
+
+// TestCausalityEndToEnd drives the two-socket placement scenario with
+// tracing enabled end to end: the engine births a trace when it scores
+// the pressure, the directive carries it over HTTP to the agent, the
+// execution event streams back with its own span, and the settlement
+// closes the chain. The full tree must be queryable at /fleet/trace —
+// and still be queryable, complete and orphan-free, from a NEW
+// coordinator process over the REOPENED store after a restart.
+func TestCausalityEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	saveRecorderArtifacts(t, dir)
+
+	openStore := func() *flightrec.Store {
+		store, err := flightrec.Open(flightrec.Config{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return store
+	}
+
+	const cooldown = 12
+	// newPlane builds one coordinator "process": registry, engine with
+	// deterministic trace ids, and the fleet query plane, all over the
+	// given store. The engine's decision events land in the store via a
+	// flightrec.Sink (epoch distinguishes the incarnations) as well as
+	// in a local capture.
+	newPlane := func(store *flightrec.Store, epoch int64) (http.Handler, *placement.Engine, *captureSink, *cluster.Coordinator) {
+		coord := cluster.NewCoordinator(cluster.CoordinatorConfig{HeartbeatExpiry: time.Hour})
+		coord.SetRecorder(store)
+		eng := placement.NewEngine(placement.Config{
+			Recorder: store, Cooldown: cooldown, Trace: obs.NewIDGen(uint64(epoch)),
+		})
+		capture := &captureSink{}
+		eng.SetSink(obs.Multi(capture, flightrec.NewSink(store, "coord", epoch)))
+		coord.SetPlacement(eng)
+		mux := http.NewServeMux()
+		mux.Handle("/v1/", coord.Handler())
+		mux.Handle("/fleet/", httpstatus.ClusterHandlerOpts(coord, httpstatus.Options{
+			Recorder: store, Placement: eng, Tenants: coord,
+		}))
+		return mux, eng, capture, coord
+	}
+
+	store := openStore()
+	handler, eng, capture, coord := newPlane(store, 1)
+	swap := &swappableHandler{}
+	swap.Set(handler)
+	srv := httptest.NewServer(swap)
+	defer srv.Close()
+	saveFleetMetrics(t, func() *cluster.Coordinator { return coord })
+
+	h := newNUMAHost(t, "host-a", srv.URL)
+	ctx := context.Background()
+
+	// Drive until the engine has settled the one move. The settlement
+	// must land before the restart: inflight engine state is process
+	// memory, only the recorded spans survive.
+	settled := false
+	for i := 0; i < 40 && !settled; i++ {
+		h.tick(ctx)
+		settled = eng.State().Settled >= 1
+	}
+	if !settled {
+		t.Fatalf("move never settled: %+v", eng.State())
+	}
+
+	// The engine's own trace names the causality chain: the pressure
+	// event is the root span (SpanID == TraceID).
+	var traceID uint64
+	for _, ev := range capture.Events() {
+		if ev.Kind == obs.KindPlacementPressure {
+			if traceID != 0 && traceID != ev.TraceID {
+				t.Fatalf("more than one trace born: %016x and %016x", traceID, ev.TraceID)
+			}
+			traceID = ev.TraceID
+			if ev.SpanID != ev.TraceID || ev.ParentID != 0 {
+				t.Fatalf("pressure span is not a root: %+v", ev)
+			}
+		}
+	}
+	if traceID == 0 {
+		t.Fatal("no PlacementPressure event carried a trace id")
+	}
+
+	wantChain := []obs.Kind{
+		obs.KindPlacementPressure,
+		obs.KindPlacementIssued,
+		obs.KindPlacementExecuted,
+		obs.KindPlacementVerified,
+	}
+	requireChain(t, fetchTraceTree(t, srv.URL, traceID), traceID, wantChain)
+
+	// Restart: a brand-new coordinator and engine over the REOPENED
+	// store. Nothing about the finished trace lives in process memory
+	// any more; /fleet/trace must reconstruct the identical complete
+	// chain purely from the recovered segments.
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store = openStore()
+	defer store.Close()
+	handler2, _, _, coord2 := newPlane(store, 2)
+	coord = coord2
+	swap.Set(handler2)
+
+	requireChain(t, fetchTraceTree(t, srv.URL, traceID), traceID, wantChain)
+
+	// The agent reconnects to the new incarnation and keeps reporting;
+	// the finished trace stays closed — no orphan spans appear as new
+	// events stream in under fresh epochs.
+	for i := 0; i < 5; i++ {
+		h.tick(ctx)
+	}
+	requireChain(t, fetchTraceTree(t, srv.URL, traceID), traceID, wantChain)
+}

@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
@@ -167,8 +168,18 @@ func (c *Client) Events(ctx context.Context, req *EventsRequest) (*EventsRespons
 
 // Placement acks executed directives and polls for pending ones.
 func (c *Client) Placement(ctx context.Context, req *PlacementRequest) (*PlacementResponse, error) {
+	return c.PlacementTraced(ctx, req, obs.TraceContext{})
+}
+
+// PlacementTraced is Placement carrying a causality context in the
+// X-Dcat-Trace header: the trace and execution span of the most recent
+// directive whose ack rides this poll. The coordinator hands it to the
+// placement engine so settlement spans parent under the agent's
+// execution span even when the recorder evidence has not landed yet. A
+// zero context sends no header.
+func (c *Client) PlacementTraced(ctx context.Context, req *PlacementRequest, trace obs.TraceContext) (*PlacementResponse, error) {
 	var resp PlacementResponse
-	if err := c.post(ctx, PathPlacement, req, &resp); err != nil {
+	if err := c.postTraced(ctx, PathPlacement, req, &resp, trace); err != nil {
 		return nil, err
 	}
 	return &resp, nil
@@ -186,14 +197,20 @@ func (c *Client) Heartbeat(ctx context.Context, req *HeartbeatRequest) (*Heartbe
 // post sends one JSON request with per-attempt timeouts and
 // exponential-backoff retries, counting terminal failures.
 func (c *Client) post(ctx context.Context, path string, req, resp any) error {
-	err := c.doPost(ctx, path, req, resp)
+	return c.postTraced(ctx, path, req, resp, obs.TraceContext{})
+}
+
+// postTraced is post with an optional X-Dcat-Trace header (zero
+// context = no header).
+func (c *Client) postTraced(ctx context.Context, path string, req, resp any, trace obs.TraceContext) error {
+	err := c.doPost(ctx, path, req, resp, trace)
 	if err != nil && c.cfg.Metrics != nil {
 		c.cfg.Metrics.Failures.Inc()
 	}
 	return err
 }
 
-func (c *Client) doPost(ctx context.Context, path string, req, resp any) error {
+func (c *Client) doPost(ctx context.Context, path string, req, resp any, trace obs.TraceContext) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return fmt.Errorf("cluster: encoding request: %w", err)
@@ -212,7 +229,7 @@ func (c *Client) doPost(ctx context.Context, path string, req, resp any) error {
 				delay = c.cfg.MaxBackoff
 			}
 		}
-		retryable, err := c.attempt(ctx, path, body, resp)
+		retryable, err := c.attempt(ctx, path, body, resp, trace)
 		if err == nil {
 			return nil
 		}
@@ -229,7 +246,7 @@ func (c *Client) doPost(ctx context.Context, path string, req, resp any) error {
 
 // attempt runs one request; the bool reports whether a failure may be
 // retried.
-func (c *Client) attempt(ctx context.Context, path string, body []byte, out any) (bool, error) {
+func (c *Client) attempt(ctx context.Context, path string, body []byte, out any, trace obs.TraceContext) (bool, error) {
 	if m := c.cfg.Metrics; m != nil {
 		start := time.Now()
 		defer func() { m.Latency.Observe(time.Since(start).Seconds()) }()
@@ -241,6 +258,9 @@ func (c *Client) attempt(ctx context.Context, path string, body []byte, out any)
 		return false, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if !trace.Zero() {
+		req.Header.Set(TraceHeader, trace.String())
+	}
 	res, err := c.hc.Do(req)
 	if err != nil {
 		return true, err // transport error: coordinator down, DNS, timeout

@@ -344,7 +344,11 @@ func newStreamingHost(t *testing.T, name, coordURL string, epoch int64) *streami
 	}
 	h.agent = agent
 	local := &captureSink{}
-	h.ctl.SetSink(obs.Multi(local, streamer))
+	// The trace wrapper sits above both destinations, so the local
+	// journal and the streamed copy carry identical causality ids —
+	// every controller decision is born as its own root span. The
+	// fixed epoch seed keeps the ids deterministic per host.
+	h.ctl.SetSink(obs.Trace(obs.Multi(local, streamer), obs.NewIDGen(uint64(epoch))))
 	return &streamingHost{host: h, streamer: streamer, local: local}
 }
 
@@ -376,6 +380,34 @@ func saveRecorderArtifacts(t *testing.T, dir string) {
 			}
 		}
 		t.Logf("recorder segments saved to %s", out)
+	})
+}
+
+// saveFleetMetrics writes the coordinator's /fleet/metrics document —
+// the per-tenant time-series plane — into DCAT_E2E_ARTIFACT_DIR when
+// the test fails, so CI uploads the fleet's trajectory next to the
+// recorder segments. The coordinator is resolved through a func so
+// tests that restart it capture the live incarnation.
+func saveFleetMetrics(t *testing.T, coord func() *cluster.Coordinator) {
+	t.Cleanup(func() {
+		dst := os.Getenv("DCAT_E2E_ARTIFACT_DIR")
+		if dst == "" || !t.Failed() {
+			return
+		}
+		out := filepath.Join(dst, filepath.Base(t.Name()))
+		if err := os.MkdirAll(out, 0o755); err != nil {
+			t.Logf("artifact dir: %v", err)
+			return
+		}
+		data, err := json.MarshalIndent(coord().TenantMetricsSnapshot(), "", "  ")
+		if err == nil {
+			err = os.WriteFile(filepath.Join(out, "fleet-metrics.json"), data, 0o644)
+		}
+		if err != nil {
+			t.Logf("fleet metrics artifact: %v", err)
+			return
+		}
+		t.Logf("fleet metrics saved to %s", filepath.Join(out, "fleet-metrics.json"))
 	})
 }
 
@@ -424,14 +456,19 @@ func TestFlightRecorderEndToEnd(t *testing.T) {
 		}
 		return store
 	}
+	var liveCoord *cluster.Coordinator
 	newCoordHandler := func(store *flightrec.Store) http.Handler {
 		coord := cluster.NewCoordinator(cluster.CoordinatorConfig{HeartbeatExpiry: time.Hour})
 		coord.SetRecorder(store)
 		mux := http.NewServeMux()
 		mux.Handle("/v1/", coord.Handler())
-		mux.Handle("/fleet/", httpstatus.ClusterHandlerOpts(coord, httpstatus.Options{Recorder: store}))
+		mux.Handle("/fleet/", httpstatus.ClusterHandlerOpts(coord, httpstatus.Options{
+			Recorder: store, Tenants: coord,
+		}))
+		liveCoord = coord
 		return mux
 	}
+	saveFleetMetrics(t, func() *cluster.Coordinator { return liveCoord })
 
 	store := openStore()
 	swap := &swappableHandler{}
@@ -531,6 +568,26 @@ func TestFlightRecorderEndToEnd(t *testing.T) {
 		if h.streamer.Dropped() != 0 || cur.Lost != 0 || cur.ReportedDropped != 0 {
 			t.Errorf("%s: unexpected drops: streamer %d, store lost %d, reported %d",
 				name, h.streamer.Dropped(), cur.Lost, cur.ReportedDropped)
+		}
+
+		// Causality ids survive the buffering, the re-enrollment, and
+		// the restarted coordinator's reopened store: every streamed
+		// event still carries the root span the trace wrapper stamped
+		// at emission, and the reconstructed forest has no orphans —
+		// no span lost its parent crossing the restart.
+		for i, rec := range recs {
+			ev := rec.Event
+			if ev.TraceID == 0 || ev.SpanID != ev.TraceID || ev.ParentID != 0 {
+				t.Fatalf("%s: record %d lost its root span: trace=%016x span=%016x parent=%016x",
+					name, i, ev.TraceID, ev.SpanID, ev.ParentID)
+			}
+		}
+		forest := flightrec.BuildTraceTree(0, recs)
+		if len(forest.Orphans) != 0 {
+			t.Errorf("%s: %d orphaned spans after restart recovery", name, len(forest.Orphans))
+		}
+		if got := forest.Spans(); got != len(recs) {
+			t.Errorf("%s: causality forest holds %d spans, want %d", name, got, len(recs))
 		}
 	}
 }

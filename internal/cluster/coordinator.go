@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/flightrec"
@@ -32,6 +33,16 @@ type CoordinatorConfig struct {
 	// PlacementEvery is how many accepted reports pass between placement
 	// evaluations when an engine is attached (default 1: every report).
 	PlacementEvery int
+	// MetricsRingSize is how many samples the per-tenant time-series
+	// ring keeps per (agent, workload) pair (default 256; -1 disables
+	// the plane). Memory is strictly bounded by
+	// MetricsRingSize x MetricsMaxTenants samples.
+	MetricsRingSize int
+	// MetricsMaxTenants caps how many (agent, workload) pairs get a
+	// ring (default 1024). Pairs past the cap are counted as overflow
+	// instead of sampled, so a churning fleet cannot grow the plane
+	// without bound.
+	MetricsMaxTenants int
 	// Now supplies the clock; tests inject a manual one (default
 	// time.Now).
 	Now func() time.Time
@@ -49,6 +60,12 @@ func (c *CoordinatorConfig) fill() {
 	}
 	if c.PlacementEvery <= 0 {
 		c.PlacementEvery = 1
+	}
+	if c.MetricsRingSize == 0 {
+		c.MetricsRingSize = 256
+	}
+	if c.MetricsMaxTenants <= 0 {
+		c.MetricsMaxTenants = 1024
 	}
 	if c.Now == nil {
 		c.Now = time.Now
@@ -97,6 +114,14 @@ type Coordinator struct {
 	sink     obs.Sink
 	metrics  *coordMetrics
 	recorder *flightrec.Store
+	// self holds the coordinator's self-observability instruments. It
+	// is an atomic pointer, not a field under mu, because the lock-wait
+	// histogram must be reachable before the lock is acquired.
+	self atomic.Pointer[coordSelf]
+
+	// tenants is the bounded per-tenant time-series plane served at
+	// /fleet/metrics (see fleetmetrics.go).
+	tenants tenantTable
 
 	// engine, when attached, turns the coordinator into a fleet
 	// rebalancer: report-derived views feed it and /v1/placement serves
@@ -112,6 +137,80 @@ type coordMetrics struct {
 	enrolls     *telemetry.Counter
 }
 
+// coordSelf holds the coordinator's self-observability instruments:
+// how the control plane itself performs, as opposed to what the fleet
+// is doing. This is the baseline the scale-out work is gated on — you
+// cannot shard what you have not measured.
+type coordSelf struct {
+	// ingest is per-endpoint request latency (decode + registry +
+	// response), keyed by the short endpoint name.
+	ingest map[string]*telemetry.Histogram
+	// lockWait is how long handlers queue on the registry lock;
+	// lockHold how long they keep it.
+	lockWait *telemetry.Histogram
+	lockHold *telemetry.Histogram
+}
+
+// RegisterSelfMetrics registers the coordinator's self-observability
+// instruments on reg:
+//
+//	dcat_coord_ingest_seconds{endpoint}  per-endpoint request latency
+//	dcat_coord_lock_wait_seconds        registry lock queueing time
+//	dcat_coord_lock_hold_seconds        registry lock hold time
+//
+// Separate from RegisterMetrics so existing fleet-metric consumers see
+// an unchanged exposition unless they opt in.
+func (c *Coordinator) RegisterSelfMetrics(reg *telemetry.Registry) {
+	self := &coordSelf{ingest: make(map[string]*telemetry.Histogram, 5)}
+	for _, ep := range []string{"enroll", "report", "heartbeat", "events", "placement"} {
+		self.ingest[ep] = reg.Histogram("dcat_coord_ingest_seconds",
+			"Coordinator ingest latency per protocol endpoint.",
+			telemetry.DefLatencyBuckets, "endpoint", ep)
+	}
+	self.lockWait = reg.Histogram("dcat_coord_lock_wait_seconds",
+		"Time protocol handlers spent queueing on the registry lock.",
+		telemetry.DefLatencyBuckets)
+	self.lockHold = reg.Histogram("dcat_coord_lock_hold_seconds",
+		"Time protocol handlers held the registry lock.",
+		telemetry.DefLatencyBuckets)
+	c.self.Store(self)
+}
+
+// lockTimed acquires the registry lock, feeding the wait into the
+// lock-wait histogram; the returned func releases it and feeds the
+// hold time. With no self-metrics registered it degrades to a plain
+// Lock/Unlock pair. Latencies use the wall clock, not cfg.Now — a
+// test's fake clock should not flatten real contention.
+func (c *Coordinator) lockTimed() func() {
+	self := c.self.Load()
+	if self == nil {
+		c.mu.Lock()
+		return c.mu.Unlock
+	}
+	start := time.Now()
+	c.mu.Lock()
+	acquired := time.Now()
+	self.lockWait.Observe(acquired.Sub(start).Seconds())
+	return func() {
+		self.lockHold.Observe(time.Since(acquired).Seconds())
+		c.mu.Unlock()
+	}
+}
+
+// timed wraps one protocol handler with its ingest-latency histogram.
+func (c *Coordinator) timed(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		self := c.self.Load()
+		if self == nil {
+			h(w, r)
+			return
+		}
+		start := time.Now()
+		h(w, r)
+		self.ingest[endpoint].Observe(time.Since(start).Seconds())
+	}
+}
+
 // NewCoordinator builds an empty control plane.
 func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 	cfg.fill()
@@ -121,6 +220,7 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		byName:           make(map[string]string),
 		rec:              telemetry.NewRecorder(),
 		fleetTransitions: make(map[string]uint64),
+		tenants:          newTenantTable(cfg.MetricsRingSize, cfg.MetricsMaxTenants),
 	}
 }
 
@@ -320,11 +420,11 @@ func (c *Coordinator) aliveLocked(rec *agentRecord, now time.Time) bool {
 // Handler returns the protocol endpoint tree (mount at "/").
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc(PathEnroll, c.handleEnroll)
-	mux.HandleFunc(PathReport, c.handleReport)
-	mux.HandleFunc(PathHeartbeat, c.handleHeartbeat)
-	mux.HandleFunc(PathEvents, c.handleEvents)
-	mux.HandleFunc(PathPlacement, c.handlePlacement)
+	mux.HandleFunc(PathEnroll, c.timed("enroll", c.handleEnroll))
+	mux.HandleFunc(PathReport, c.timed("report", c.handleReport))
+	mux.HandleFunc(PathHeartbeat, c.timed("heartbeat", c.handleHeartbeat))
+	mux.HandleFunc(PathEvents, c.timed("events", c.handleEvents))
+	mux.HandleFunc(PathPlacement, c.timed("placement", c.handlePlacement))
 	return mux
 }
 
@@ -369,7 +469,7 @@ func (c *Coordinator) handleEnroll(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	c.mu.Lock()
+	unlock := c.lockTimed()
 	now := c.cfg.Now()
 	// Re-enrollment under the same name supersedes the old record: the
 	// agent restarted (or lost us and came back) and its previous id is
@@ -411,7 +511,7 @@ func (c *Coordinator) handleEnroll(w http.ResponseWriter, r *http.Request) {
 			Reason:   "agent enrolled with the coordinator",
 		})
 	}
-	c.mu.Unlock()
+	unlock()
 	writeJSON(w, EnrollResponse{
 		Version:               ProtocolVersion,
 		AgentID:               id,
@@ -430,10 +530,10 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	c.mu.Lock()
+	unlock := c.lockTimed()
 	rec, ok := c.agents[req.AgentID]
 	if !ok {
-		c.mu.Unlock()
+		unlock()
 		writeError(w, http.StatusNotFound, ErrUnknownAgent)
 		return
 	}
@@ -441,6 +541,7 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 	rec.lastTick = req.Tick
 	rec.workloads = append(rec.workloads[:0], req.Workloads...)
 	c.reports++
+	c.sampleTenantsLocked(rec, req.Tick)
 	if req.Events != nil {
 		c.absorbEventsLocked(rec, req.Events)
 	}
@@ -475,7 +576,7 @@ func (c *Coordinator) handleReport(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	c.mu.Unlock()
+	unlock()
 	if engine != nil {
 		engine.Evaluate(views)
 	}
@@ -496,21 +597,24 @@ func (c *Coordinator) handlePlacement(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	c.mu.Lock()
+	unlock := c.lockTimed()
 	rec, ok := c.agents[req.AgentID]
 	if !ok {
-		c.mu.Unlock()
+		unlock()
 		writeError(w, http.StatusNotFound, ErrUnknownAgent)
 		return
 	}
 	rec.lastSeen = c.cfg.Now()
 	name := rec.name
 	engine := c.engine
-	c.mu.Unlock()
+	unlock()
 
 	resp := PlacementResponse{Version: ProtocolVersion}
 	if engine != nil {
-		engine.Ack(name, req.Acks)
+		// The X-Dcat-Trace header names the execution span behind the
+		// acks; a missing or malformed header degrades to "no context".
+		trace, _ := obs.ParseTraceContext(r.Header.Get(TraceHeader))
+		engine.Ack(name, req.Acks, trace)
 		resp.Directives = engine.Directives(name)
 	}
 	writeJSON(w, resp)
@@ -532,10 +636,10 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	c.mu.Lock()
+	unlock := c.lockTimed()
 	rec, ok := c.agents[req.AgentID]
 	if !ok {
-		c.mu.Unlock()
+		unlock()
 		writeError(w, http.StatusNotFound, ErrUnknownAgent)
 		return
 	}
@@ -545,7 +649,7 @@ func (c *Coordinator) handleEvents(w http.ResponseWriter, r *http.Request) {
 	// enrollment id, so a host's history survives re-enrollments.
 	name := rec.name
 	store := c.recorder
-	c.mu.Unlock()
+	unlock()
 
 	next := req.FirstSeq + uint64(len(req.Events))
 	if store != nil {
@@ -568,16 +672,16 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	c.mu.Lock()
+	unlock := c.lockTimed()
 	rec, ok := c.agents[req.AgentID]
 	if !ok {
-		c.mu.Unlock()
+		unlock()
 		writeError(w, http.StatusNotFound, ErrUnknownAgent)
 		return
 	}
 	rec.lastSeen = c.cfg.Now()
 	rec.lastTick = req.Tick
-	c.mu.Unlock()
+	unlock()
 	writeJSON(w, HeartbeatResponse{Version: ProtocolVersion})
 }
 

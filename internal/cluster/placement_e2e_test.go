@@ -172,10 +172,11 @@ func TestPlacementEndToEnd(t *testing.T) {
 	mux := http.NewServeMux()
 	mux.Handle("/v1/", coord.Handler())
 	mux.Handle("/fleet/", httpstatus.ClusterHandlerOpts(coord, httpstatus.Options{
-		Recorder: store, Placement: eng,
+		Recorder: store, Placement: eng, Tenants: coord,
 	}))
 	srv := httptest.NewServer(mux)
 	defer srv.Close()
+	saveFleetMetrics(t, func() *cluster.Coordinator { return coord })
 
 	h := newNUMAHost(t, "host-a", srv.URL)
 	ctx := context.Background()

@@ -41,6 +41,15 @@ const (
 	PathPlacement = "/v1/placement"
 )
 
+// TraceHeader is the HTTP header that carries an obs.TraceContext
+// (rendered by TraceContext.String) across cluster RPCs: the agent
+// sends it on the placement poll that acks an executed directive, and
+// the coordinator feeds it to the placement engine so the settlement
+// span parents under the agent's execution span. An absent or
+// malformed header degrades to "no context" — causality is
+// best-effort metadata, never a protocol error.
+const TraceHeader = "X-Dcat-Trace"
+
 // MaxBodyBytes bounds any protocol message body; bigger payloads are
 // rejected before decoding.
 const MaxBodyBytes = 1 << 20
@@ -110,6 +119,11 @@ type WorkloadReport struct {
 	IPC          float64 `json:"ipc"`
 	NormIPC      float64 `json:"normalized_ipc"`
 	MissRate     float64 `json:"miss_rate"`
+	// MAPI is memory accesses (LLC references) per retired instruction —
+	// the phase-detection signal. With MissRate it yields MPKI
+	// (MAPI x MissRate x 1000) for the coordinator's per-tenant
+	// time-series. Optional: absent from older agents' reports.
+	MAPI float64 `json:"mapi,omitempty"`
 	// Socket is the LLC domain the workload runs on; the coordinator
 	// keys contention hints by (workload, socket) so one hot LLC does
 	// not throttle the whole host.
@@ -324,7 +338,7 @@ func (r *ReportRequest) Validate() error {
 		for _, v := range []struct {
 			name string
 			val  float64
-		}{{"ipc", w.IPC}, {"normalized_ipc", w.NormIPC}, {"miss_rate", w.MissRate}} {
+		}{{"ipc", w.IPC}, {"normalized_ipc", w.NormIPC}, {"miss_rate", w.MissRate}, {"mapi", w.MAPI}} {
 			if math.IsNaN(v.val) || math.IsInf(v.val, 0) || v.val < 0 {
 				return fmt.Errorf("cluster: workload %q %s %f not a finite non-negative number",
 					w.Name, v.name, v.val)

@@ -17,7 +17,15 @@ type StreamerMetrics struct {
 	Batches  *telemetry.Counter
 	Failures *telemetry.Counter
 	Pending  *telemetry.Gauge
+	// BatchSize observes the event count of every acknowledged upload
+	// batch; Cooldown tracks the current backpressure backoff in skipped
+	// flush opportunities (0 when the coordinator is healthy).
+	BatchSize *telemetry.Histogram
+	Cooldown  *telemetry.Gauge
 }
+
+// streamBatchBuckets spans the batch-size range: 1 .. maxEventBatch.
+var streamBatchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
 // NewStreamerMetrics registers the streamer's metrics on reg.
 func NewStreamerMetrics(reg *telemetry.Registry) *StreamerMetrics {
@@ -32,6 +40,11 @@ func NewStreamerMetrics(reg *telemetry.Registry) *StreamerMetrics {
 			"Flight-recorder uploads that failed (the batch stays buffered)."),
 		Pending: reg.Gauge("dcat_stream_pending_events",
 			"Decision events buffered on the agent awaiting upload — streamer lag."),
+		BatchSize: reg.Histogram("dcat_stream_batch_events",
+			"Events per acknowledged flight-recorder upload batch.",
+			streamBatchBuckets),
+		Cooldown: reg.Gauge("dcat_stream_flush_cooldown",
+			"Current post-failure flush backoff, in skipped flush opportunities."),
 	}
 }
 
@@ -198,7 +211,9 @@ func (s *Streamer) Flush(ctx context.Context, agentID string) error {
 		s.lastErr = nil
 		if s.cfg.Metrics != nil {
 			s.cfg.Metrics.Batches.Inc()
+			s.cfg.Metrics.BatchSize.Observe(float64(n))
 			s.cfg.Metrics.Pending.Set(float64(len(s.buf)))
+			s.cfg.Metrics.Cooldown.Set(0)
 		}
 		s.mu.Unlock()
 	}
@@ -218,6 +233,7 @@ func (s *Streamer) noteFlushFailure(err error) {
 	s.skipsLeft = s.cooldown
 	if s.cfg.Metrics != nil {
 		s.cfg.Metrics.Failures.Inc()
+		s.cfg.Metrics.Cooldown.Set(float64(s.cooldown))
 	}
 }
 

@@ -61,6 +61,18 @@ type Config struct {
 	// GrowthStep is how many ways a growing workload gains per round.
 	// The paper grows one way at a time.
 	GrowthStep int
+	// ArrivalGraceTicks exempts a freshly arrived workload (AddTarget —
+	// a live migration or hot-plug) from the two Streaming verdicts for
+	// this many controller ticks, or until its miss-rate curve
+	// stabilizes (consecutive intervals within 10% of each other),
+	// whichever comes first. A migrated tenant refills its working set
+	// from a cold LLC, and the refill storm is indistinguishable from a
+	// streaming access pattern (high miss rate, little IPC gain from
+	// added ways) — without the grace the destination loop can durably
+	// misclassify it, since Streaming is terminal for the phase.
+	// 0 disables the grace. Controllers built with New are unaffected:
+	// only AddTarget arms it.
+	ArrivalGraceTicks int
 	// Policy selects the §3.5 allocation policy.
 	Policy Policy
 	// NewPhaseDetector, when set, supplies a custom phase-change
@@ -81,14 +93,15 @@ func (c Config) detector() PhaseDetector {
 // DefaultConfig returns the paper's operating point.
 func DefaultConfig() Config {
 	return Config{
-		LLCRefThr:      2000,
-		L1RefThr:       1000,
-		LLCMissRateThr: 0.03,
-		IPCImpThr:      0.05,
-		PhaseThr:       0.10,
-		StreamingMult:  3,
-		GrowthStep:     1,
-		Policy:         MaxFairness,
+		LLCRefThr:         2000,
+		L1RefThr:          1000,
+		LLCMissRateThr:    0.03,
+		IPCImpThr:         0.05,
+		PhaseThr:          0.10,
+		StreamingMult:     3,
+		GrowthStep:        1,
+		ArrivalGraceTicks: 4,
+		Policy:            MaxFairness,
 	}
 }
 
@@ -108,6 +121,9 @@ func (c Config) Validate() error {
 	}
 	if c.GrowthStep < 1 {
 		return fmt.Errorf("core: growth step %d must be >= 1", c.GrowthStep)
+	}
+	if c.ArrivalGraceTicks < 0 {
+		return fmt.Errorf("core: arrival grace %d must be >= 0", c.ArrivalGraceTicks)
 	}
 	if c.Policy != MaxFairness && c.Policy != MaxPerformance {
 		return fmt.Errorf("core: unknown policy %d", c.Policy)

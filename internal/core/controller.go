@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"repro/internal/cat"
@@ -43,6 +44,11 @@ type wstate struct {
 	lastLLCRef uint64
 	denied     bool // allocator could not grant last round's growth
 	jumpTo     int  // >0: performance-table reuse target (Fig 12)
+	// graceLeft counts down the post-arrival classification grace
+	// (Config.ArrivalGraceTicks): while positive, the Streaming verdicts
+	// are suspended because the cold-cache refill of a freshly migrated
+	// tenant mimics a streaming pattern. Armed only by AddTarget.
+	graceLeft int
 	// capWays, when >0, is an advisory upper bound on this workload's
 	// allocation pushed by an external authority (the cluster control
 	// plane). It never cuts into the contracted baseline.
@@ -325,6 +331,16 @@ func (c *Controller) categorize(w *wstate, o observation) {
 	if w.lastIPC > 0 {
 		imp = (o.ipc - w.lastIPC) / w.lastIPC
 	}
+	// Post-arrival grace: burn one tick, and end it early once the
+	// miss-rate curve flattens — the refill is over, so verdicts made
+	// from here on observe the tenant's real access pattern.
+	graced := w.graceLeft > 0
+	if graced {
+		w.graceLeft--
+		if w.lastMiss > 0 && math.Abs(o.miss-w.lastMiss) <= 0.1*w.lastMiss {
+			w.graceLeft = 0
+		}
+	}
 
 	switch {
 	case o.sample.L1Ref <= c.cfg.L1RefThr || o.sample.LLCRef <= c.cfg.LLCRefThr:
@@ -396,13 +412,15 @@ func (c *Controller) categorize(w *wstate, o observation) {
 			case grew && imp >= c.cfg.IPCImpThr:
 				c.setState(w, StateReceiver, reasonImproved)
 				w.desire = w.ways + c.cfg.GrowthStep
-			case grew && (w.ways >= c.cfg.StreamingMult*w.baseline || c.poolEmpty):
+			case grew && !graced && (w.ways >= c.cfg.StreamingMult*w.baseline || c.poolEmpty):
 				// Probed to the streaming threshold (or drained the
 				// pool) with nothing to show: cyclic access pattern.
+				// (A freshly arrived tenant inside its grace keeps
+				// probing instead — the refill storm is not evidence.)
 				c.setState(w, StateStreaming, reasonStreamingProbe)
 				w.settled = true
 				w.desire = 1
-			case !grew && w.denied && w.ways >= c.cfg.StreamingMult*w.baseline:
+			case !grew && !graced && w.denied && w.ways >= c.cfg.StreamingMult*w.baseline:
 				c.setState(w, StateStreaming, reasonStreamingDenied)
 				w.settled = true
 				w.desire = 1

@@ -177,11 +177,14 @@ func TestDecisionTrace(t *testing.T) {
 // TestTickAllocationsWithTracing is the overhead gate for the
 // observability layer: a journal sink plus registered metrics must not
 // add more than a fixed budget of heap allocations to the tick hot
-// path. Events are value structs with constant reason strings and the
-// ring is preallocated, so the steady-state cost is ~0.
+// path, and the causality wrapper (obs.Trace) must ride along for
+// free — the trace stamp is a field write on a value struct, so a
+// fleet that never queries a trace pays nothing for the ids. Events
+// are value structs with constant reason strings and the ring is
+// preallocated, so the steady-state cost is ~0.
 func TestTickAllocationsWithTracing(t *testing.T) {
 	const workloads = 4
-	measure := func(traced bool) float64 {
+	measure := func(traced, causality bool) float64 {
 		file := perf.NewFile(workloads)
 		mgr, err := cat.NewManager(&fakeBackend{ways: 20})
 		if err != nil {
@@ -197,7 +200,11 @@ func TestTickAllocationsWithTracing(t *testing.T) {
 			t.Fatal(err)
 		}
 		if traced {
-			ctl.SetSink(obs.NewJournal(obs.DefaultJournalSize))
+			sink := obs.Sink(obs.NewJournal(obs.DefaultJournalSize))
+			if causality {
+				sink = obs.Trace(sink, obs.NewIDGen(1))
+			}
+			ctl.SetSink(sink)
 			ctl.RegisterMetrics(telemetry.NewRegistry())
 		}
 		return testing.AllocsPerRun(200, func() {
@@ -215,11 +222,18 @@ func TestTickAllocationsWithTracing(t *testing.T) {
 			}
 		})
 	}
-	base := measure(false)
-	traced := measure(true)
+	base := measure(false, false)
+	traced := measure(true, false)
+	causal := measure(true, true)
 	const budget = 2.0
 	if traced > base+budget {
 		t.Fatalf("tracing adds %.2f allocs/tick (untraced %.2f, traced %.2f); budget is %.0f",
 			traced-base, base, traced, budget)
+	}
+	// Stamping root spans onto every event must not allocate at all
+	// beyond the plain traced path.
+	if causal > traced {
+		t.Fatalf("causality wrapper adds %.2f allocs/tick (traced %.2f, causal %.2f); want 0",
+			causal-traced, traced, causal)
 	}
 }

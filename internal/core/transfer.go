@@ -133,6 +133,9 @@ func (c *Controller) AddTarget(t Target, st *WorkloadState) error {
 		table:    make(PerfTable),
 		history:  make(map[phaseKey]PerfTable),
 		det:      c.cfg.detector(),
+		// The arrival refills a cold LLC; suspend Streaming verdicts
+		// until the refill storm passes (Config.ArrivalGraceTicks).
+		graceLeft: c.cfg.ArrivalGraceTicks,
 	}
 	// Only a settled export is worth carrying. A settled workload's
 	// table and category are converged facts the destination can act

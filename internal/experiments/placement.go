@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/host"
 	"repro/internal/memsys"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
@@ -124,7 +125,7 @@ func runFleet(opts Options, intervals int, eng *placement.Engine) (fleetResult, 
 				res.moves++
 				lastMover = d.Workload
 			}
-			eng.Ack("host", []placement.DirectiveAck{ack})
+			eng.Ack("host", []placement.DirectiveAck{ack}, obs.TraceContext{})
 		}
 	}
 	if _, err := s.run(ModeDCat, core.DefaultConfig(), intervals, onTick); err != nil {

@@ -70,6 +70,10 @@ type Query struct {
 	Kind *obs.Kind
 	// Socket restricts to one LLC domain (nil = all sockets).
 	Socket *int
+	// TraceID restricts to events stamped with one causality trace id
+	// (0 = all). Combined with BuildTraceTree this reconstructs a
+	// cross-process decision chain.
+	TraceID uint64
 	// AfterID keeps only records with ID > AfterID — the tail cursor.
 	AfterID uint64
 	// SinceUnix/UntilUnix bound the ingest time (inclusive; 0 = open).
@@ -93,6 +97,9 @@ func (q *Query) matches(rec *Record) bool {
 		return false
 	}
 	if q.Socket != nil && rec.Event.Socket != *q.Socket {
+		return false
+	}
+	if q.TraceID != 0 && rec.Event.TraceID != q.TraceID {
 		return false
 	}
 	if rec.ID <= q.AfterID {

@@ -25,6 +25,11 @@ const (
 // growing without bound on a huge fleet.
 const maxIndexedWorkloads = 512
 
+// maxIndexedTraces bounds the per-segment trace-id set the same way:
+// past it trace queries stop skipping the segment rather than indexing
+// every trace a busy fleet births.
+const maxIndexedTraces = 512
+
 // segMeta is the in-memory index entry for one on-disk segment: enough
 // to decide whether a query must read the file at all.
 type segMeta struct {
@@ -39,6 +44,8 @@ type segMeta struct {
 	kinds               uint64 // bitmask by obs.Kind
 	workloads           map[string]struct{}
 	wlOverflow          bool
+	traces              map[uint64]struct{}
+	trOverflow          bool
 	corruptLinesSkipped uint64
 }
 
@@ -48,6 +55,7 @@ func newSegMeta(num int, path string) *segMeta {
 		path:      path,
 		agents:    make(map[string]struct{}),
 		workloads: make(map[string]struct{}),
+		traces:    make(map[uint64]struct{}),
 	}
 }
 
@@ -76,6 +84,13 @@ func (m *segMeta) note(rec *Record, lineBytes int64) {
 		if len(m.workloads) > maxIndexedWorkloads {
 			m.wlOverflow = true
 			m.workloads = nil
+		}
+	}
+	if rec.Event.TraceID != 0 && !m.trOverflow {
+		m.traces[rec.Event.TraceID] = struct{}{}
+		if len(m.traces) > maxIndexedTraces {
+			m.trOverflow = true
+			m.traces = nil
 		}
 	}
 }
@@ -107,6 +122,11 @@ func (m *segMeta) mayMatch(q *Query) bool {
 	}
 	if q.Workload != "" && !m.wlOverflow {
 		if _, ok := m.workloads[q.Workload]; !ok {
+			return false
+		}
+	}
+	if q.TraceID != 0 && !m.trOverflow {
+		if _, ok := m.traces[q.TraceID]; !ok {
 			return false
 		}
 	}

@@ -1,0 +1,57 @@
+package flightrec
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Sink adapts a Store into an obs.Sink, so coordinator-side emitters —
+// the placement engine, the coordinator's own decision surface — land
+// in the same durable log the agents stream into. Without it a
+// causality query would reconstruct only the agent-observed half of a
+// trace; with it the pressure evidence and directive spans live next
+// to the execution and settlement spans they parent.
+//
+// Each Sink owns a synthetic (agent, epoch) sequence space: agent is a
+// reserved name like "coord", epoch something unique per process start
+// (time.Now().UnixNano()), so reopening the store under a new process
+// does not collide with recovered cursors. Emit appends one event per
+// call — coordinator-side decision volume is low, so the per-event
+// fsync is acceptable — and never blocks on or propagates append
+// errors; the last one is retained for status surfaces.
+type Sink struct {
+	store *Store
+	agent string
+	epoch int64
+
+	mu      sync.Mutex
+	seq     uint64
+	lastErr error
+}
+
+// NewSink builds a store-backed obs.Sink under the given synthetic
+// agent name and epoch.
+func NewSink(store *Store, agent string, epoch int64) *Sink {
+	return &Sink{store: store, agent: agent, epoch: epoch}
+}
+
+// Emit appends one event to the store.
+func (s *Sink) Emit(ev obs.Event) {
+	s.mu.Lock()
+	seq := s.seq
+	s.seq++
+	s.mu.Unlock()
+	if _, err := s.store.Append(s.agent, s.epoch, seq, []obs.Event{ev}, 0); err != nil {
+		s.mu.Lock()
+		s.lastErr = err
+		s.mu.Unlock()
+	}
+}
+
+// LastErr returns the most recent append error (nil if none).
+func (s *Sink) LastErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}

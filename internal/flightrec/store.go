@@ -52,6 +52,10 @@ type storeMetrics struct {
 	pruned     *telemetry.Counter
 	segments   *telemetry.Gauge
 	bytes      *telemetry.Gauge
+	// appendSeconds/selectSeconds time the store's two hot operations
+	// (wall clock, independent of the injectable cfg.Now).
+	appendSeconds *telemetry.Histogram
+	selectSeconds *telemetry.Histogram
 }
 
 // Open creates or reopens a store over cfg.Dir. Reopening scans every
@@ -140,6 +144,12 @@ func (s *Store) RegisterMetrics(reg *telemetry.Registry) {
 			"Live flight-recorder segments, active included."),
 		bytes: reg.Gauge("dcat_flightrec_bytes",
 			"Bytes across live flight-recorder segments."),
+		appendSeconds: reg.Histogram("dcat_flightrec_append_seconds",
+			"Batch append latency of the segmented store, fsync included.",
+			telemetry.DefLatencyBuckets),
+		selectSeconds: reg.Histogram("dcat_flightrec_select_seconds",
+			"Query (Select) latency of the segmented store.",
+			telemetry.DefLatencyBuckets),
 	}
 	s.mu.Lock()
 	s.metrics = m
@@ -173,8 +183,12 @@ func (s *Store) Append(agent string, epoch int64, firstSeq uint64, events []obs.
 		return 0, fmt.Errorf("flightrec: append with empty agent name")
 	}
 	now := s.cfg.Now()
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.metrics != nil {
+		defer func() { s.metrics.appendSeconds.Observe(time.Since(start).Seconds()) }()
+	}
 
 	cur := s.cursors[agent]
 	if cur == nil {
@@ -333,8 +347,12 @@ func (s *Store) dropOldestLocked() {
 // Select returns the records matching q in ascending ID order, reading
 // only segments the index cannot rule out.
 func (s *Store) Select(q Query) ([]Record, error) {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.metrics != nil {
+		defer func() { s.metrics.selectSeconds.Observe(time.Since(start).Seconds()) }()
+	}
 	var out []Record
 	for _, seg := range s.segs {
 		if !seg.mayMatch(&q) {

@@ -1,0 +1,91 @@
+package flightrec
+
+import "sort"
+
+// Causality reconstruction: turn the flat record stream back into the
+// decision tree one trace id names. Records stamped with
+// TraceID/SpanID/ParentID (see internal/obs) link into parent/child
+// spans; the tree is what /fleet/trace serves and `dcat-trace
+// causality` renders.
+
+// TraceNode is one span in a reconstructed causality tree: the stored
+// record plus the spans it parented.
+type TraceNode struct {
+	Record   Record       `json:"record"`
+	Children []*TraceNode `json:"children,omitempty"`
+}
+
+// TraceTree is one trace id's reconstructed decision tree.
+type TraceTree struct {
+	TraceID uint64 `json:"trace_id"`
+	// Roots are the spans with no parent — normally exactly one, the
+	// pressure evidence that birthed the trace.
+	Roots []*TraceNode `json:"roots"`
+	// Orphans are spans whose parent span is absent from the record
+	// set: a broken chain (dropped event, pruned segment). A complete
+	// trace has none.
+	Orphans []*TraceNode `json:"orphans,omitempty"`
+}
+
+// Spans counts every node in the tree, orphans (and their subtrees)
+// included.
+func (t *TraceTree) Spans() int {
+	n := 0
+	var walk func(ns []*TraceNode)
+	walk = func(ns []*TraceNode) {
+		for _, node := range ns {
+			n++
+			walk(node.Children)
+		}
+	}
+	walk(t.Roots)
+	walk(t.Orphans)
+	return n
+}
+
+// BuildTraceTree reconstructs traceID's decision tree from records
+// (records carrying a different trace id are ignored; traceID 0 keeps
+// them all, linking every trace present). Children are ordered by
+// record id, so the tree reads in ingest order. A span whose parent is
+// missing lands in Orphans with its own subtree intact; a duplicate
+// span id keeps the first record as the link target and files later
+// ones as its siblings.
+func BuildTraceTree(traceID uint64, recs []Record) TraceTree {
+	t := TraceTree{TraceID: traceID}
+	nodes := make([]*TraceNode, 0, len(recs))
+	bySpan := make(map[uint64]*TraceNode, len(recs))
+	for i := range recs {
+		if traceID != 0 && recs[i].Event.TraceID != traceID {
+			continue
+		}
+		n := &TraceNode{Record: recs[i]}
+		nodes = append(nodes, n)
+		if id := recs[i].Event.SpanID; id != 0 {
+			if _, dup := bySpan[id]; !dup {
+				bySpan[id] = n
+			}
+		}
+	}
+	for _, n := range nodes {
+		p := n.Record.Event.ParentID
+		if p == 0 {
+			t.Roots = append(t.Roots, n)
+			continue
+		}
+		if parent := bySpan[p]; parent != nil && parent != n {
+			parent.Children = append(parent.Children, n)
+		} else {
+			t.Orphans = append(t.Orphans, n)
+		}
+	}
+	var order func(ns []*TraceNode)
+	order = func(ns []*TraceNode) {
+		sort.Slice(ns, func(i, j int) bool { return ns[i].Record.ID < ns[j].Record.ID })
+		for _, n := range ns {
+			order(n.Children)
+		}
+	}
+	order(t.Roots)
+	order(t.Orphans)
+	return t
+}

@@ -1,0 +1,138 @@
+package flightrec
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func traceRec(id uint64, kind obs.Kind, trace, span, parent uint64) Record {
+	return Record{
+		ID:    id,
+		Agent: "host",
+		Event: obs.Event{
+			Kind: kind, Workload: "vm0",
+			TraceID: trace, SpanID: span, ParentID: parent,
+		},
+	}
+}
+
+func TestBuildTraceTreeChain(t *testing.T) {
+	// The canonical four-span placement chain:
+	// pressure (root) -> issued -> executed -> verified.
+	recs := []Record{
+		traceRec(1, obs.KindPlacementPressure, 7, 7, 0),
+		traceRec(2, obs.KindPlacementIssued, 7, 20, 7),
+		traceRec(3, obs.KindPlacementExecuted, 7, 30, 20),
+		traceRec(4, obs.KindPlacementVerified, 7, 40, 30),
+		// Noise from another trace must be ignored.
+		traceRec(5, obs.KindPlacementPressure, 9, 9, 0),
+	}
+	tree := BuildTraceTree(7, recs)
+	if len(tree.Roots) != 1 || len(tree.Orphans) != 0 {
+		t.Fatalf("roots=%d orphans=%d, want 1/0", len(tree.Roots), len(tree.Orphans))
+	}
+	if got := tree.Spans(); got != 4 {
+		t.Fatalf("Spans() = %d, want 4", got)
+	}
+	// Walk the chain depth-first and check each hop.
+	n := tree.Roots[0]
+	wantKinds := []obs.Kind{
+		obs.KindPlacementPressure, obs.KindPlacementIssued,
+		obs.KindPlacementExecuted, obs.KindPlacementVerified,
+	}
+	for i, k := range wantKinds {
+		if n.Record.Event.Kind != k {
+			t.Fatalf("hop %d kind = %v, want %v", i, n.Record.Event.Kind, k)
+		}
+		if i < len(wantKinds)-1 {
+			if len(n.Children) != 1 {
+				t.Fatalf("hop %d children = %d, want 1", i, len(n.Children))
+			}
+			n = n.Children[0]
+		} else if len(n.Children) != 0 {
+			t.Fatalf("leaf has %d children", len(n.Children))
+		}
+	}
+}
+
+func TestBuildTraceTreeOrphans(t *testing.T) {
+	// The issued span is missing: executed's subtree must land in
+	// Orphans intact rather than vanish.
+	recs := []Record{
+		traceRec(1, obs.KindPlacementPressure, 7, 7, 0),
+		traceRec(3, obs.KindPlacementExecuted, 7, 30, 20), // parent 20 absent
+		traceRec(4, obs.KindPlacementVerified, 7, 40, 30),
+	}
+	tree := BuildTraceTree(7, recs)
+	if len(tree.Roots) != 1 || len(tree.Orphans) != 1 {
+		t.Fatalf("roots=%d orphans=%d, want 1/1", len(tree.Roots), len(tree.Orphans))
+	}
+	o := tree.Orphans[0]
+	if o.Record.Event.Kind != obs.KindPlacementExecuted || len(o.Children) != 1 {
+		t.Fatalf("orphan kind=%v children=%d", o.Record.Event.Kind, len(o.Children))
+	}
+	if got := tree.Spans(); got != 3 {
+		t.Fatalf("Spans() = %d, want 3", got)
+	}
+}
+
+func TestStoreTraceIDQueryAndSink(t *testing.T) {
+	dir := t.TempDir()
+	now := time.Unix(1000, 0)
+	st, err := Open(Config{Dir: dir, Now: func() time.Time { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Coordinator-side events arrive through the sink; agent-side ones
+	// through Append — both must be visible to one trace query.
+	sink := NewSink(st, "coord", 1)
+	sink.Emit(obs.Event{Kind: obs.KindPlacementPressure, Workload: "vm0", TraceID: 7, SpanID: 7})
+	sink.Emit(obs.Event{Kind: obs.KindPlacementIssued, Workload: "vm0", TraceID: 7, SpanID: 20, ParentID: 7})
+	if err := sink.LastErr(); err != nil {
+		t.Fatalf("sink error: %v", err)
+	}
+	if _, err := st.Append("host", 1, 0, []obs.Event{
+		{Kind: obs.KindPlacementExecuted, Workload: "vm0", TraceID: 7, SpanID: 30, ParentID: 20},
+		{Kind: obs.KindPlacementExecuted, Workload: "vm1", TraceID: 9, SpanID: 9},
+	}, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := st.Select(Query{TraceID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("TraceID query returned %d records, want 3", len(recs))
+	}
+	for _, r := range recs {
+		if r.Event.TraceID != 7 {
+			t.Fatalf("record %d carries trace %d", r.ID, r.Event.TraceID)
+		}
+	}
+	tree := BuildTraceTree(7, recs)
+	if len(tree.Roots) != 1 || len(tree.Orphans) != 0 || tree.Spans() != 3 {
+		t.Fatalf("tree roots=%d orphans=%d spans=%d", len(tree.Roots), len(tree.Orphans), tree.Spans())
+	}
+
+	// The trace index must survive a reopen (rebuilt by the scan).
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Open(Config{Dir: dir, Now: func() time.Time { return now }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recs2, err := st2.Select(Query{TraceID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs2) != 3 {
+		t.Fatalf("reopened TraceID query returned %d records, want 3", len(recs2))
+	}
+}

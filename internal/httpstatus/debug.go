@@ -52,11 +52,19 @@ type Options struct {
 	// Recorder, when set, mounts the fleet flight recorder's query
 	// plane:
 	//
-	//	GET /fleet/events?agent=&vm=&kind=&socket=&after=&since=&until=&n=
+	//	GET /fleet/events?agent=&vm=&kind=&socket=&trace=&after=&since=&until=&n=
 	//	GET /fleet/explain?vm=<name>[&agent=][&n=]
+	//	GET /fleet/trace?id=<trace id>
 	//
 	// Only the coordinator sets this.
 	Recorder *flightrec.Store
+	// Tenants, when set, mounts the fleet time-series plane:
+	//
+	//	GET /fleet/metrics[?format=prometheus]
+	//
+	// Only the coordinator sets this (a *cluster.Coordinator satisfies
+	// it).
+	Tenants TenantSource
 	// Placement, when set, mounts the fleet placement engine's status:
 	//
 	//	GET /fleet/placement — engine counters, inflight directives,

@@ -3,12 +3,22 @@ package httpstatus
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
+	"repro/internal/cluster"
 	"repro/internal/flightrec"
 	"repro/internal/obs"
 )
+
+// TenantSource exposes the coordinator's bounded per-tenant
+// time-series plane for /fleet/metrics. cluster.Coordinator implements
+// it.
+type TenantSource interface {
+	TenantMetricsSnapshot() cluster.TenantMetrics
+	WriteTenantPrometheus(w io.Writer) error
+}
 
 // defaultExplainTail bounds /fleet/explain responses when the client
 // does not pass ?n=.
@@ -27,10 +37,57 @@ func mountFleet(mux *http.ServeMux, opts Options) {
 			_ = enc.Encode(src.State())
 		})
 	}
+	if opts.Tenants != nil {
+		ts := opts.Tenants
+		// /fleet/metrics serves the per-tenant time-series plane: JSON by
+		// default, Prometheus gauges with ?format=prometheus.
+		mux.HandleFunc("/fleet/metrics", func(w http.ResponseWriter, r *http.Request) {
+			switch r.URL.Query().Get("format") {
+			case "", "json":
+				w.Header().Set("Content-Type", "application/json")
+				enc := json.NewEncoder(w)
+				enc.SetIndent("", "  ")
+				_ = enc.Encode(ts.TenantMetricsSnapshot())
+			case "prometheus":
+				w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+				if err := ts.WriteTenantPrometheus(w); err != nil {
+					http.Error(w, err.Error(), http.StatusInternalServerError)
+				}
+			default:
+				http.Error(w, "unknown format: want json or prometheus", http.StatusBadRequest)
+			}
+		})
+	}
 	store := opts.Recorder
 	if store == nil {
 		return
 	}
+	// /fleet/trace reconstructs one trace id's cross-process decision
+	// tree — pressure evidence, directive, execution, settlement — from
+	// the flight recorder. ?id= takes the decimal trace id events carry
+	// (hex accepted too).
+	mux.HandleFunc("/fleet/trace", func(w http.ResponseWriter, r *http.Request) {
+		s := r.URL.Query().Get("id")
+		if s == "" {
+			http.Error(w, "missing ?id=<trace id>", http.StatusBadRequest)
+			return
+		}
+		id, ok := parseTraceID(s)
+		if !ok {
+			http.Error(w, fmt.Sprintf("bad trace id %q", s), http.StatusBadRequest)
+			return
+		}
+		recs, err := store.Select(flightrec.Query{TraceID: id})
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		tree := flightrec.BuildTraceTree(id, recs)
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tree)
+	})
 	// /fleet/events streams matching records as JSON Lines, oldest
 	// first. Every filter is optional; ?after= takes a record id and is
 	// the tail cursor dcat-trace uses.
@@ -60,6 +117,9 @@ func mountFleet(mux *http.ServeMux, opts Options) {
 			Agent:    r.URL.Query().Get("agent"),
 			LastN:    n,
 		}
+		if !timeParams(w, r, &q) {
+			return
+		}
 		writeRecords(w, store, q)
 	})
 }
@@ -88,6 +148,14 @@ func fleetQuery(w http.ResponseWriter, r *http.Request) (flightrec.Query, bool) 
 		}
 		q.Socket = &sock
 	}
+	if s := vals.Get("trace"); s != "" {
+		id, ok := parseTraceID(s)
+		if !ok {
+			http.Error(w, fmt.Sprintf("bad trace %q", s), http.StatusBadRequest)
+			return q, false
+		}
+		q.TraceID = id
+	}
 	if s := vals.Get("after"); s != "" {
 		id, err := strconv.ParseUint(s, 10, 64)
 		if err != nil {
@@ -96,15 +164,8 @@ func fleetQuery(w http.ResponseWriter, r *http.Request) (flightrec.Query, bool) 
 		}
 		q.AfterID = id
 	}
-	for name, dst := range map[string]*int64{"since": &q.SinceUnix, "until": &q.UntilUnix} {
-		if s := vals.Get(name); s != "" {
-			t, err := strconv.ParseInt(s, 10, 64)
-			if err != nil {
-				http.Error(w, fmt.Sprintf("bad %s %q: want a Unix timestamp", name, s), http.StatusBadRequest)
-				return q, false
-			}
-			*dst = t
-		}
+	if !timeParams(w, r, &q) {
+		return q, false
 	}
 	n, ok := tailParam(w, r, 0)
 	if !ok {
@@ -112,6 +173,36 @@ func fleetQuery(w http.ResponseWriter, r *http.Request) (flightrec.Query, bool) 
 	}
 	q.LastN = n
 	return q, true
+}
+
+// timeParams parses the shared ?since=/&until= Unix-timestamp bounds
+// into q; false means an error response has been written.
+func timeParams(w http.ResponseWriter, r *http.Request, q *flightrec.Query) bool {
+	vals := r.URL.Query()
+	for name, dst := range map[string]*int64{"since": &q.SinceUnix, "until": &q.UntilUnix} {
+		if s := vals.Get(name); s != "" {
+			t, err := strconv.ParseInt(s, 10, 64)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("bad %s %q: want a Unix timestamp", name, s), http.StatusBadRequest)
+				return false
+			}
+			*dst = t
+		}
+	}
+	return true
+}
+
+// parseTraceID accepts a trace id as decimal (how events render it in
+// JSON) or hex (how the X-Dcat-Trace header spells it).
+func parseTraceID(s string) (uint64, bool) {
+	id, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		id, err = strconv.ParseUint(s, 16, 64)
+	}
+	if err != nil || id == 0 {
+		return 0, false
+	}
+	return id, true
 }
 
 // writeRecords runs one query and streams the result as NDJSON.

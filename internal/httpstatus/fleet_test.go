@@ -202,3 +202,90 @@ func TestDebugJournalHealthyTraceSink(t *testing.T) {
 		t.Errorf("X-Dcat-Trace-Dropped = %q, want 0", got)
 	}
 }
+
+func TestFleetTraceEndpoint(t *testing.T) {
+	store, err := flightrec.Open(flightrec.Config{
+		Dir: t.TempDir(),
+		Now: func() time.Time { return time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	events := []obs.Event{
+		{Kind: obs.KindPlacementPressure, Workload: "vm0", TraceID: 7, SpanID: 7},
+		{Kind: obs.KindPlacementIssued, Workload: "vm0", TraceID: 7, SpanID: 20, ParentID: 7},
+		{Kind: obs.KindPlacementExecuted, Workload: "vm0", TraceID: 7, SpanID: 30, ParentID: 20},
+		{Kind: obs.KindPlacementVerified, Workload: "vm0", TraceID: 7, SpanID: 40, ParentID: 30},
+		{Kind: obs.KindWayGrant, Workload: "vm1"}, // untraced noise
+	}
+	if _, err := store.Append("host-a", 1, 0, events, 0); err != nil {
+		t.Fatal(err)
+	}
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{})
+	srv := httptest.NewServer(ClusterHandlerOpts(coord, Options{Recorder: store}))
+	t.Cleanup(srv.Close)
+
+	res := get(t, srv.URL, "/fleet/trace?id=7")
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	var tree flightrec.TraceTree
+	if err := json.NewDecoder(res.Body).Decode(&tree); err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Roots) != 1 || len(tree.Orphans) != 0 || tree.Spans() != 4 {
+		t.Fatalf("tree roots=%d orphans=%d spans=%d, want 1/0/4",
+			len(tree.Roots), len(tree.Orphans), tree.Spans())
+	}
+
+	// The same id spelled in hex resolves identically.
+	res2 := get(t, srv.URL, "/fleet/trace?id=0000000000000007")
+	res2.Body.Close()
+	if res2.StatusCode != 200 {
+		t.Fatalf("hex id: status %d", res2.StatusCode)
+	}
+
+	// ?trace= filters /fleet/events to one trace.
+	if got := len(fetchRecords(t, srv.URL, "/fleet/events?trace=7")); got != 4 {
+		t.Errorf("/fleet/events?trace=7 returned %d records, want 4", got)
+	}
+
+	for _, path := range []string{"/fleet/trace", "/fleet/trace?id=zz", "/fleet/trace?id=0"} {
+		if code := getStatus(t, srv.URL, path); code != 400 {
+			t.Errorf("%s: status %d, want 400", path, code)
+		}
+	}
+}
+
+func TestFleetMetricsEndpoint(t *testing.T) {
+	now := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	coord := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Now: func() time.Time { return now },
+	})
+	srv := httptest.NewServer(ClusterHandlerOpts(coord, Options{Tenants: coord}))
+	t.Cleanup(srv.Close)
+
+	res := get(t, srv.URL, "/fleet/metrics")
+	defer res.Body.Close()
+	if res.StatusCode != 200 {
+		t.Fatalf("status %d", res.StatusCode)
+	}
+	var m cluster.TenantMetrics
+	if err := json.NewDecoder(res.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.RingSize <= 0 || m.MaxTenants <= 0 {
+		t.Errorf("memory bound undocumented: ring=%d maxTenants=%d", m.RingSize, m.MaxTenants)
+	}
+
+	res2 := get(t, srv.URL, "/fleet/metrics?format=prometheus")
+	res2.Body.Close()
+	if res2.StatusCode != 200 {
+		t.Fatalf("prometheus format: status %d", res2.StatusCode)
+	}
+	if code := getStatus(t, srv.URL, "/fleet/metrics?format=xml"); code != 400 {
+		t.Errorf("unknown format: status %d, want 400", code)
+	}
+}

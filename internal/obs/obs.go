@@ -61,6 +61,10 @@ const (
 	// KindPlacementRolledBack: verification failed or timed out; the
 	// engine issued the reverse move.
 	KindPlacementRolledBack
+	// KindPlacementPressure: the placement engine observed socket
+	// pressure that justified evaluating a move — the root span of a
+	// placement causality trace.
+	KindPlacementPressure
 )
 
 var kindNames = [...]string{
@@ -76,6 +80,7 @@ var kindNames = [...]string{
 	KindPlacementExecuted:   "PlacementExecuted",
 	KindPlacementVerified:   "PlacementVerified",
 	KindPlacementRolledBack: "PlacementRolledBack",
+	KindPlacementPressure:   "PlacementPressure",
 }
 
 // String names the kind as it appears in JSONL output.
@@ -153,6 +158,16 @@ type Event struct {
 	OldVal  float64 `json:"old_val,omitempty"`
 	NewVal  float64 `json:"new_val,omitempty"`
 	Reason  string  `json:"reason"`
+	// Causality fields (all optional; zero means "untraced"). A trace
+	// groups every event downstream of one decision — a controller rule
+	// firing or a placement evaluation — across processes. SpanID is
+	// this event's own node in the trace tree; ParentID is the SpanID
+	// of the event that caused it (0 for the root). The fields are
+	// plain integers so stamping them stays a stack write: tracing is
+	// pay-as-you-go and the untraced hot path is unchanged.
+	TraceID  uint64 `json:"trace_id,omitempty"`
+	SpanID   uint64 `json:"span_id,omitempty"`
+	ParentID uint64 `json:"parent_id,omitempty"`
 }
 
 // Sink consumes decision-trace events. Emit is called synchronously

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestIDGenDeterministicAndNonZero(t *testing.T) {
+	a := NewIDGen(42)
+	b := NewIDGen(42)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10_000; i++ {
+		x, y := a.Next(), b.Next()
+		if x != y {
+			t.Fatalf("same-seed generators diverged at %d: %x vs %x", i, x, y)
+		}
+		if x == 0 {
+			t.Fatalf("IDGen returned 0 at %d", i)
+		}
+		if seen[x] {
+			t.Fatalf("IDGen repeated %x within 10k draws", x)
+		}
+		seen[x] = true
+	}
+	if c := NewIDGen(43).Next(); c == NewIDGen(42).Next() {
+		t.Error("different seeds produced the same first ID")
+	}
+	if NewIDGen(0).Next() == 0 {
+		t.Error("time-seeded generator returned 0")
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	cases := []TraceContext{
+		{TraceID: 1, SpanID: 2},
+		{TraceID: 0xdeadbeefcafef00d, SpanID: 0xffffffffffffffff},
+		{TraceID: 0x4d2, SpanID: 0x162e},
+	}
+	for _, tc := range cases {
+		s := tc.String()
+		got, err := ParseTraceContext(s)
+		if err != nil {
+			t.Fatalf("ParseTraceContext(%q): %v", s, err)
+		}
+		if got != tc {
+			t.Errorf("round trip %q: got %+v want %+v", s, got, tc)
+		}
+	}
+	if got, err := ParseTraceContext(""); err != nil || !got.Zero() {
+		t.Errorf("empty header: got %+v, %v; want zero context, nil", got, err)
+	}
+	for _, bad := range []string{
+		"xyz", "1-2", "00000000000004d2_000000000000162e",
+		"00000000000004d2-000000000000162", // short second half
+		"g0000000000004d2-000000000000162e",
+	} {
+		if _, err := ParseTraceContext(bad); err == nil {
+			t.Errorf("ParseTraceContext(%q) accepted garbage", bad)
+		}
+	}
+}
+
+func TestTraceSinkBirthsRootSpans(t *testing.T) {
+	var got []Event
+	sink := Trace(sinkFunc(func(ev Event) { got = append(got, ev) }), NewIDGen(7))
+
+	sink.Emit(Event{Kind: KindWayGrant, Workload: "web", Reason: "r"})
+	sink.Emit(Event{Kind: KindWayReclaim, Workload: "web", Reason: "r"})
+	pre := Event{Kind: KindPlacementExecuted, TraceID: 99, SpanID: 5, ParentID: 3, Reason: "r"}
+	sink.Emit(pre)
+
+	if len(got) != 3 {
+		t.Fatalf("forwarded %d events, want 3", len(got))
+	}
+	for i, ev := range got[:2] {
+		if ev.TraceID == 0 || ev.TraceID != ev.SpanID || ev.ParentID != 0 {
+			t.Errorf("event %d not a root span: %+v", i, ev)
+		}
+	}
+	if got[0].TraceID == got[1].TraceID {
+		t.Error("two rule firings share a trace ID")
+	}
+	if got[2] != pre {
+		t.Errorf("pre-traced event rewritten: %+v", got[2])
+	}
+
+	if Trace(nil, NewIDGen(1)) != nil {
+		t.Error("Trace(nil, gen) should stay nil")
+	}
+	inner := sinkFunc(func(Event) {})
+	if s := Trace(inner, nil); s == nil {
+		t.Error("Trace(sink, nil) should pass the sink through")
+	}
+}
+
+type sinkFunc func(Event)
+
+func (f sinkFunc) Emit(ev Event) { f(ev) }

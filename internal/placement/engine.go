@@ -15,6 +15,8 @@ import (
 const (
 	reasonPressure = "source LLC pool exhausted while a sibling socket has headroom: moving the hungriest workload"
 
+	reasonPressureEvidence = "pressure evidence: source free ways at or below threshold, destination has headroom"
+
 	reasonVerified = "execution evidence found in the flight recorder: move settled"
 
 	reasonRollback = "no execution evidence within the verification window: issuing the reverse move"
@@ -47,6 +49,12 @@ type Config struct {
 	// OK ack settles directly (experiments driving the engine in
 	// process have no recorder between them and the truth).
 	Recorder *flightrec.Store
+	// Trace, when set, births one causality trace per proposed move:
+	// a PlacementPressure root span, a PlacementIssued child carried on
+	// the directive, and Verified/RolledBack spans parented under the
+	// agent's execution evidence. Nil keeps the engine byte-identical
+	// to the untraced build (directives and events carry zero IDs).
+	Trace *obs.IDGen
 }
 
 func (c Config) fill() Config {
@@ -89,6 +97,10 @@ type move struct {
 	phase    movePhase
 	issuedAt uint64 // evaluation counter at issue
 	rollback bool
+	// execSpan is the SpanID of the agent's PlacementExecuted event,
+	// learned from the X-Dcat-Trace header on the acking poll or from
+	// the recorder evidence — the parent of the settlement span.
+	execSpan uint64
 }
 
 // Engine scores fleet views and owns the directive lifecycle. All
@@ -134,6 +146,24 @@ func (e *Engine) SetSink(s obs.Sink) {
 
 func key(agent, workload string) string { return agent + "/" + workload }
 
+// spanLocked draws a fresh span ID, or 0 when tracing is off.
+func (e *Engine) spanLocked() uint64 {
+	if e.cfg.Trace == nil {
+		return 0
+	}
+	return e.cfg.Trace.Next()
+}
+
+// parentSpan is the span a move's terminal event (Verified/RolledBack)
+// hangs under: the agent's execution span when known, else the issue
+// span.
+func (m *move) parentSpan() uint64 {
+	if m.execSpan != 0 {
+		return m.execSpan
+	}
+	return m.d.SpanID
+}
+
 // Evaluate runs one engine pass over the fleet: scan the recorder for
 // execution evidence and reclaim pressure, settle or roll back
 // inflight directives, then score the views and issue new directives
@@ -158,7 +188,9 @@ func (e *Engine) Evaluate(views []AgentView) []MoveDirective {
 		if d, ok := e.scoreLocked(v); ok {
 			e.inflight = append(e.inflight, &move{d: d, issuedAt: e.evals})
 			e.issued++
-			e.emitLocked(obs.KindPlacementIssued, d, d.Reason)
+			// The issue span hangs under the trace's pressure root span
+			// (whose SpanID is the TraceID itself).
+			e.emitLocked(obs.KindPlacementIssued, d, d.Reason, d.SpanID, d.TraceID)
 			issued = append(issued, d)
 		}
 	}
@@ -191,6 +223,9 @@ func (e *Engine) scanRecorderLocked() {
 					// but the ack rides the next poll. The record is proof
 					// either way — settle now; the late ack for a directive
 					// no longer inflight is ignored.
+					if r.Event.TraceID == m.d.TraceID && r.Event.SpanID != 0 {
+						m.execSpan = r.Event.SpanID
+					}
 					if m.phase == phaseIssued {
 						e.executed++
 					}
@@ -208,7 +243,7 @@ func (e *Engine) settleLocked(i int) {
 	e.inflight = append(e.inflight[:i], e.inflight[i+1:]...)
 	e.settled++
 	e.cooldown[key(m.d.Agent, m.d.Workload)] = e.evals + uint64(e.cfg.Cooldown)
-	e.emitLocked(obs.KindPlacementVerified, m.d, reasonVerified)
+	e.emitLocked(obs.KindPlacementVerified, m.d, reasonVerified, e.spanLocked(), m.parentSpan())
 }
 
 // expireLocked rolls back directives that aged past the verification
@@ -223,10 +258,13 @@ func (e *Engine) expireLocked() {
 		}
 		e.rolledBack++
 		e.cooldown[key(m.d.Agent, m.d.Workload)] = e.evals + uint64(e.cfg.Cooldown)
-		e.emitLocked(obs.KindPlacementRolledBack, m.d, reasonRollback)
+		rbSpan := e.spanLocked()
+		e.emitLocked(obs.KindPlacementRolledBack, m.d, reasonRollback, rbSpan, m.parentSpan())
 		if m.rollback {
 			continue
 		}
+		// The reverse directive stays inside the original trace: its
+		// issue span hangs under the rollback decision.
 		rev := MoveDirective{
 			ID:         e.nextID,
 			Agent:      m.d.Agent,
@@ -234,11 +272,13 @@ func (e *Engine) expireLocked() {
 			FromSocket: m.d.ToSocket,
 			ToSocket:   m.d.FromSocket,
 			Reason:     reasonRollback,
+			TraceID:    m.d.TraceID,
+			SpanID:     e.spanLocked(),
 		}
 		e.nextID++
 		kept = append(kept, &move{d: rev, issuedAt: e.evals, rollback: true})
 		e.issued++
-		e.emitLocked(obs.KindPlacementIssued, rev, reasonRollback)
+		e.emitLocked(obs.KindPlacementIssued, rev, reasonRollback, rev.SpanID, rbSpan)
 	}
 	e.inflight = kept
 }
@@ -344,6 +384,29 @@ func (e *Engine) scoreLocked(v AgentView) (MoveDirective, bool) {
 		Reason:     reasonPressure,
 	}
 	e.nextID++
+	if e.cfg.Trace != nil {
+		// A trace is born here: the pressure observation is the root
+		// span (SpanID == TraceID), the directive carries the issue
+		// span. Emitting the evidence before the Issued event keeps the
+		// recorder's per-hop timestamps in causal order.
+		d.TraceID = e.cfg.Trace.Next()
+		d.SpanID = e.cfg.Trace.Next()
+		if e.sink != nil {
+			e.sink.Emit(obs.Event{
+				Tick:     int(e.evals),
+				Kind:     obs.KindPlacementPressure,
+				Workload: cand.Name,
+				Socket:   src.socket,
+				From:     fmt.Sprintf("socket %d", src.socket),
+				To:       fmt.Sprintf("socket %d", dst.socket),
+				OldWays:  free(src),
+				NewWays:  free(dst),
+				Reason:   reasonPressureEvidence,
+				TraceID:  d.TraceID,
+				SpanID:   d.TraceID,
+			})
+		}
+	}
 	return d, true
 }
 
@@ -376,10 +439,20 @@ func (e *Engine) Directives(agent string) []MoveDirective {
 // directive to verification (or settles it outright when no recorder
 // is wired); a failed ack abandons the move and cools the workload
 // down. Unknown IDs are ignored — re-acks after an engine restart or a
-// duplicate poll are harmless.
-func (e *Engine) Ack(agent string, acks []DirectiveAck) {
+// duplicate poll are harmless. trace is the X-Dcat-Trace context the
+// agent sent with the poll (zero when absent): it names the execution
+// span of the acked move, so settlement parents correctly even before
+// — or without — the recorder evidence arriving.
+func (e *Engine) Ack(agent string, acks []DirectiveAck, trace obs.TraceContext) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if !trace.Zero() {
+		for _, m := range e.inflight {
+			if m.d.Agent == agent && m.d.TraceID == trace.TraceID && m.execSpan == 0 {
+				m.execSpan = trace.SpanID
+			}
+		}
+	}
 	for _, a := range acks {
 		for i, m := range e.inflight {
 			if m.d.ID != a.ID || m.d.Agent != agent || m.phase != phaseIssued {
@@ -389,7 +462,7 @@ func (e *Engine) Ack(agent string, acks []DirectiveAck) {
 				e.inflight = append(e.inflight[:i], e.inflight[i+1:]...)
 				e.failed++
 				e.cooldown[key(agent, m.d.Workload)] = e.evals + uint64(e.cfg.Cooldown)
-				e.emitLocked(obs.KindPlacementRolledBack, m.d, reasonAckFailed)
+				e.emitLocked(obs.KindPlacementRolledBack, m.d, reasonAckFailed, e.spanLocked(), m.d.SpanID)
 				break
 			}
 			e.executed++
@@ -438,8 +511,9 @@ func (e *Engine) State() State {
 // emitLocked sends one placement event: Workload is the moved
 // workload, Socket the source, From/To the socket pair as strings, and
 // Tick the engine's evaluation counter (the engine has no controller
-// tick of its own).
-func (e *Engine) emitLocked(kind obs.Kind, d MoveDirective, reason string) {
+// tick of its own). span/parent place the event in the directive's
+// causality trace (both 0 when tracing is off).
+func (e *Engine) emitLocked(kind obs.Kind, d MoveDirective, reason string, span, parent uint64) {
 	if e.sink == nil {
 		return
 	}
@@ -452,5 +526,8 @@ func (e *Engine) emitLocked(kind obs.Kind, d MoveDirective, reason string) {
 		To:       fmt.Sprintf("socket %d", d.ToSocket),
 		NewWays:  d.ToSocket,
 		Reason:   reason,
+		TraceID:  d.TraceID,
+		SpanID:   span,
+		ParentID: parent,
 	})
 }

@@ -176,7 +176,7 @@ func TestLifecycleAckSettlesWithoutRecorder(t *testing.T) {
 	if ds := e.Directives("host-b"); len(ds) != 0 {
 		t.Fatalf("foreign agent polled someone else's directive: %+v", ds)
 	}
-	e.Ack("host-a", []DirectiveAck{{ID: got[0].ID, OK: true}})
+	e.Ack("host-a", []DirectiveAck{{ID: got[0].ID, OK: true}}, obs.TraceContext{})
 	st := e.State()
 	if st.Settled != 1 || st.Executed != 1 || len(st.Inflight) != 0 {
 		t.Fatalf("ack did not settle: %+v", st)
@@ -206,7 +206,7 @@ func TestLifecycleFailedAckCoolsDown(t *testing.T) {
 	if len(got) != 1 {
 		t.Fatalf("expected one directive, got %+v", got)
 	}
-	e.Ack("host-a", []DirectiveAck{{ID: got[0].ID, OK: false, Detail: "out of cores"}})
+	e.Ack("host-a", []DirectiveAck{{ID: got[0].ID, OK: false, Detail: "out of cores"}}, obs.TraceContext{})
 	st := e.State()
 	if st.Failed != 1 || st.Settled != 0 || len(st.Inflight) != 0 {
 		t.Fatalf("failed ack mishandled: %+v", st)
@@ -235,7 +235,7 @@ func TestLifecycleVerifyTimeoutRollsBack(t *testing.T) {
 	if len(got) != 1 {
 		t.Fatalf("expected one directive, got %+v", got)
 	}
-	e.Ack("host-a", []DirectiveAck{{ID: got[0].ID, OK: true}})
+	e.Ack("host-a", []DirectiveAck{{ID: got[0].ID, OK: true}}, obs.TraceContext{})
 	for i := 0; i < 3; i++ {
 		e.Evaluate(v)
 	}

@@ -33,6 +33,14 @@ type MoveDirective struct {
 	FromSocket int    `json:"from_socket"`
 	ToSocket   int    `json:"to_socket"`
 	Reason     string `json:"reason,omitempty"`
+	// TraceID/SpanID tie the directive into the causality trace born
+	// when the engine observed the pressure (see Config.Trace): TraceID
+	// names the whole decision tree, SpanID the PlacementIssued span.
+	// The executing agent stamps both onto its PlacementExecuted event
+	// (as TraceID/ParentID), which is how one trace follows the move
+	// across the process boundary. Zero when tracing is off.
+	TraceID uint64 `json:"trace_id,omitempty"`
+	SpanID  uint64 `json:"span_id,omitempty"`
 }
 
 // DirectiveAck is an agent's execution verdict for one directive.
