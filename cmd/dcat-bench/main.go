@@ -9,6 +9,8 @@
 //	dcat-bench -out results/   # also save one file per experiment
 //	dcat-bench -json           # write per-experiment timings to BENCH_bench.json
 //	dcat-bench -sockets 2      # run the suite on a 2-socket NUMA host
+//	dcat-bench -study studies.json             # also run a declarative study sweep
+//	dcat-bench -study studies.json -study-dry-run  # validate + print the plan only
 //	dcat-bench -list
 //
 // Experiment text goes to stdout in paper order (byte-identical for
@@ -34,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/study"
 )
 
 // jsonReportPath is where -json writes per-experiment timings; the CI
@@ -53,6 +56,9 @@ func main() {
 		sockets  = flag.Int("sockets", 0, "run every experiment on an N-socket NUMA host (0 = original single-socket host)")
 		penalty  = flag.Uint64("remote-penalty", 0, "cross-socket DRAM penalty in cycles (0 = default when -sockets > 1)")
 		tracePth = flag.String("trace", "", "also replay this recorded trace (dcat-sim -record) as the chunked 'trace-replay' experiment")
+		studyPth = flag.String("study", "", "also run this declarative study file (see docs/EXPERIMENTS.md) as the 'study' experiment")
+		studyDry = flag.Bool("study-dry-run", false, "validate the -study file, print its scenario plan, and exit without running anything")
+		studyOut = flag.String("study-out", "study_results", "directory for per-study result dirs and the cross-study table (with -study)")
 		noThru   = flag.Bool("no-throughput", false, "skip the accesses/sec hot-path throughput report")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file (pprof)")
 		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit (pprof)")
@@ -72,6 +78,9 @@ func main() {
 		sockets:    *sockets,
 		penalty:    *penalty,
 		trace:      *tracePth,
+		study:      *studyPth,
+		studyDry:   *studyDry,
+		studyOut:   *studyOut,
 		throughput: !*noThru,
 		cpuProfile: *cpuProf,
 		memProfile: *memProf,
@@ -93,12 +102,26 @@ type config struct {
 	sockets    int
 	penalty    uint64
 	trace      string
+	study      string
+	studyDry   bool
+	studyOut   string
 	throughput bool
 	cpuProfile string
 	memProfile string
 }
 
 func realMain(ctx context.Context, cfg config) error {
+	if cfg.studyDry {
+		if cfg.study == "" {
+			return fmt.Errorf("-study-dry-run needs -study <file>")
+		}
+		f, err := study.Load(cfg.study)
+		if err != nil {
+			return err
+		}
+		fmt.Print(study.Plan(f))
+		return nil
+	}
 	if cfg.list {
 		for _, r := range experiments.All() {
 			fmt.Printf("%-20s %s\n", r.ID, r.Title)
@@ -146,6 +169,17 @@ func realMain(ctx context.Context, cfg config) error {
 	extra := map[string]experiments.Runner{}
 	if cfg.trace != "" {
 		r := experiments.TraceReplayRunner(cfg.trace)
+		extra[r.ID] = r
+	}
+	// The study experiment exists only when -study names a study file.
+	// Validation happens up front (the dry-run contract: a malformed
+	// file fails before any experiment runs), and the loaded file is
+	// re-read by the runner so it behaves like any other experiment.
+	if cfg.study != "" {
+		if _, err := study.Load(cfg.study); err != nil {
+			return err
+		}
+		r := experiments.StudyRunner(cfg.study, cfg.studyOut)
 		extra[r.ID] = r
 	}
 	var runners []experiments.Runner

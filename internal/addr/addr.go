@@ -64,9 +64,21 @@ func (a *SeqAllocator) AllocFrame(size PageSize) (uint64, error) {
 	return base, nil
 }
 
+// FrameFreer is implemented by allocators that can take frames back —
+// what tenant churn needs so long-running hosts don't leak physical
+// memory as VMs come and go. Freed frames are recycled before the
+// allocator's untouched permutation is consumed, so runs that never
+// free are byte-identical to runs against allocators without it.
+type FrameFreer interface {
+	// FreeFrame returns a frame previously handed out by AllocFrame.
+	FreeFrame(base uint64, size PageSize)
+}
+
 // RandAllocator allocates frames at random positions in a fixed-size
 // physical memory, modeling a long-running, fragmented machine. Frames
-// never collide: a permutation of frame numbers is consumed in order.
+// never collide: a permutation of frame numbers is consumed in order,
+// except that frames returned via FreeFrame are recycled (most recently
+// freed first) before the permutation advances.
 type RandAllocator struct {
 	rng      *rand.Rand
 	base     uint64 // physical offset added to every frame (NUMA socket base)
@@ -75,6 +87,8 @@ type RandAllocator struct {
 	free2m   []uint64 // shuffled free 2M frame numbers
 	idx4k    int
 	idx2m    int
+	rec4k    []uint64 // recycled 4K frame numbers (LIFO)
+	rec2m    []uint64 // recycled 2M frame numbers (LIFO)
 }
 
 // NewRandAllocator models memBytes of physical memory with randomized
@@ -119,6 +133,11 @@ func NewRandAllocatorAt(base, memBytes uint64, seed int64) *RandAllocator {
 func (a *RandAllocator) AllocFrame(size PageSize) (uint64, error) {
 	switch size {
 	case PageSize4K:
+		if n := len(a.rec4k); n > 0 {
+			f := a.rec4k[n-1]
+			a.rec4k = a.rec4k[:n-1]
+			return a.base + f*PageSize4K, nil
+		}
 		if a.idx4k >= len(a.free4k) {
 			return 0, fmt.Errorf("addr: out of 4K frames (%d allocated)", a.idx4k)
 		}
@@ -126,6 +145,11 @@ func (a *RandAllocator) AllocFrame(size PageSize) (uint64, error) {
 		a.idx4k++
 		return a.base + f*PageSize4K, nil
 	case PageSize2M:
+		if n := len(a.rec2m); n > 0 {
+			f := a.rec2m[n-1]
+			a.rec2m = a.rec2m[:n-1]
+			return a.base + f*PageSize2M, nil
+		}
 		if a.idx2m >= len(a.free2m) {
 			return 0, fmt.Errorf("addr: out of 2M frames (%d allocated)", a.idx2m)
 		}
@@ -137,17 +161,49 @@ func (a *RandAllocator) AllocFrame(size PageSize) (uint64, error) {
 	}
 }
 
+// FreeFrame implements FrameFreer: the frame returns to the recycled
+// stack and is handed out again before the permutation advances. It
+// panics on a frame this allocator never produced — frees are driven
+// by Space.Release over frames the allocator handed out, so a foreign
+// address is a programming error, not an operator input.
+func (a *RandAllocator) FreeFrame(base uint64, size PageSize) {
+	if base < a.base || base >= a.base+a.memBytes {
+		panic(fmt.Sprintf("addr: freeing frame %#x outside [%#x,%#x)", base, a.base, a.base+a.memBytes))
+	}
+	off := base - a.base
+	if off%uint64(size) != 0 {
+		panic(fmt.Sprintf("addr: freeing misaligned %d-byte frame %#x", size, base))
+	}
+	switch size {
+	case PageSize4K:
+		a.rec4k = append(a.rec4k, off/PageSize4K)
+	case PageSize2M:
+		a.rec2m = append(a.rec2m, off/PageSize2M)
+	default:
+		panic(fmt.Sprintf("addr: invalid page size %d", size))
+	}
+}
+
+// InUseBytes reports the physical memory currently handed out and not
+// yet freed — the leak gauge churn tests watch.
+func (a *RandAllocator) InUseBytes() uint64 {
+	return uint64(a.idx4k-len(a.rec4k))*PageSize4K + uint64(a.idx2m-len(a.rec2m))*PageSize2M
+}
+
 // Space is one workload's virtual address space: a single mapped region
 // of Size bytes starting at virtual address 0, translated page by page.
 type Space struct {
 	pageSize PageSize
 	size     uint64
 	frames   []uint64 // physical base per page, indexed by vpn
+	alloc    FrameAllocator
 }
 
 // NewSpace maps size bytes using pages of pageSize, drawing frames from
 // alloc. The whole region is populated eagerly (the paper's benchmarks
-// touch their entire arrays immediately).
+// touch their entire arrays immediately). If the allocator runs out
+// partway and supports freeing, the partial mapping is returned to it,
+// so a rejected arrival leaves no memory behind.
 func NewSpace(size uint64, pageSize PageSize, alloc FrameAllocator) (*Space, error) {
 	if size == 0 {
 		return nil, fmt.Errorf("addr: zero-sized space")
@@ -161,11 +217,32 @@ func NewSpace(size uint64, pageSize PageSize, alloc FrameAllocator) (*Space, err
 	for i := range frames {
 		f, err := alloc.AllocFrame(pageSize)
 		if err != nil {
+			if freer, ok := alloc.(FrameFreer); ok {
+				for _, got := range frames[:i] {
+					freer.FreeFrame(got, pageSize)
+				}
+			}
 			return nil, fmt.Errorf("addr: mapping page %d: %w", i, err)
 		}
 		frames[i] = f
 	}
-	return &Space{pageSize: pageSize, size: size, frames: frames}, nil
+	return &Space{pageSize: pageSize, size: size, frames: frames, alloc: alloc}, nil
+}
+
+// Release unmaps the space, returning its frames to the allocator when
+// the allocator supports freeing (FrameFreer); otherwise it only drops
+// the page table. Safe to call more than once — the second call is a
+// no-op. The space must not be translated through afterwards.
+func (s *Space) Release() {
+	if s.frames == nil {
+		return
+	}
+	if freer, ok := s.alloc.(FrameFreer); ok {
+		for _, f := range s.frames {
+			freer.FreeFrame(f, s.pageSize)
+		}
+	}
+	s.frames = nil
 }
 
 // Size returns the mapped length in bytes.

@@ -219,6 +219,7 @@ func (c *Controller) Snapshot() []Status {
 			MissRate: w.lastMiss,
 			MAPI:     w.phaseMAPI,
 			LLCRef:   w.lastLLCRef,
+			Graced:   w.graceLeft > 0,
 		})
 	}
 	return out

@@ -123,6 +123,45 @@ func (m *MultiController) SetWayCap(name string, ways int) bool {
 	return false
 }
 
+// AddTarget hands a new workload to the given socket's loop mid-run —
+// tenant churn's hot-plug path. The arrival is registered in the
+// name→socket index so Ways/StateOf/Migrate see churned tenants
+// exactly like construction-time ones, and the arrival grace
+// (Config.ArrivalGraceTicks) arms just as it does for a migration
+// import, since a hot-plugged tenant refills a cold LLC the same way.
+func (m *MultiController) AddTarget(socket int, t Target, st *WorkloadState) error {
+	ctl, ok := m.ctls[socket]
+	if !ok {
+		return fmt.Errorf("core: no controller on socket %d", socket)
+	}
+	if prev, dup := m.homeOf[t.Name]; dup {
+		return fmt.Errorf("core: workload %q already managed on socket %d", t.Name, prev)
+	}
+	if err := ctl.AddTarget(t, st); err != nil {
+		return err
+	}
+	m.homeOf[t.Name] = socket
+	return nil
+}
+
+// RemoveTarget stops managing a workload wherever it lives — tenant
+// churn's departure path. The workload's learned state is returned
+// (callers that re-admit the tenant later can carry it back in), its
+// CLOS group is reclaimed by its socket's loop, and the name leaves
+// the index.
+func (m *MultiController) RemoveTarget(name string) (WorkloadState, error) {
+	s, ok := m.homeOf[name]
+	if !ok {
+		return WorkloadState{}, fmt.Errorf("core: no workload %q", name)
+	}
+	st, err := m.ctls[s].RemoveTarget(name)
+	if err != nil {
+		return WorkloadState{}, err
+	}
+	delete(m.homeOf, name)
+	return st, nil
+}
+
 // Migrate moves a workload's decision-loop state from its current
 // socket's controller to another's: the source exports and drops it,
 // the destination imports it on the given cores (the ones the host

@@ -90,6 +90,12 @@ type Status struct {
 	MissRate float64
 	MAPI     float64
 	LLCRef   uint64
+	// Graced reports an active post-arrival classification grace
+	// (Config.ArrivalGraceTicks): the workload arrived recently enough
+	// that Streaming verdicts are still suspended. The invariant
+	// State==StateStreaming && Graced can never hold; the study harness
+	// audits it on every churn arrival.
+	Graced bool
 	// Socket is the LLC domain the workload runs on (0 on single-socket
 	// hosts; stamped by MultiController on NUMA hosts).
 	Socket int

@@ -342,10 +342,13 @@ func (h *Host) FreeCores(socket int) int {
 }
 
 // RemoveVM tears a tenant down: its cores return to the socket's free
-// list for reuse by later AddVMOn/MigrateVM calls and the VM drops out
-// of the interval loop. Cached lines the workload left behind decay by
-// natural eviction, as on real hardware; the tenant's CLOS group and
-// ways are the controller's to reclaim (core.Controller.RemoveTarget).
+// list for reuse by later AddVMOn/MigrateVM calls, its workload's
+// physical frames go back to the allocator they came from (when the
+// generator supports Release — all in-tree generators do), and the VM
+// drops out of the interval loop. Cached lines the workload left
+// behind decay by natural eviction, as on real hardware; the tenant's
+// CLOS group and ways are the controller's to reclaim
+// (core.Controller.RemoveTarget).
 func (h *Host) RemoveVM(name string) error {
 	for i, v := range h.vms {
 		if v.Name != name {
@@ -353,9 +356,22 @@ func (h *Host) RemoveVM(name string) error {
 		}
 		h.releaseCores(v.Socket, v.Cores)
 		h.vms = append(h.vms[:i], h.vms[i+1:]...)
+		if r, ok := v.Gen.(workload.Releaser); ok {
+			r.Release()
+		}
 		return nil
 	}
 	return fmt.Errorf("host: no VM %q", name)
+}
+
+// AllocatedBytes reports how much of a socket's DRAM is currently
+// handed out to workloads — the gauge churn tests watch to prove
+// departures leak nothing.
+func (h *Host) AllocatedBytes(socket int) uint64 {
+	if socket < 0 || socket >= len(h.allocs) {
+		return 0
+	}
+	return h.allocs[socket].InUseBytes()
 }
 
 // MigrateVM live-migrates a tenant's execution to another socket: the

@@ -1,0 +1,104 @@
+package study
+
+import "math/rand"
+
+// Arrival curves translate a pattern name into a load-level sequence —
+// the per-interval RPS multiplier a tenant sees. A curve is a stateful
+// closure: call it once per tick, in order. Levels are quantized to a
+// coarse ladder so that when the level moves it moves by more than the
+// controller's phase threshold (10%), making every shift a bona fide
+// phase change through the MAPI counters rather than drift the sampler
+// smooths away.
+//
+// The same curve family also schedules churn arrivals (see run.go):
+// each interval accrues the current level as arrival credit, so a
+// bursty tenant population arrives in clumps and a diurnal one follows
+// the wave.
+
+// levelLadder quantizes a raw intensity so consecutive values differ
+// by at least 25% of base load.
+var levelLadder = []float64{0, 0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0}
+
+func quantize(raw float64) float64 {
+	best := levelLadder[0]
+	for _, l := range levelLadder[1:] {
+		if raw >= (best+l)/2 {
+			best = l
+		}
+	}
+	return best
+}
+
+// newCurve builds the named pattern's level sequence. Each tenant gets
+// its own curve seeded from the scenario seed plus its slot, so tenants
+// are decorrelated but the whole scenario replays exactly from its
+// seed. The name is post-validation (unknown → steady).
+func newCurve(name string, seed int64) func() float64 {
+	switch name {
+	case "poisson":
+		return poissonCurve(seed)
+	case "bursty":
+		return burstyCurve(seed)
+	case "diurnal":
+		return diurnalCurve(seed)
+	default:
+		return func() float64 { return 1 }
+	}
+}
+
+// poissonCurve models independent request arrivals: the level is a
+// normalized Poisson draw (mean 1) held for a few intervals — the
+// timescale on which a load balancer's smoothed RPS moves.
+func poissonCurve(seed int64) func() float64 {
+	rng := rand.New(rand.NewSource(seed))
+	hold, level := 0, 1.0
+	return func() float64 {
+		if hold == 0 {
+			hold = 3 + rng.Intn(3)
+			// Knuth's product method for Poisson(4), scaled to mean 1.
+			k, p := 0, 1.0
+			thresh := 0.0183156389 // e^-4
+			for p > thresh {
+				k++
+				p *= rng.Float64()
+			}
+			level = quantize(float64(k-1) / 4)
+		}
+		hold--
+		return level
+	}
+}
+
+// burstyCurve models flash-crowd traffic: a quiet floor punctuated by
+// short 4x spikes at jittered spacing.
+func burstyCurve(seed int64) func() float64 {
+	rng := rand.New(rand.NewSource(seed))
+	tick, nextBurst, burstLeft := 0, 4+int(seed%3+2)%7, 0
+	return func() float64 {
+		defer func() { tick++ }()
+		if burstLeft > 0 {
+			burstLeft--
+			return 2.0
+		}
+		if tick >= nextBurst {
+			burstLeft = 2
+			nextBurst = tick + 8 + rng.Intn(5)
+			return 2.0
+		}
+		return 0.5
+	}
+}
+
+// diurnalCurve models the day/night wave: a fixed table tracing one
+// quantized sine period over 12 intervals, phase-shifted by seed so
+// tenants don't peak in lockstep.
+func diurnalCurve(seed int64) func() float64 {
+	wave := []float64{0.5, 0.75, 1.0, 1.25, 1.5, 1.5, 1.25, 1.0, 0.75, 0.5, 0.25, 0.25}
+	phase := int(seed%int64(len(wave))+int64(len(wave))) % len(wave)
+	tick := 0
+	return func() float64 {
+		l := wave[(tick+phase)%len(wave)]
+		tick++
+		return l
+	}
+}

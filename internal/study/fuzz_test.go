@@ -1,0 +1,53 @@
+package study
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseStudy checks the study parser never panics and never
+// returns a file that could not run: whatever JSON the operator feeds
+// -study, Parse either errors or yields a file that re-validates
+// cleanly, expands to a bounded scenario count, and names only known
+// mixes, arrival patterns, and machines — the same contract
+// FuzzParseNUMA enforces for topology specs.
+func FuzzParseStudy(f *testing.F) {
+	f.Add(minimal())
+	f.Add(`{"name":"f","base":{"cycles":3000000,"intervals":14,"seed":7,"machine":"xeon-d","mem_mb_per_socket":512,"arrival_grace_ticks":2,"baseline_ways":3},"studies":[{"name":"s","fleet":[1,2],"sockets":[1,2],"mixes":["mlr","mixed"],"arrivals":["poisson","bursty","diurnal"],"intervals":8,"placement":true,"churn":{"arrivals_every":2,"lifetime":4,"max_live":2,"migrate_every":3}}]}`)
+	f.Add(`{"name":"f","studies":[]}`)
+	f.Add(`{"name":"f","bogus":1}`)
+	f.Add(minimal() + `garbage`)
+	f.Add(`{"name":"f","base":{"machine":"epyc"},"studies":[{"name":"s","fleet":[1],"sockets":[1],"mixes":["mlr"],"arrivals":["steady"]}]}`)
+	f.Add(`{"name":"f","studies":[{"name":"s","fleet":[-1],"sockets":[99],"mixes":[""],"arrivals":[""]}]}`)
+	f.Add(`{"name":"f","base":{"cycles":-1,"mem_mb_per_socket":-5},"studies":[{"name":"s","fleet":[1],"sockets":[1],"mixes":["mlr"],"arrivals":["steady"],"churn":{"arrivals_every":-3}}]}`)
+	f.Add(`{"name":"` + strings.Repeat("x", 100) + `","studies":[]}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`null`)
+	f.Fuzz(func(t *testing.T, data string) {
+		file, err := Parse([]byte(data))
+		if err != nil {
+			return
+		}
+		if err := file.Validate(); err != nil {
+			t.Fatalf("Parse(%q) returned file failing its own Validate: %v", data, err)
+		}
+		scs := file.Expand()
+		if len(scs) == 0 || len(scs) > MaxScenarios {
+			t.Fatalf("Parse(%q) expands to %d scenarios", data, len(scs))
+		}
+		for _, sc := range scs {
+			if _, ok := mixes[sc.Mix]; !ok {
+				t.Fatalf("scenario %s carries unknown mix %q", sc.ID, sc.Mix)
+			}
+			if !known(Arrivals(), sc.Arrival) {
+				t.Fatalf("scenario %s carries unknown arrival %q", sc.ID, sc.Arrival)
+			}
+			if !known(Machines(), sc.Machine) {
+				t.Fatalf("scenario %s carries unknown machine %q", sc.ID, sc.Machine)
+			}
+			if sc.Fleet < 1 || sc.Sockets < 1 || sc.Intervals < MinIntervals || sc.Cycles < MinCycles {
+				t.Fatalf("scenario %s under bounds: %+v", sc.ID, sc)
+			}
+		}
+	})
+}

@@ -1,0 +1,43 @@
+package study
+
+import "testing"
+
+// TestBurstyArrivalsRespectGrace is the study-level face of
+// core/grace_test.go: a bursty-arrival churn scenario admits several
+// cache-sensitive tenants mid-run, and no fresh arrival may carry a
+// Streaming verdict while its arrival grace is still armed — a cold
+// LLC refill looks exactly like streaming, which is what the grace
+// window (core.Config.ArrivalGraceTicks) exists to absorb. The runner
+// audits the invariant after every tick (checkGrace), so one violation
+// anywhere in the run fails the test.
+func TestBurstyArrivalsRespectGrace(t *testing.T) {
+	const file = `{"name":"g",
+		"base":{"cycles":1200000,"mem_mb_per_socket":256},
+		"studies":[{"name":"grace","fleet":[2],"sockets":[1],"mixes":["mlr"],
+			"arrivals":["bursty"],"intervals":18,
+			"churn":{"arrivals_every":1,"lifetime":6,"max_live":3}}]}`
+	f, err := Parse([]byte(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := f.Expand()
+	if len(scs) != 1 {
+		t.Fatalf("expanded to %d scenarios, want 1", len(scs))
+	}
+	res, err := runScenario(scs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The scenario must actually exercise the arrival path: several
+	// admissions (each arming the grace) and at least one departure.
+	if res.Arrivals < 2 {
+		t.Fatalf("only %d arrivals; the bursty churn scenario is not exercising admission", res.Arrivals)
+	}
+	if res.Departures < 1 {
+		t.Fatalf("no departures in %d intervals with lifetime 6", scs[0].Intervals)
+	}
+	if res.GraceViolations != 0 {
+		t.Fatalf("%d arrivals classified Streaming inside their grace window (of %d admissions)",
+			res.GraceViolations, res.Arrivals)
+	}
+}

@@ -1,0 +1,117 @@
+package study
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/addr"
+	"repro/internal/workload"
+)
+
+// A mix maps a tenant's slot index to a workload generator, cycling
+// through its variants so a fleet of N tenants gets a stable, diverse
+// population. maxWS is the largest working set any variant maps — the
+// validator's per-socket memory bound.
+type mixDef struct {
+	maxWS uint64
+	build func(i int, alloc addr.FrameAllocator, seed int64) (workload.Generator, error)
+}
+
+var mixes = map[string]mixDef{
+	// Cache-sensitive microbenchmark ladder: MLR working sets straddle
+	// the baseline allocation, so reallocation decisions move IPC.
+	"mlr": {
+		maxWS: 16 << 20,
+		build: func(i int, alloc addr.FrameAllocator, seed int64) (workload.Generator, error) {
+			sizes := []uint64{4 << 20, 8 << 20, 12 << 20, 16 << 20}
+			return workload.NewMLR(sizes[i%len(sizes)], addr.PageSize4K, alloc, seed)
+		},
+	},
+	// Streaming aggressors next to reuse victims: the dCat headline
+	// isolation case.
+	"stream": {
+		maxWS: 32 << 20,
+		build: func(i int, alloc addr.FrameAllocator, seed int64) (workload.Generator, error) {
+			if i%2 == 0 {
+				return workload.NewMLOAD(32<<20, addr.PageSize4K, alloc)
+			}
+			return workload.NewMLR(8<<20, addr.PageSize4K, alloc, seed)
+		},
+	},
+	// The paper's cloud applications (Tables 4-6).
+	"web": {
+		maxWS: 128 << 20,
+		build: func(i int, alloc addr.FrameAllocator, seed int64) (workload.Generator, error) {
+			switch i % 3 {
+			case 0:
+				return workload.NewRedis(alloc, seed)
+			case 1:
+				return workload.NewPostgres(alloc, seed)
+			default:
+				return workload.NewElasticsearch(alloc, seed)
+			}
+		},
+	},
+	// A SPEC CPU2006 slice spanning the sensitivity spectrum: big
+	// winners, moderate, streaming.
+	"spec": {
+		maxWS: workload.MaxSimWS,
+		build: func(i int, alloc addr.FrameAllocator, seed int64) (workload.Generator, error) {
+			names := []string{"omnetpp", "mcf", "libquantum", "gcc", "astar"}
+			p, err := workload.ProfileByName(names[i%len(names)])
+			if err != nil {
+				return nil, err
+			}
+			return workload.NewSpec(p, alloc, seed)
+		},
+	},
+	// Heterogeneous consolidation: reuse, streaming, and CPU-bound
+	// tenants sharing sockets.
+	"mixed": {
+		maxWS: 32 << 20,
+		build: func(i int, alloc addr.FrameAllocator, seed int64) (workload.Generator, error) {
+			switch i % 4 {
+			case 0:
+				return workload.NewMLR(8<<20, addr.PageSize4K, alloc, seed)
+			case 1:
+				return workload.NewMLOAD(32<<20, addr.PageSize4K, alloc)
+			case 2:
+				return workload.NewMLR(16<<20, addr.PageSize4K, alloc, seed)
+			default:
+				return workload.NewLookbusy(alloc)
+			}
+		},
+	},
+}
+
+// Mixes returns the known mix names, sorted.
+func Mixes() []string {
+	out := make([]string, 0, len(mixes))
+	for name := range mixes {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// mixMaxWS returns the largest working set any listed mix can map —
+// what the validator budgets per co-resident tenant.
+func mixMaxWS(names []string) uint64 {
+	var max uint64
+	for _, n := range names {
+		if d, ok := mixes[n]; ok && d.maxWS > max {
+			max = d.maxWS
+		}
+	}
+	return max
+}
+
+// buildTenant instantiates slot i of a mix (post-validation, so an
+// unknown mix is a programming error, not an operator one).
+func buildTenant(mix string, i int, alloc addr.FrameAllocator, seed int64) (workload.Generator, error) {
+	d, ok := mixes[mix]
+	if !ok {
+		return nil, fmt.Errorf("study: unknown mix %q", mix)
+	}
+	return d.build(i, alloc, seed)
+}

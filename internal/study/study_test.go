@@ -1,0 +1,152 @@
+package study
+
+import (
+	"strings"
+	"testing"
+)
+
+// minimal returns a valid study file the error cases below mutate.
+func minimal() string {
+	return `{"name":"f","studies":[{"name":"s","fleet":[1],"sockets":[1],"mixes":["mlr"],"arrivals":["steady"]}]}`
+}
+
+func TestParseMinimalDefaults(t *testing.T) {
+	f, err := Parse([]byte(minimal()))
+	if err != nil {
+		t.Fatalf("Parse(minimal): %v", err)
+	}
+	if f.Base.Cycles != DefaultCycles || f.Base.Intervals != DefaultIntervals ||
+		f.Base.Machine != "xeon-e5" || f.Base.MemMBPerSocket != DefaultMemMB ||
+		f.Base.BaselineWays != DefaultBaseline || f.Base.Seed != 1 {
+		t.Fatalf("defaults not applied: %+v", f.Base)
+	}
+	scs := f.Expand()
+	if len(scs) != 1 {
+		t.Fatalf("Expand() = %d scenarios, want 1", len(scs))
+	}
+	if scs[0].ID != "f1-s1-mlr-steady" {
+		t.Fatalf("scenario ID %q", scs[0].ID)
+	}
+}
+
+// TestValidationErrors is the dry-run contract: every malformed study
+// file fails Parse with a message naming the problem, before anything
+// could run. The expected substrings are load-bearing — operators see
+// them verbatim from dcat-bench -study-dry-run.
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+		want string
+	}{
+		{"trailing garbage", minimal() + `{"x":1}`, "trailing data"},
+		{"unknown field", `{"name":"f","bogus":1,"studies":[]}`, "unknown field"},
+		{"unknown study field", `{"name":"f","studies":[{"name":"s","rps":[1]}]}`, "unknown field"},
+		{"no studies", `{"name":"f","studies":[]}`, "has no studies"},
+		{"bad file name", `{"name":"a b","studies":[{"name":"s","fleet":[1],"sockets":[1],"mixes":["mlr"],"arrivals":["steady"]}]}`,
+			`file name "a b"`},
+		{"bad study name", `{"name":"f","studies":[{"name":"s/t","fleet":[1],"sockets":[1],"mixes":["mlr"],"arrivals":["steady"]}]}`,
+			`study 0 name "s/t"`},
+		{"duplicate study name", `{"name":"f","studies":[
+			{"name":"s","fleet":[1],"sockets":[1],"mixes":["mlr"],"arrivals":["steady"]},
+			{"name":"s","fleet":[1],"sockets":[1],"mixes":["mlr"],"arrivals":["steady"]}]}`,
+			`duplicate study name "s"`},
+		{"empty axis", `{"name":"f","studies":[{"name":"s","fleet":[],"sockets":[1],"mixes":["mlr"],"arrivals":["steady"]}]}`,
+			"every axis needs at least one value"},
+		{"zero fleet", `{"name":"f","studies":[{"name":"s","fleet":[0],"sockets":[1],"mixes":["mlr"],"arrivals":["steady"]}]}`,
+			"fleet size 0"},
+		{"sockets out of range", `{"name":"f","studies":[{"name":"s","fleet":[1],"sockets":[9],"mixes":["mlr"],"arrivals":["steady"]}]}`,
+			"sockets 9 out of range"},
+		{"unknown mix", `{"name":"f","studies":[{"name":"s","fleet":[1],"sockets":[1],"mixes":["nope"],"arrivals":["steady"]}]}`,
+			`unknown mix "nope"`},
+		{"unknown arrival", `{"name":"f","studies":[{"name":"s","fleet":[1],"sockets":[1],"mixes":["mlr"],"arrivals":["sine"]}]}`,
+			`unknown arrival pattern "sine"`},
+		{"cores overflow", `{"name":"f","base":{"machine":"xeon-d"},"studies":[{"name":"s","fleet":[8],"sockets":[1],"mixes":["mlr"],"arrivals":["steady"]}]}`,
+			"cores on the fullest socket"},
+		{"ways overflow", `{"name":"f","base":{"baseline_ways":6},"studies":[{"name":"s","fleet":[4],"sockets":[1],"mixes":["mlr"],"arrivals":["steady"]}]}`,
+			"baseline ways on the fullest socket"},
+		{"memory overflow", `{"name":"f","base":{"mem_mb_per_socket":64},"studies":[{"name":"s","fleet":[4],"sockets":[1],"mixes":["web"],"arrivals":["steady"]}]}`,
+			"raise mem_mb_per_socket"},
+		{"cycles too small", `{"name":"f","base":{"cycles":1000},"studies":[{"name":"s","fleet":[1],"sockets":[1],"mixes":["mlr"],"arrivals":["steady"]}]}`,
+			"base cycles 1000 below minimum"},
+		{"intervals too small", `{"name":"f","studies":[{"name":"s","intervals":2,"fleet":[1],"sockets":[1],"mixes":["mlr"],"arrivals":["steady"]}]}`,
+			"intervals 2 below minimum"},
+		{"bad machine", `{"name":"f","base":{"machine":"epyc"},"studies":[{"name":"s","fleet":[1],"sockets":[1],"mixes":["mlr"],"arrivals":["steady"]}]}`,
+			`unknown machine "epyc"`},
+		{"negative grace", `{"name":"f","base":{"arrival_grace_ticks":-1},"studies":[{"name":"s","fleet":[1],"sockets":[1],"mixes":["mlr"],"arrivals":["steady"]}]}`,
+			"arrival_grace_ticks -1"},
+		{"negative churn", `{"name":"f","studies":[{"name":"s","fleet":[1],"sockets":[1],"mixes":["mlr"],"arrivals":["steady"],"churn":{"arrivals_every":-1}}]}`,
+			"churn fields must be >= 0"},
+		{"churn without arrivals", `{"name":"f","studies":[{"name":"s","fleet":[1],"sockets":[1],"mixes":["mlr"],"arrivals":["steady"],"churn":{"lifetime":3}}]}`,
+			"churn needs arrivals_every > 0"},
+		{"too many scenarios", `{"name":"f","studies":[{"name":"s","fleet":[` +
+			strings.Repeat("1,", 199) + `1],"sockets":[1],"mixes":["mlr"],"arrivals":["steady","poisson","bursty","diurnal"]}]}`,
+			"maximum 512"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.json))
+			if err == nil {
+				t.Fatalf("Parse accepted %s", tc.json)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not contain %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestExpandDeterminism pins the expansion order and seed derivation:
+// scenario seeds depend only on the base seed and the global index, so
+// appending a study never perturbs earlier scenarios.
+func TestExpandDeterminism(t *testing.T) {
+	const file = `{"name":"f","base":{"seed":5},"studies":[
+		{"name":"a","fleet":[1,2],"sockets":[1],"mixes":["mlr"],"arrivals":["steady","bursty"]},
+		{"name":"b","fleet":[1],"sockets":[2],"mixes":["mixed"],"arrivals":["diurnal"]}]}`
+	f, err := Parse([]byte(file))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scs := f.Expand()
+	wantIDs := []string{
+		"f1-s1-mlr-steady", "f1-s1-mlr-bursty",
+		"f2-s1-mlr-steady", "f2-s1-mlr-bursty",
+		"f1-s2-mixed-diurnal",
+	}
+	if len(scs) != len(wantIDs) {
+		t.Fatalf("Expand() = %d scenarios, want %d", len(scs), len(wantIDs))
+	}
+	for i, sc := range scs {
+		if sc.ID != wantIDs[i] {
+			t.Errorf("scenario %d ID %q, want %q", i, sc.ID, wantIDs[i])
+		}
+		if sc.Index != i || sc.Seed != 5+int64(i)*1009 {
+			t.Errorf("scenario %d: index %d seed %d", i, sc.Index, sc.Seed)
+		}
+	}
+	if scs[4].Study != "b" || scs[4].Sockets != 2 {
+		t.Errorf("last scenario %+v", scs[4])
+	}
+}
+
+// TestCurvesQuantizedAndSeeded pins the curve contract: levels come
+// from the quantization ladder (so any level shift is a phase-sized
+// step) and equal seeds replay equal sequences.
+func TestCurvesQuantizedAndSeeded(t *testing.T) {
+	ladder := map[float64]bool{}
+	for _, l := range levelLadder {
+		ladder[l] = true
+	}
+	for _, name := range Arrivals() {
+		a, b := newCurve(name, 42), newCurve(name, 42)
+		for i := 0; i < 64; i++ {
+			va, vb := a(), b()
+			if va != vb {
+				t.Fatalf("%s: call %d diverged with equal seeds: %v vs %v", name, i, va, vb)
+			}
+			if !ladder[va] {
+				t.Fatalf("%s: level %v not on the quantization ladder", name, va)
+			}
+		}
+	}
+}

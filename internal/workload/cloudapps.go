@@ -31,6 +31,7 @@ type App struct {
 	starts   []int    // first line index of each zone
 	counts   []int    // line count of each zone
 	cum      []float64
+	sp       *addr.Space
 
 	// OpInstr is how many instructions one request retires; together
 	// with Params().AccessesPerInstr it defines a request's memory
@@ -78,6 +79,7 @@ func NewApp(name string, params Params, zones []Zone, opInstr int,
 		rng:     rand.New(rand.NewSource(seed)),
 	}
 	a.linesAll = sp.PhysLines()
+	a.sp = sp
 	start := 0
 	cum := 0.0
 	for _, z := range zones {
@@ -112,6 +114,9 @@ func (a *App) Tick() {}
 
 // WorkingSetBytes implements Sized.
 func (a *App) WorkingSetBytes() uint64 { return uint64(len(a.linesAll)) * addr.LineSize }
+
+// Release implements Releaser.
+func (a *App) Release() { a.sp.Release() }
 
 // NewRedis models the paper's Redis experiment: 1 M records of 128 B
 // under a skewed GET load from memtier (8 threads, pipeline 30). Redis

@@ -15,6 +15,7 @@ type MLR struct {
 	lines []uint64
 	rng   *rand.Rand
 	ws    uint64
+	sp    *addr.Space
 }
 
 // NewMLR builds an MLR instance with the given working-set size,
@@ -29,6 +30,7 @@ func NewMLR(ws uint64, pageSize addr.PageSize, alloc addr.FrameAllocator, seed i
 		lines: sp.PhysLines(),
 		rng:   rand.New(rand.NewSource(seed)),
 		ws:    ws,
+		sp:    sp,
 	}, nil
 }
 
@@ -45,6 +47,9 @@ func (m *MLR) Tick() {}
 // WorkingSetBytes implements Sized.
 func (m *MLR) WorkingSetBytes() uint64 { return m.ws }
 
+// Release implements Releaser.
+func (m *MLR) Release() { m.sp.Release() }
+
 // MLOAD is the paper's sequential-read microbenchmark: a cyclic
 // sequential scan over an array (§2.1). With a working set beyond the
 // cache it produces the classic LRU-thrashing cyclic pattern, which is
@@ -55,6 +60,7 @@ type MLOAD struct {
 	lines []uint64
 	pos   int
 	ws    uint64
+	sp    *addr.Space
 }
 
 // NewMLOAD builds an MLOAD instance.
@@ -67,6 +73,7 @@ func NewMLOAD(ws uint64, pageSize addr.PageSize, alloc addr.FrameAllocator) (*ML
 		name:  fmt.Sprintf("MLOAD-%dMB", ws>>20),
 		lines: sp.PhysLines(),
 		ws:    ws,
+		sp:    sp,
 	}, nil
 }
 
@@ -90,12 +97,16 @@ func (m *MLOAD) Tick() {}
 // WorkingSetBytes implements Sized.
 func (m *MLOAD) WorkingSetBytes() uint64 { return m.ws }
 
+// Release implements Releaser.
+func (m *MLOAD) Release() { m.sp.Release() }
+
 // Lookbusy models the lookbusy CPU-load generator the paper uses as a
 // polite neighbour: it burns cycles with almost no cache footprint, so
 // dCat classifies it as a Donor.
 type Lookbusy struct {
 	lines []uint64
 	pos   int
+	sp    *addr.Space
 }
 
 // NewLookbusy builds a lookbusy instance. Its tiny working set (8 KB)
@@ -105,7 +116,7 @@ func NewLookbusy(alloc addr.FrameAllocator) (*Lookbusy, error) {
 	if err != nil {
 		return nil, fmt.Errorf("workload: lookbusy: %w", err)
 	}
-	return &Lookbusy{lines: sp.PhysLines()}, nil
+	return &Lookbusy{lines: sp.PhysLines(), sp: sp}, nil
 }
 
 func (l *Lookbusy) Name() string { return "lookbusy" }
@@ -127,6 +138,9 @@ func (l *Lookbusy) NextLine() uint64 {
 }
 
 func (l *Lookbusy) Tick() {}
+
+// Release implements Releaser.
+func (l *Lookbusy) Release() { l.sp.Release() }
 
 // Idle models a VM with no workload running: it retires almost nothing
 // and touches no memory. dCat sees near-zero LLC references and
@@ -188,6 +202,15 @@ func (p *Phased) Current() Generator { return p.stages[p.idx].Gen }
 func (p *Phased) Params() Params { return p.Current().Params() }
 
 func (p *Phased) NextLine() uint64 { return p.Current().NextLine() }
+
+// Release implements Releaser: every stage's generator is released.
+func (p *Phased) Release() {
+	for _, st := range p.stages {
+		if r, ok := st.Gen.(Releaser); ok {
+			r.Release()
+		}
+	}
+}
 
 // Tick advances stage time and switches stages when one expires.
 func (p *Phased) Tick() {

@@ -98,6 +98,7 @@ type Spec struct {
 	hotN    int
 	pos     int // sequential cursor for streaming cold accesses
 	rng     *rand.Rand
+	sp      *addr.Space
 }
 
 // NewSpec instantiates a profile. Working sets beyond MaxSimWS are
@@ -124,6 +125,7 @@ func NewSpec(p SpecProfile, alloc addr.FrameAllocator, seed int64) (*Spec, error
 		lines:   lines,
 		hotN:    hotN,
 		rng:     rand.New(rand.NewSource(seed)),
+		sp:      sp,
 	}, nil
 }
 
@@ -154,6 +156,9 @@ func (s *Spec) Tick() {}
 func (s *Spec) WorkingSetBytes() uint64 {
 	return uint64(len(s.lines)) * addr.LineSize
 }
+
+// Release implements Releaser.
+func (s *Spec) Release() { s.sp.Release() }
 
 // Profile returns the profile this generator was built from.
 func (s *Spec) Profile() SpecProfile { return s.profile }

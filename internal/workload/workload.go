@@ -76,6 +76,15 @@ type BulkGenerator interface {
 	NextLines(buf []uint64)
 }
 
+// Releaser is implemented by generators that can give their physical
+// frames back to the allocator they drew from. Tenant churn calls it
+// on departure (host.RemoveVM) so a long-running host's memory returns
+// to baseline instead of leaking one working set per depart cycle. A
+// released generator must not be asked for more lines.
+type Releaser interface {
+	Release()
+}
+
 // space builds an address space for a working set, defaulting to 4 KB
 // pages from the given allocator.
 func space(ws uint64, pageSize addr.PageSize, alloc addr.FrameAllocator) (*addr.Space, error) {
