@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/policy"
 	"repro/internal/study"
 )
 
@@ -54,6 +55,7 @@ func main() {
 		failFast = flag.Bool("failfast", false, "cancel pending experiments after the first failure")
 		compare  = flag.String("compare", "", "compare this run's timings and throughput against a previous "+jsonReportPath+"; exit non-zero on a >2x per-experiment or throughput regression")
 		sockets  = flag.Int("sockets", 0, "run every experiment on an N-socket NUMA host (0 = original single-socket host)")
+		policyFl = flag.String("alloc-policy", "", "allocation policy for every controller: reactive, predictive, or lfoc (\"\" = reactive)")
 		penalty  = flag.Uint64("remote-penalty", 0, "cross-socket DRAM penalty in cycles (0 = default when -sockets > 1)")
 		tracePth = flag.String("trace", "", "also replay this recorded trace (dcat-sim -record) as the chunked 'trace-replay' experiment")
 		studyPth = flag.String("study", "", "also run this declarative study file (see docs/EXPERIMENTS.md) as the 'study' experiment")
@@ -77,6 +79,7 @@ func main() {
 		compare:    *compare,
 		sockets:    *sockets,
 		penalty:    *penalty,
+		policy:     *policyFl,
 		trace:      *tracePth,
 		study:      *studyPth,
 		studyDry:   *studyDry,
@@ -101,6 +104,7 @@ type config struct {
 	compare    string
 	sockets    int
 	penalty    uint64
+	policy     string
 	trace      string
 	study      string
 	studyDry   bool
@@ -159,6 +163,11 @@ func realMain(ctx context.Context, cfg config) error {
 	}
 	opts.Sockets = cfg.sockets
 	opts.RemotePenalty = cfg.penalty
+	if cfg.policy != "" && !policy.Known(cfg.policy) {
+		return fmt.Errorf("unknown -alloc-policy %q (have: %s)",
+			cfg.policy, strings.Join(policy.Names(), ", "))
+	}
+	opts.AllocPolicy = cfg.policy
 	// opts.Jobs stays unset: RunAll attaches the shared -j worker
 	// budget, so in-experiment sweeps widen onto idle slots instead of
 	// multiplying the parallelism per layer.

@@ -8,6 +8,7 @@ import (
 	"repro/internal/bits"
 	"repro/internal/cache"
 	"repro/internal/memsys"
+	"repro/internal/policy"
 )
 
 // Hot-path throughput report: a handful of fixed-work microbenches over
@@ -87,7 +88,48 @@ func measureThroughput() []throughputEntry {
 			p.Close()
 			return thruAccesses
 		}),
+		timeBench("policy-predictive-tick", benchPredictiveTick),
 	}
+}
+
+// benchPredictiveTick isolates the predictive allocation policy's
+// per-round overhead over the reactive baseline: a full Propose — the
+// sequence-model learn/predict pass plus the reactive allocation —
+// across a socket of workloads alternating between two phases every
+// round, the worst case for the model (every round is a transition).
+// Reported as workload-decisions per second so it gates under -compare
+// like the cache paths.
+func benchPredictiveTick() uint64 {
+	const workloads = 8
+	const rounds = 1 << 16
+	curve := policy.Curve{3: 1.0, 5: 1.2, 7: 1.3, 9: 1.31}
+	v := &policy.View{TotalWays: 20, GrowthStep: 2, IPCImpThr: 0.05}
+	for i := 0; i < workloads; i++ {
+		cat := policy.Keeper
+		if i%3 == 1 {
+			cat = policy.Donor
+		}
+		v.Workloads = append(v.Workloads, policy.WorkloadView{
+			Name: fmt.Sprintf("vm%d", i), Category: cat,
+			Ways: 2 + i%4, Baseline: 2, Desire: 2 + i%4,
+			Settled: true, BaselineIPC: 1.0, Curve: curve,
+		})
+	}
+	p := policy.NewPredictive(policy.DefaultPredictiveConfig())
+	var g policy.Grants
+	for r := 0; r < rounds; r++ {
+		phase := int64(-30)
+		if r%2 == 1 {
+			phase = -10
+		}
+		for i := range v.Workloads {
+			v.Workloads[i].PhaseKey = phase
+			// Propose clamps Desire in place on sustains; restore it.
+			v.Workloads[i].Desire = 2 + i%4
+		}
+		p.Propose(v, &g)
+	}
+	return workloads * rounds
 }
 
 // timeBench times one fixed-work bench. Cache/system construction

@@ -7,6 +7,7 @@
 //	dcat-sim -workload mload -ws 60           # watch Streaming detection
 //	dcat-sim -workload redis -noisy 2
 //	dcat-sim -workload spec:omnetpp -policy perf
+//	dcat-sim -alloc-policy predictive         # phase-predictive allocation engine
 //	dcat-sim -csv timeline.csv
 //	dcat-sim -sockets 2                       # NUMA: one dCat loop per LLC
 //	dcat-sim -sockets 2 -target-mem 1         # target's memory on the far socket
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"repro"
+	allocpolicy "repro/internal/policy"
 	"repro/internal/telemetry"
 )
 
@@ -31,6 +33,7 @@ func main() {
 		neighbors = flag.Int("neighbors", 5, "number of lookbusy neighbour VMs")
 		noisy     = flag.Int("noisy", 0, "number of MLOAD-60MB noisy neighbour VMs")
 		policy    = flag.String("policy", "fair", "allocation policy: fair|perf")
+		allocPol  = flag.String("alloc-policy", "", "pluggable allocation engine: reactive|predictive|lfoc (\"\" = reactive)")
 		intervals = flag.Int("intervals", 25, "simulated controller periods")
 		seed      = flag.Int64("seed", 1, "simulation seed")
 		csvPath   = flag.String("csv", "", "write the ways/IPC timeline as CSV")
@@ -47,7 +50,7 @@ func main() {
 		RemotePenalty: *penalty,
 		Topology:      *topology,
 	}
-	if err := realMain(simCfg, *wl, *wsMB<<20, *baseline, *neighbors, *noisy, *policy,
+	if err := realMain(simCfg, *wl, *wsMB<<20, *baseline, *neighbors, *noisy, *policy, *allocPol,
 		*intervals, *seed, *csvPath, *record, *targetMem); err != nil {
 		fmt.Fprintln(os.Stderr, "dcat-sim:", err)
 		os.Exit(1)
@@ -75,7 +78,7 @@ func buildTarget(sim *dcat.Simulation, wl string, ws uint64, seed int64, memSock
 	}
 }
 
-func realMain(simCfg dcat.SimConfig, wl string, ws uint64, baseline, neighbors, noisy int, policy string,
+func realMain(simCfg dcat.SimConfig, wl string, ws uint64, baseline, neighbors, noisy int, policy, allocPol string,
 	intervals int, seed int64, csvPath, recordPath string, targetMem int) error {
 	cfg := dcat.DefaultConfig()
 	switch policy {
@@ -85,6 +88,13 @@ func realMain(simCfg dcat.SimConfig, wl string, ws uint64, baseline, neighbors, 
 		cfg.Policy = dcat.MaxPerformance
 	default:
 		return fmt.Errorf("unknown policy %q", policy)
+	}
+	if allocPol != "" {
+		factory, err := allocpolicy.New(allocPol)
+		if err != nil {
+			return err
+		}
+		cfg.NewPolicy = factory
 	}
 
 	sim, err := dcat.NewSimulation(simCfg)

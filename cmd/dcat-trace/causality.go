@@ -146,9 +146,9 @@ func runTop(args []string) error {
 	}
 
 	type row struct {
-		agent, workload, category string
-		socket, ways, samples     int
-		ipc, mpki                 float64
+		agent, workload, category, policy string
+		socket, ways, samples             int
+		ipc, mpki                         float64
 	}
 	rows := make([]row, 0, len(m.Series))
 	for _, ts := range m.Series {
@@ -156,8 +156,13 @@ func runTop(args []string) error {
 			continue
 		}
 		last := ts.Samples[len(ts.Samples)-1]
+		pol := last.Policy
+		if pol == "" {
+			pol = "-" // pre-policy agent
+		}
 		rows = append(rows, row{
 			agent: ts.Agent, workload: ts.Workload, category: last.Category,
+			policy: pol,
 			socket: last.Socket, ways: last.Ways, samples: len(ts.Samples),
 			ipc: last.IPC, mpki: last.MPKI,
 		})
@@ -186,10 +191,10 @@ func runTop(args []string) error {
 	})
 
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "AGENT\tWORKLOAD\tSOCKET\tCATEGORY\tWAYS\tIPC\tMPKI\tSAMPLES")
+	fmt.Fprintln(tw, "AGENT\tWORKLOAD\tSOCKET\tCATEGORY\tPOLICY\tWAYS\tIPC\tMPKI\tSAMPLES")
 	for _, r := range rows {
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%d\t%.3f\t%.2f\t%d\n",
-			r.agent, r.workload, r.socket, r.category, r.ways, r.ipc, r.mpki, r.samples)
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%s\t%s\t%d\t%.3f\t%.2f\t%d\n",
+			r.agent, r.workload, r.socket, r.category, r.policy, r.ways, r.ipc, r.mpki, r.samples)
 	}
 	if err := tw.Flush(); err != nil {
 		return err

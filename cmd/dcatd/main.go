@@ -33,6 +33,7 @@ import (
 	"repro/internal/httpstatus"
 	"repro/internal/msr"
 	"repro/internal/obs"
+	allocpolicy "repro/internal/policy"
 	"repro/internal/resctrl"
 	"repro/internal/telemetry"
 )
@@ -113,6 +114,7 @@ func main() {
 		msrRoot   = flag.String("msr", "/dev/cpu", "msr device root")
 		period    = flag.Duration("period", time.Second, "controller period")
 		policy    = flag.String("policy", "fair", "allocation policy: fair|perf")
+		allocPol  = flag.String("alloc-policy", "", "pluggable allocation engine: reactive|predictive|lfoc (\"\" = reactive)")
 		demo      = flag.Bool("demo", false, "run against a mock resctrl tree and a simulated socket")
 		demoDir   = flag.String("demo-dir", "", "mock tree location (default: temp dir)")
 		intervals = flag.Int("intervals", 30, "demo length in periods (0 = until interrupted)")
@@ -134,6 +136,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "dcatd: unknown policy %q\n", *policy)
 		os.Exit(1)
+	}
+	if *allocPol != "" {
+		factory, err := allocpolicy.New(*allocPol)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dcatd:", err)
+			os.Exit(1)
+		}
+		cfg.NewPolicy = factory
 	}
 
 	// SIGINT/SIGTERM cancel the context; every run path winds down at

@@ -360,6 +360,7 @@ func (a *Agent) report(ctx context.Context, id string, ticks int, snap []core.St
 			MissRate:     st.MissRate,
 			MAPI:         st.MAPI,
 			Socket:       st.Socket,
+			Policy:       st.Policy,
 		})
 	}
 	transitions, phases := a.tally.Drain()

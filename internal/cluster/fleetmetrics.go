@@ -28,6 +28,9 @@ type TenantSample struct {
 	Ways     int     `json:"ways"`
 	Socket   int     `json:"socket"`
 	Category string  `json:"category"`
+	// Policy is the allocation policy the reporting controller ran
+	// ("" from pre-policy agents).
+	Policy string `json:"policy,omitempty"`
 }
 
 // TenantSeries is one tenant's ring, oldest sample first.
@@ -161,6 +164,7 @@ func (c *Coordinator) sampleTenantsLocked(rec *agentRecord, tick int) {
 			Ways:     wl.Ways,
 			Socket:   wl.Socket,
 			Category: wl.Category,
+			Policy:   wl.Policy,
 		})
 	}
 }
@@ -175,7 +179,7 @@ func (c *Coordinator) TenantMetricsSnapshot() TenantMetrics {
 
 // WriteTenantPrometheus renders each tenant's latest sample as gauges
 // (dcat_tenant_ipc/mpki/ways, labeled by agent, workload, socket,
-// category) — the Prometheus face of /fleet/metrics.
+// category, policy) — the Prometheus face of /fleet/metrics.
 func (c *Coordinator) WriteTenantPrometheus(w io.Writer) error {
 	m := c.TenantMetricsSnapshot()
 	families := []struct {
@@ -198,8 +202,8 @@ func (c *Coordinator) WriteTenantPrometheus(w io.Writer) error {
 				continue
 			}
 			last := ts.Samples[len(ts.Samples)-1]
-			if _, err := fmt.Fprintf(w, "%s{agent=%q,workload=%q,socket=\"%d\",category=%q} %g\n",
-				f.name, ts.Agent, ts.Workload, last.Socket, last.Category, f.value(last)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s{agent=%q,workload=%q,socket=\"%d\",category=%q,policy=%q} %g\n",
+				f.name, ts.Agent, ts.Workload, last.Socket, last.Category, last.Policy, f.value(last)); err != nil {
 				return err
 			}
 		}

@@ -128,6 +128,10 @@ type WorkloadReport struct {
 	// keys contention hints by (workload, socket) so one hot LLC does
 	// not throttle the whole host.
 	Socket int `json:"socket,omitempty"`
+	// Policy is the allocation policy driving the reporting controller
+	// ("reactive", "predictive", ...). Optional: absent from older
+	// agents' reports.
+	Policy string `json:"policy,omitempty"`
 }
 
 // EventSummary aggregates a host's decision-trace events since its

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cat"
+	"repro/internal/perf"
+)
+
+// TestReactiveTickAllocBudget guards the policy extraction's zero-cost
+// promise: routing step 5 through the AllocationPolicy interface must
+// not add steady-state heap allocations to the tick hot path. The
+// budgets are the pre-refactor controller's measured costs (fairness
+// ticks allocate only for table bookkeeping; max-performance adds the
+// DP's scratch) — any regression here means the indirection or the
+// View/Grants plumbing started escaping to the heap.
+func TestReactiveTickAllocBudget(t *testing.T) {
+	measure := func(pol Policy) float64 {
+		const workloads = 4
+		cfg := DefaultConfig()
+		cfg.Policy = pol
+		file := perf.NewFile(workloads)
+		mgr, err := cat.NewManager(&fakeBackend{ways: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		behaviors := []behavior{mlrBehavior(6), streamBehavior(), idleBehavior(), mlrBehavior(4)}
+		targets := make([]Target, workloads)
+		for i := range targets {
+			targets[i] = Target{Name: []string{"a", "b", "c", "d"}[i], Cores: []int{i}, BaselineWays: 1}
+		}
+		ctl, err := New(cfg, mgr, file, targets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Warm up past the learning transient so the measurement sees
+		// the steady state (tables built, phases settled).
+		run := func(n int) {
+			for k := 0; k < n; k++ {
+				for i := range targets {
+					s := behaviors[i](ctl.Ways(targets[i].Name))
+					bank := file.Core(i)
+					bank.Add(perf.L1Hits, s.L1Ref)
+					bank.Add(perf.LLCReferences, s.LLCRef)
+					bank.Add(perf.LLCMisses, s.LLCMiss)
+					bank.Add(perf.RetiredInstructions, s.RetIns)
+					bank.Add(perf.UnhaltedCycles, s.Cycles)
+				}
+				if err := ctl.Tick(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		run(30)
+		return testing.AllocsPerRun(200, func() { run(1) })
+	}
+
+	if got := measure(MaxFairness); got > 4.0 {
+		t.Errorf("fairness tick allocates %.2f/tick, budget is 4.0 (the pre-policy controller's cost)", got)
+	}
+	if got := measure(MaxPerformance); got > 14.0 {
+		t.Errorf("max-performance tick allocates %.2f/tick, budget is 14.0 (the pre-policy controller's cost)", got)
+	}
+}

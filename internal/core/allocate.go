@@ -1,17 +1,27 @@
 package core
 
-// allocate resolves this round's desires into a full way allocation
-// (§3.5). Priorities: Reclaim is absolute (the baseline guarantee);
-// shrinks and holds are taken as-is; growth is granted from the free
-// pool with Unknown ahead of Receiver; the max-performance policy then
-// redistributes among workloads with usable performance tables.
-func (c *Controller) allocate() map[string]int {
-	total := c.mgr.TotalWays()
-	alloc := make(map[string]int, len(c.order))
+import "repro/internal/policy"
 
-	// 0. Advisory caps (SetWayCap): clamp desires before anything else.
-	// Reclaims are exempt — restoring the baseline guarantee outranks
-	// any external hint — and a cap below baseline acts as baseline.
+// This file is the controller side of the step-5 Allocate stage. The
+// §3.5 decision logic itself lives behind policy.AllocationPolicy
+// (internal/policy, default Reactive); the controller's job is to
+// build the read-only round view the policy plans over, and to enforce
+// the invariants no policy may break before the grants reach CAT:
+// every workload holds at least one way, the sum stays within the
+// socket's associativity, and a Reclaim returns to its contracted
+// baseline unless the policy explicitly sustains it (or owns the whole
+// allocation, like the heracles/ucp comparison engines).
+
+// allocate resolves this round's desires into a full way allocation by
+// delegating to the configured allocation policy.
+func (c *Controller) allocate(samples map[string]observation) map[string]int {
+	total := c.mgr.TotalWays()
+
+	// Advisory caps (SetWayCap): clamp desires before any policy sees
+	// them — caps bound what a workload may ask for, not what one
+	// particular policy grants. Reclaims are exempt — restoring the
+	// baseline guarantee outranks any external hint — and a cap below
+	// baseline acts as baseline.
 	for _, name := range c.order {
 		w := c.ws[name]
 		if w.capWays <= 0 || w.state == StateReclaim {
@@ -22,186 +32,106 @@ func (c *Controller) allocate() map[string]int {
 		}
 	}
 
-	// 1. Fixed assignments: reclaims at baseline, everyone else at
-	// min(desire, current) — growth is granted separately so a tight
-	// pool never lets a grower displace someone else's guarantee.
-	sum := 0
-	for _, name := range c.order {
+	c.buildView(samples)
+	c.policy.Propose(&c.view, &c.grants)
+	c.applyGuards(total)
+	c.emitNotes()
+
+	alloc := make(map[string]int, len(c.order))
+	for i, name := range c.order {
 		w := c.ws[name]
-		w.denied = false
-		a := w.desire
-		if w.state != StateReclaim && a > w.ways {
-			a = w.ways
-		}
-		if a < 1 {
-			a = 1
-		}
-		alloc[name] = a
-		sum += a
+		w.denied = c.grants.Denied[i]
+		w.sustained = w.state == StateReclaim && c.grants.Sustain[i]
+		alloc[name] = c.grants.Ways[i]
 	}
-
-	// 2. Over-commit can only come from reclaims (Σ baselines fits by
-	// construction): take ways back from workloads holding more than
-	// their baseline, largest surplus first (§3.5: "dCat has to
-	// reclaim cache from those whose current cache size is larger
-	// than their baseline").
-	for sum > total {
-		victim := ""
-		surplus := 0
-		for _, name := range c.order {
-			w := c.ws[name]
-			if w.state == StateReclaim {
-				continue
-			}
-			if s := alloc[name] - w.baseline; s > surplus {
-				surplus = s
-				victim = name
-			}
-		}
-		if victim == "" {
-			// Nothing above baseline left; trim any allocation above
-			// one way (donors below baseline are already minimal).
-			for _, name := range c.order {
-				if c.ws[name].state != StateReclaim && alloc[name] > 1 {
-					victim = name
-					break
-				}
-			}
-			if victim == "" {
-				break // cannot happen: Σ baselines <= total
-			}
-		}
-		alloc[victim]--
-		sum--
-	}
-
-	// 3. Growth grants from the pool. Unknown workloads outrank
-	// Receivers (§3.5: resolve possible streamers quickly); pending
-	// table-reuse jumps are restorations of known-good allocations and
-	// go first. Within a class, ways are granted one at a time round-
-	// robin, which is also what makes the fairness policy even.
-	pool := total - sum
-	classes := [][]string{nil, nil, nil} // jumps, unknowns, receivers
-	for _, name := range c.order {
-		w := c.ws[name]
-		if w.desire <= alloc[name] || w.state == StateReclaim {
-			continue
-		}
-		switch {
-		case w.jumpTo > 0:
-			classes[0] = append(classes[0], name)
-		case w.state == StateUnknown:
-			classes[1] = append(classes[1], name)
-		case w.state == StateReceiver:
-			classes[2] = append(classes[2], name)
-		default:
-			classes[0] = append(classes[0], name)
-		}
-	}
-	for _, class := range classes {
-		for pool > 0 {
-			granted := false
-			for _, name := range class {
-				if pool == 0 {
-					break
-				}
-				if alloc[name] < c.ws[name].desire {
-					alloc[name]++
-					pool--
-					granted = true
-				}
-			}
-			if !granted {
-				break
-			}
-		}
-	}
-	for _, name := range c.order {
-		w := c.ws[name]
-		if w.desire > alloc[name] && w.state != StateReclaim {
-			w.denied = true
-		}
-	}
-
-	// 4. Max-performance redistribution (§3.5): when tables exist,
-	// choose the split of the cache-sensitive workloads' capacity that
-	// maximizes summed normalized IPC.
-	if c.cfg.Policy == MaxPerformance {
-		c.optimizeAlloc(alloc, &pool, total)
-	}
-
-	c.poolEmpty = pool == 0
+	c.poolEmpty = c.grants.PoolEmpty
 	return alloc
 }
 
-// optimizeAlloc reassigns ways among workloads with informative
-// performance tables, keeping everyone else fixed.
-func (c *Controller) optimizeAlloc(alloc map[string]int, pool *int, total int) {
-	var names []string
-	for _, name := range c.order {
+// buildView refreshes the reusable policy view from the per-workload
+// records, in target order.
+func (c *Controller) buildView(samples map[string]observation) {
+	v := &c.view
+	v.Tick = c.ticks
+	v.TotalWays = c.mgr.TotalWays()
+	v.MaxPerformance = c.cfg.Policy == MaxPerformance
+	v.GrowthStep = c.cfg.GrowthStep
+	v.IPCImpThr = c.cfg.IPCImpThr
+	if cap(v.Workloads) < len(c.order) {
+		v.Workloads = make([]policy.WorkloadView, len(c.order))
+	}
+	v.Workloads = v.Workloads[:len(c.order)]
+	for i, name := range c.order {
 		w := c.ws[name]
-		switch w.state {
-		case StateReceiver, StateKeeper:
-		default:
-			continue
+		v.Workloads[i] = policy.WorkloadView{
+			Name:        w.name,
+			Category:    policy.Category(w.state),
+			Ways:        w.ways,
+			Baseline:    w.baseline,
+			Desire:      w.desire,
+			CapWays:     w.capWays,
+			Settled:     w.settled,
+			JumpTo:      w.jumpTo,
+			Graced:      w.graceLeft > 0,
+			BaselineIPC: w.baselineIPC,
+			IPC:         samples[name].ipc,
+			PhaseKey:    int64(w.phase),
+			Curve:       w.table,
 		}
-		if w.baselineIPC <= 0 || len(w.table) < 3 || w.state == StateReclaim {
-			continue
-		}
-		names = append(names, name)
 	}
-	if len(names) < 2 {
-		return
+}
+
+// applyGuards enforces the allocation invariants on the policy's
+// grants. For the built-in policies every guard is a no-op by
+// construction; they exist so a buggy or independent policy can never
+// starve a workload or over-commit the socket.
+func (c *Controller) applyGuards(total int) {
+	g := &c.grants
+	independent := false
+	if ind, ok := c.policy.(policy.Independent); ok && ind.IndependentAllocator() {
+		independent = true
 	}
-	budget := *pool
-	cands := make([]splitCand, len(names))
-	for i, name := range names {
+	sum := 0
+	for i, name := range c.order {
 		w := c.ws[name]
-		budget += alloc[name]
-		max := w.table.Max() + c.cfg.GrowthStep
-		if max > total {
-			max = total
+		if g.Ways[i] < 1 {
+			g.Ways[i] = 1
 		}
-		if w.capWays > 0 {
-			limit := w.capWays
-			if limit < w.baseline {
-				limit = w.baseline
+		// The baseline guarantee: a Reclaim returns to its contracted
+		// allocation so the phase baseline can be re-measured, unless
+		// the policy deliberately sustains it through the change.
+		if !independent && w.state == StateReclaim && !g.Sustain[i] {
+			g.Ways[i] = w.baseline
+		}
+		sum += g.Ways[i]
+	}
+	for sum > total {
+		victim, surplus := -1, 0
+		for i, name := range c.order {
+			if s := g.Ways[i] - c.ws[name].baseline; s > surplus && g.Ways[i] > 1 {
+				surplus, victim = s, i
 			}
-			if max > limit {
-				max = limit
+		}
+		if victim < 0 {
+			for i := range c.order {
+				if g.Ways[i] > 1 {
+					victim = i
+					break
+				}
+			}
+			if victim < 0 {
+				break // cannot happen: every workload at 1 way fits
 			}
 		}
-		if max < w.baseline {
-			max = w.baseline
-		}
-		// A still-exploring Receiver keeps what it was just granted:
-		// the table has no data beyond its current allocation, so the
-		// optimizer would otherwise strip every probe before it can be
-		// measured. Settled workloads can be trimmed down to baseline.
-		min := w.baseline
-		if !w.settled {
-			min = alloc[name]
-		}
-		if max < min {
-			max = min
-		}
-		cands[i] = splitCand{table: w.table, min: min, max: max}
+		g.Ways[victim]--
+		sum--
 	}
-	res, ok := optimizeSplit(cands, budget)
-	if !ok {
-		return
-	}
-	used := 0
-	for i, name := range names {
-		alloc[name] = res[i]
-		used += res[i]
-	}
-	*pool = budget - used
 }
 
 // Snapshot reports the controller's view of every workload, in target
 // order, based on the most recent tick.
 func (c *Controller) Snapshot() []Status {
+	pol := c.policy.Name()
 	out := make([]Status, 0, len(c.order))
 	for _, name := range c.order {
 		w := c.ws[name]
@@ -220,6 +150,7 @@ func (c *Controller) Snapshot() []Status {
 			MAPI:     w.phaseMAPI,
 			LLCRef:   w.lastLLCRef,
 			Graced:   w.graceLeft > 0,
+			Policy:   pol,
 		})
 	}
 	return out
@@ -257,3 +188,6 @@ func (c *Controller) Table(name string) (PerfTable, bool) {
 	}
 	return w.table.Clone(), true
 }
+
+// PolicyName returns the active allocation policy's identifier.
+func (c *Controller) PolicyName() string { return c.policy.Name() }

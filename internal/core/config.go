@@ -7,7 +7,11 @@
 // spare capacity flows to workloads that actually benefit.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/policy"
+)
 
 // Policy selects how spare cache is distributed when several workloads
 // want more (§3.5).
@@ -80,6 +84,11 @@ type Config struct {
 	// pluggable). Nil uses the paper's fixed relative threshold
 	// (ThresholdDetector with PhaseThr).
 	NewPhaseDetector func() PhaseDetector
+	// NewPolicy, when set, supplies the step-5 allocation policy
+	// (resolve a name with policy.New). Nil uses the paper's reactive
+	// §3.5 allocator. Each controller gets its own instance, so
+	// learned policy state is per socket.
+	NewPolicy func() policy.AllocationPolicy
 }
 
 // detector instantiates the configured phase detector.
@@ -88,6 +97,14 @@ func (c Config) detector() PhaseDetector {
 		return c.NewPhaseDetector()
 	}
 	return NewThresholdDetector(c.PhaseThr)
+}
+
+// policy instantiates the configured allocation policy.
+func (c Config) policy() policy.AllocationPolicy {
+	if c.NewPolicy != nil {
+		return c.NewPolicy()
+	}
+	return policy.NewReactive()
 }
 
 // DefaultConfig returns the paper's operating point.

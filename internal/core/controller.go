@@ -8,6 +8,7 @@ import (
 	"repro/internal/cat"
 	"repro/internal/obs"
 	"repro/internal/perf"
+	"repro/internal/policy"
 )
 
 // Target describes one workload (VM/container) the controller manages.
@@ -27,6 +28,10 @@ type wstate struct {
 
 	state   State
 	settled bool // terminal for this phase; only a phase change resets it
+	// sustained marks a Reclaim whose allocation the policy held
+	// through the phase change (predictive sustain): the next clean
+	// interval adopts the remembered baseline instead of re-measuring.
+	sustained bool
 
 	ways     int // allocation active during the just-measured interval
 	prevWays int // allocation during the interval before that
@@ -38,6 +43,9 @@ type wstate struct {
 	baselineIPC float64
 	table       PerfTable
 	history     map[phaseKey]PerfTable
+	// histIPC remembers the measured baseline IPC per phase (alongside
+	// history's tables) so a sustained phase change can adopt it.
+	histIPC map[phaseKey]float64
 
 	lastIPC    float64
 	lastMiss   float64
@@ -69,6 +77,13 @@ type Controller struct {
 	// the available cache size is used").
 	poolEmpty bool
 	ticks     int
+
+	// policy is the step-5 allocation engine (Config.NewPolicy;
+	// default the paper's reactive §3.5 allocator). view and grants
+	// are its reusable per-tick exchange buffers.
+	policy policy.AllocationPolicy
+	view   policy.View
+	grants policy.Grants
 
 	// Observability hooks; both nil by default (see observe.go).
 	sink    obs.Sink
@@ -104,6 +119,7 @@ func New(cfg Config, mgr *cat.Manager, counters perf.Reader, targets []Target) (
 		mgr:     mgr,
 		sampler: perf.NewSampler(counters),
 		ws:      make(map[string]*wstate),
+		policy:  cfg.policy(),
 	}
 	baseAlloc := make(map[string]int, len(targets))
 	for _, t := range targets {
@@ -119,6 +135,7 @@ func New(cfg Config, mgr *cat.Manager, counters perf.Reader, targets []Target) (
 			prevWays: t.BaselineWays,
 			table:    make(PerfTable),
 			history:  make(map[phaseKey]PerfTable),
+			histIPC:  make(map[phaseKey]float64),
 			det:      cfg.detector(),
 		}
 		c.order = append(c.order, t.Name)
@@ -206,7 +223,7 @@ func (c *Controller) Tick() error {
 		c.categorize(w, samples[name])
 	}
 
-	alloc := c.allocate()
+	alloc := c.allocate(samples)
 	if err := c.mgr.SetAllocation(alloc); err != nil {
 		return fmt.Errorf("core: tick %d: %w", c.ticks, err)
 	}
@@ -267,12 +284,42 @@ func (c *Controller) observePhase(w *wstate, o observation) {
 		w.baselineIPC = 0
 		c.setState(w, StateReclaim, reasonPhaseChange)
 		w.settled = false
+		w.sustained = false
 		w.jumpTo = 0
 		w.denied = false
 		if prev, ok := w.history[w.phase]; ok {
 			w.table = prev.Clone()
 		} else {
 			w.table = make(PerfTable)
+		}
+
+	case w.state == StateReclaim && w.sustained:
+		// Sustain-and-adopt (predictive policy): the phase change
+		// landed on a confident prediction, so the allocator held the
+		// remembered preferred allocation instead of dipping to
+		// baseline. Adopt the phase's remembered baseline IPC as the
+		// performance frame rather than re-measuring it; if nothing is
+		// remembered after all, fall back to the normal reclaim path.
+		w.sustained = false
+		w.phaseMAPI = mapi
+		w.det.Reset(mapi)
+		if key := phaseKeyOf(mapi); key != w.phase {
+			w.phase = key
+			if prev, ok := w.history[key]; ok {
+				w.table = prev.Clone()
+			} else {
+				w.table = make(PerfTable)
+			}
+		}
+		if ipc, ok := w.histIPC[w.phase]; ok && ipc > 0 {
+			w.baselineIPC = ipc
+			c.setState(w, StateKeeper, reasonPolicyAdopt)
+			w.settled = true
+			c.emitAdopt(w, ipc)
+			if pref, ok := w.table.Preferred(c.cfg.IPCImpThr / 2); ok && pref > w.ways {
+				w.jumpTo = pref
+				c.emitTableHit(w, pref)
+			}
 		}
 
 	case w.state == StateReclaim && w.ways == w.baseline:
@@ -308,7 +355,8 @@ func (c *Controller) observePhase(w *wstate, o observation) {
 	}
 }
 
-// saveTable merges the live table into the phase history.
+// saveTable merges the live table into the phase history, remembering
+// the phase's measured baseline IPC alongside it.
 func (c *Controller) saveTable(w *wstate) {
 	if !w.phaseInit || len(w.table) == 0 {
 		return
@@ -320,6 +368,9 @@ func (c *Controller) saveTable(w *wstate) {
 	}
 	for k, v := range w.table {
 		saved[k] = v
+	}
+	if w.baselineIPC > 0 {
+		w.histIPC[w.phase] = w.baselineIPC
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"strconv"
 
 	"repro/internal/obs"
+	"repro/internal/policy"
 	"repro/internal/telemetry"
 )
 
@@ -56,6 +57,16 @@ const (
 	reasonWayGrant = "allocator granted growth from the free pool"
 
 	reasonWayReclaim = "allocator lowered the allocation"
+
+	reasonPolicyAdopt = "sustained phase change matched a remembered baseline: adopting it without the reclaim dip"
+
+	reasonPolicyPreGrant = "sequence model predicts the next phase wants more cache: pre-granting from the free pool"
+
+	reasonPolicyPredictHit = "phase transition landed on the sequence model's prediction"
+
+	reasonPolicyPredictMiss = "phase transition contradicted the sequence model's confident prediction"
+
+	reasonPolicyCluster = "curve-shape clustering reassigned the workload's cluster"
 )
 
 // numStates sizes the transition matrix.
@@ -202,7 +213,7 @@ func (c *Controller) emitTableHit(w *wstate, target int) {
 
 // emitWayChange records the allocator's verdict for one workload when
 // it differs from the current allocation. From carries the category
-// that earned the change.
+// that earned the change, Policy the engine that decided it.
 func (c *Controller) emitWayChange(w *wstate, newWays int) {
 	if c.sink == nil || newWays == w.ways {
 		return
@@ -219,5 +230,64 @@ func (c *Controller) emitWayChange(w *wstate, newWays int) {
 		OldWays:  w.ways,
 		NewWays:  newWays,
 		Reason:   reason,
+		Policy:   c.policy.Name(),
 	})
+}
+
+// emitAdopt records a sustain-and-adopt: a phase change whose baseline
+// was adopted from history instead of re-measured (NewVal carries the
+// adopted IPC).
+func (c *Controller) emitAdopt(w *wstate, ipc float64) {
+	if c.sink == nil {
+		return
+	}
+	c.sink.Emit(obs.Event{
+		Tick:     c.ticks,
+		Kind:     obs.KindPolicyAdopt,
+		Workload: w.name,
+		NewWays:  w.ways,
+		NewVal:   ipc,
+		Reason:   reasonPolicyAdopt,
+		Policy:   c.policy.Name(),
+	})
+}
+
+// emitNotes translates the policy's side-decisions for this round into
+// decision-trace events.
+func (c *Controller) emitNotes() {
+	if c.sink == nil || len(c.grants.Notes) == 0 {
+		return
+	}
+	for _, n := range c.grants.Notes {
+		if n.Workload < 0 || n.Workload >= len(c.order) {
+			continue
+		}
+		name := c.order[n.Workload]
+		w := c.ws[name]
+		var kind obs.Kind
+		var reason string
+		switch n.Kind {
+		case policy.NotePreGrant:
+			kind, reason = obs.KindPolicyPreGrant, reasonPolicyPreGrant
+		case policy.NotePredictHit:
+			kind, reason = obs.KindPolicyPredictHit, reasonPolicyPredictHit
+		case policy.NotePredictMiss:
+			kind, reason = obs.KindPolicyPredictMiss, reasonPolicyPredictMiss
+		case policy.NoteCluster:
+			kind, reason = obs.KindPolicyCluster, reasonPolicyCluster
+		default:
+			continue
+		}
+		c.sink.Emit(obs.Event{
+			Tick:     c.ticks,
+			Kind:     kind,
+			Workload: name,
+			To:       n.Label,
+			OldWays:  w.ways,
+			NewWays:  n.Ways,
+			NewVal:   n.Value,
+			Reason:   reason,
+			Policy:   c.policy.Name(),
+		})
+	}
 }

@@ -99,4 +99,7 @@ type Status struct {
 	// Socket is the LLC domain the workload runs on (0 on single-socket
 	// hosts; stamped by MultiController on NUMA hosts).
 	Socket int
+	// Policy is the allocation policy making the way decisions on this
+	// workload's controller ("reactive", "predictive", "lfoc", ...).
+	Policy string
 }

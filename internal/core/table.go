@@ -1,148 +1,10 @@
 package core
 
-// PerfTable maps a way count to the normalized IPC (relative to the
-// phase's baseline) measured at that allocation — the paper's
-// per-phase performance table (§3.5, Table 1). Tables are sparse: only
-// reached allocations have entries.
-type PerfTable map[int]float64
+import "repro/internal/policy"
 
-// Set records a measurement.
-func (t PerfTable) Set(ways int, normIPC float64) { t[ways] = normIPC }
-
-// At returns the normalized IPC expected at the given way count, using
-// the nearest measured allocation at or below it (cache benefit is
-// monotone enough for planning purposes). ok is false when no entry at
-// or below ways exists.
-func (t PerfTable) At(ways int) (float64, bool) {
-	best := -1
-	for w := range t {
-		if w <= ways && w > best {
-			best = w
-		}
-	}
-	if best < 0 {
-		return 0, false
-	}
-	return t[best], true
-}
-
-// Preferred returns the smallest way count achieving within tol of the
-// table's maximum normalized IPC — the paper's "preferred" allocation
-// (Table 1 marks 6 ways preferred because 7 and 8 add nothing).
-func (t PerfTable) Preferred(tol float64) (ways int, ok bool) {
-	if len(t) == 0 {
-		return 0, false
-	}
-	max := 0.0
-	for _, v := range t {
-		if v > max {
-			max = v
-		}
-	}
-	best := -1
-	for w, v := range t {
-		if v >= max-tol && (best == -1 || w < best) {
-			best = w
-		}
-	}
-	return best, best >= 0
-}
-
-// Max returns the largest measured way count.
-func (t PerfTable) Max() int {
-	max := 0
-	for w := range t {
-		if w > max {
-			max = w
-		}
-	}
-	return max
-}
-
-// Clone copies the table (history snapshots must not alias live state).
-func (t PerfTable) Clone() PerfTable {
-	c := make(PerfTable, len(t))
-	for k, v := range t {
-		c[k] = v
-	}
-	return c
-}
-
-// optimizeSplit maximizes the summed normalized IPC across workloads by
-// dynamic programming — the §3.5 max-performance policy:
-//
-//	Max Σ norm_IPC_i  subject to  Σ ways_i ≤ budget,  min_i ≤ ways_i ≤ max_i.
-//
-// Each candidate supplies its table, its bounds, and its current ways;
-// value at a way count falls back to the nearest lower entry. Returns
-// the chosen ways per candidate (len(cands)), or ok=false when the
-// bounds cannot fit the budget.
-type splitCand struct {
-	table    PerfTable
-	min, max int
-}
-
-func optimizeSplit(cands []splitCand, budget int) ([]int, bool) {
-	n := len(cands)
-	if n == 0 {
-		return nil, true
-	}
-	minSum := 0
-	for _, c := range cands {
-		minSum += c.min
-	}
-	if minSum > budget {
-		return nil, false
-	}
-	const neg = -1e18
-	// dp[b] = best value using budget b over candidates seen so far;
-	// choice[i][b] = ways picked for candidate i at budget b.
-	dp := make([]float64, budget+1)
-	for b := range dp {
-		dp[b] = 0 // zero candidates, any budget: value 0
-	}
-	choice := make([][]int16, n)
-	for i, c := range cands {
-		ndp := make([]float64, budget+1)
-		choice[i] = make([]int16, budget+1)
-		for b := range ndp {
-			ndp[b] = neg
-		}
-		for b := 0; b <= budget; b++ {
-			for w := c.min; w <= c.max && w <= b; w++ {
-				v, ok := c.table.At(w)
-				if !ok {
-					// No data at or below w: treat as baseline-equivalent.
-					v = 1
-				}
-				if dp[b-w] == neg {
-					continue
-				}
-				if nv := dp[b-w] + v; nv > ndp[b] {
-					ndp[b] = nv
-					choice[i][b] = int16(w)
-				}
-			}
-		}
-		dp = ndp
-	}
-	// Pick the best feasible budget.
-	bestB, bestV := -1, neg
-	for b := 0; b <= budget; b++ {
-		if dp[b] > bestV {
-			bestV = dp[b]
-			bestB = b
-		}
-	}
-	if bestB < 0 {
-		return nil, false
-	}
-	out := make([]int, n)
-	b := bestB
-	for i := n - 1; i >= 0; i-- {
-		w := int(choice[i][b])
-		out[i] = w
-		b -= w
-	}
-	return out, true
-}
+// PerfTable is the per-phase ways → normalized-IPC performance table
+// (§3.5, Table 1). The implementation lives in internal/policy as
+// policy.Curve — allocation policies plan over these tables, and the
+// alias lets the controller's live tables flow into policy views
+// without copying or conversion.
+type PerfTable = policy.Curve

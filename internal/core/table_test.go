@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/policy"
 )
 
 func TestPerfTableSetAt(t *testing.T) {
@@ -60,9 +62,9 @@ func TestOptimizeSplitPaperExample(t *testing.T) {
 	// normalized IPC 2.3.
 	a := PerfTable{2: 1.0, 3: 1.05, 4: 1.08, 5: 1.12}
 	b := PerfTable{2: 1.0, 3: 1.1, 4: 1.2, 5: 1.25}
-	res, ok := optimizeSplit([]splitCand{
-		{table: a, min: 2, max: 5},
-		{table: b, min: 2, max: 5},
+	res, ok := policy.OptimizeSplit([]policy.SplitCand{
+		{Table: a, Min: 2, Max: 5},
+		{Table: b, Min: 2, Max: 5},
 	}, 8)
 	if !ok {
 		t.Fatal("split should be feasible")
@@ -79,16 +81,16 @@ func TestOptimizeSplitPaperExample(t *testing.T) {
 
 func TestOptimizeSplitInfeasible(t *testing.T) {
 	tab := PerfTable{2: 1.0}
-	if _, ok := optimizeSplit([]splitCand{
-		{table: tab, min: 5, max: 6},
-		{table: tab, min: 5, max: 6},
+	if _, ok := policy.OptimizeSplit([]policy.SplitCand{
+		{Table: tab, Min: 5, Max: 6},
+		{Table: tab, Min: 5, Max: 6},
 	}, 8); ok {
 		t.Error("mins exceeding budget should be infeasible")
 	}
 }
 
 func TestOptimizeSplitEmpty(t *testing.T) {
-	res, ok := optimizeSplit(nil, 10)
+	res, ok := policy.OptimizeSplit(nil, 10)
 	if !ok || len(res) != 0 {
 		t.Error("no candidates should be trivially ok")
 	}
@@ -98,9 +100,9 @@ func TestOptimizeSplitMissingDataTreatedAsBaseline(t *testing.T) {
 	// Candidate with no entry at or below min: planner assumes 1.0.
 	a := PerfTable{5: 1.5}
 	b := PerfTable{2: 1.0, 3: 1.4}
-	res, ok := optimizeSplit([]splitCand{
-		{table: a, min: 2, max: 5},
-		{table: b, min: 2, max: 3},
+	res, ok := policy.OptimizeSplit([]policy.SplitCand{
+		{Table: a, Min: 2, Max: 5},
+		{Table: b, Min: 2, Max: 3},
 	}, 8)
 	if !ok {
 		t.Fatal("feasible split rejected")
@@ -110,15 +112,15 @@ func TestOptimizeSplitMissingDataTreatedAsBaseline(t *testing.T) {
 	}
 }
 
-// Property: optimizeSplit never exceeds the budget and respects bounds.
+// Property: OptimizeSplit never exceeds the budget and respects bounds.
 func TestOptimizeSplitRespectsBounds(t *testing.T) {
 	f := func(b1, b2, budget uint8) bool {
 		min1, min2 := int(b1%3)+1, int(b2%3)+1
 		bud := int(budget%16) + 2
 		tab := PerfTable{1: 1.0, 2: 1.1, 4: 1.3, 8: 1.35}
-		res, ok := optimizeSplit([]splitCand{
-			{table: tab, min: min1, max: 10},
-			{table: tab, min: min2, max: 10},
+		res, ok := policy.OptimizeSplit([]policy.SplitCand{
+			{Table: tab, Min: min1, Max: 10},
+			{Table: tab, Min: min2, Max: 10},
 		}, bud)
 		if !ok {
 			return min1+min2 > bud

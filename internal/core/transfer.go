@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+
+	"repro/internal/policy"
 )
 
 // This file is the controller's state-transfer API: the piece of the
@@ -36,9 +38,16 @@ type WorkloadState struct {
 	PhaseMAPI float64
 	// Table is the live ways → normalized-IPC table of that phase.
 	Table PerfTable
+	// PolicyModel is the allocation policy's learned per-workload state
+	// (nil when the policy keeps none, or has learned nothing yet). It
+	// travels independently of the settledness gate below: transition
+	// counts are facts about the workload's phase behaviour, valid on
+	// any socket.
+	PolicyModel *policy.ModelState
 
 	phaseInit bool
 	history   map[phaseKey]PerfTable
+	histIPC   map[phaseKey]float64
 }
 
 // RemoveTarget stops managing a workload: its learned state is exported
@@ -59,6 +68,10 @@ func (c *Controller) RemoveTarget(name string) (WorkloadState, error) {
 	for k, t := range w.history {
 		hist[k] = t.Clone()
 	}
+	histIPC := make(map[phaseKey]float64, len(w.histIPC))
+	for k, v := range w.histIPC {
+		histIPC[k] = v
+	}
 	st := WorkloadState{
 		Name:         w.name,
 		Cores:        append([]int(nil), w.cores...),
@@ -71,6 +84,11 @@ func (c *Controller) RemoveTarget(name string) (WorkloadState, error) {
 		Table:        w.table.Clone(),
 		phaseInit:    w.phaseInit,
 		history:      hist,
+		histIPC:      histIPC,
+	}
+	if sp, ok := c.policy.(policy.Stateful); ok {
+		st.PolicyModel = sp.ExportModel(name)
+		sp.DropModel(name)
 	}
 	if err := c.mgr.RemoveGroup(name); err != nil {
 		return WorkloadState{}, fmt.Errorf("core: %w", err)
@@ -132,10 +150,18 @@ func (c *Controller) AddTarget(t Target, st *WorkloadState) error {
 		prevWays: t.BaselineWays,
 		table:    make(PerfTable),
 		history:  make(map[phaseKey]PerfTable),
+		histIPC:  make(map[phaseKey]float64),
 		det:      c.cfg.detector(),
 		// The arrival refills a cold LLC; suspend Streaming verdicts
 		// until the refill storm passes (Config.ArrivalGraceTicks).
 		graceLeft: c.cfg.ArrivalGraceTicks,
+	}
+	// The policy's learned model travels regardless of settledness:
+	// phase-transition history is socket-independent.
+	if st != nil && st.PolicyModel != nil {
+		if sp, ok := c.policy.(policy.Stateful); ok {
+			sp.ImportModel(t.Name, st.PolicyModel)
+		}
 	}
 	// Only a settled export is worth carrying. A settled workload's
 	// table and category are converged facts the destination can act
@@ -160,6 +186,9 @@ func (c *Controller) AddTarget(t Target, st *WorkloadState) error {
 		}
 		for k, tb := range st.history {
 			w.history[k] = tb.Clone()
+		}
+		for k, v := range st.histIPC {
+			w.histIPC[k] = v
 		}
 		// Cross-socket table reuse: the carried table already knows how
 		// this phase pays off with ways, so jump to its preferred

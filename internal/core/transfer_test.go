@@ -4,7 +4,9 @@ import (
 	"testing"
 
 	"repro/internal/cat"
+	"repro/internal/obs"
 	"repro/internal/perf"
+	"repro/internal/policy"
 )
 
 // TestRemoveTargetExportsState: a learned workload exports its phase
@@ -275,5 +277,170 @@ func TestMigrateCarriesState(t *testing.T) {
 		if s.NormIPC <= 0 {
 			t.Errorf("baseline IPC lost in migration: NormIPC %v", s.NormIPC)
 		}
+	}
+}
+
+// TestMigrateCarriesPredictiveModel: the predictive policy's learned
+// phase-transition model travels with a live migration — RemoveTarget
+// exports it (and drops the source copy), AddTarget imports it on the
+// destination's policy instance — independently of the settledness gate
+// that guards the performance-table carry: transition counts are facts
+// about the workload, valid on any socket.
+func TestMigrateCarriesPredictiveModel(t *testing.T) {
+	var preds []*policy.Predictive
+	cfg := DefaultConfig()
+	cfg.NewPolicy = func() policy.AllocationPolicy {
+		p := policy.NewPredictive(policy.DefaultPredictiveConfig())
+		preds = append(preds, p)
+		return p
+	}
+	file := perf.NewFile(4)
+	newMgr := func() *cat.Manager {
+		m, err := cat.NewManager(&fakeBackend{ways: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	multi, err := NewMulti(cfg, file, []SocketSpec{
+		{Socket: 0, Mgr: newMgr(), Targets: []Target{
+			{Name: "mover", Cores: []int{0}, BaselineWays: 3},
+			{Name: "stay", Cores: []int{1}, BaselineWays: 3},
+		}},
+		{Socket: 1, Mgr: newMgr(), Targets: []Target{
+			{Name: "filler", Cores: []int{2}, BaselineWays: 3},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 2 {
+		t.Fatalf("expected one predictive policy per socket, got %d", len(preds))
+	}
+
+	model := &policy.ModelState{
+		Prev: 7, PrevOK: true,
+		Transitions: map[int64]map[int64]int{7: {9: 3}, 9: {7: 2}},
+		Pref:        map[int64]int{7: 5, 9: 9},
+	}
+	preds[0].ImportModel("mover", model)
+
+	if err := multi.Migrate("mover", 1, []int{3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := preds[0].ExportModel("mover"); got != nil {
+		t.Errorf("source policy still holds the migrated model: %+v", got)
+	}
+	carried := preds[1].ExportModel("mover")
+	if carried == nil {
+		t.Fatal("destination policy did not receive the model")
+	}
+	if !carried.PrevOK || carried.Prev != 7 {
+		t.Errorf("position lost: prev=%d ok=%v", carried.Prev, carried.PrevOK)
+	}
+	if carried.Transitions[7][9] != 3 || carried.Transitions[9][7] != 2 {
+		t.Errorf("transition counts lost: %v", carried.Transitions)
+	}
+	if carried.Pref[9] != 9 {
+		t.Errorf("preferred allocations lost: %v", carried.Pref)
+	}
+	// The carried state must be a deep copy: mutating the export must
+	// not reach the destination policy's working model.
+	carried.Transitions[7][9] = 99
+	if again := preds[1].ExportModel("mover"); again.Transitions[7][9] != 3 {
+		t.Errorf("export aliases the live model: %v", again.Transitions)
+	}
+}
+
+// TestArrivalGraceBlocksPredictivePreGrants: a freshly arrived tenant
+// is exempt from predictive decisions until its classification grace
+// expires — even a confidently learned model must not pre-grant ways
+// based on behaviour observed during the cold-cache refill. Once the
+// grace ends the same model may act.
+func TestArrivalGraceBlocksPredictivePreGrants(t *testing.T) {
+	var pred *policy.Predictive
+	cfg := DefaultConfig()
+	cfg.ArrivalGraceTicks = 8
+	cfg.NewPolicy = func() policy.AllocationPolicy {
+		pred = policy.NewPredictive(policy.DefaultPredictiveConfig())
+		return pred
+	}
+	file := perf.NewFile(2)
+	mgr, err := cat.NewManager(&fakeBackend{ways: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := New(cfg, mgr, file, []Target{{Name: "base", Cores: []int{0}, BaselineWays: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := obs.NewJournal(obs.DefaultJournalSize)
+	ctl.SetSink(j)
+
+	baseB := tableBehavior(6, 0.08)
+	migB := idleBehavior()
+	feed := func(core int, s perf.Sample) {
+		bank := file.Core(core)
+		bank.Add(perf.L1Hits, s.L1Ref)
+		bank.Add(perf.LLCReferences, s.LLCRef)
+		bank.Add(perf.LLCMisses, s.LLCMiss)
+		bank.Add(perf.RetiredInstructions, s.RetIns)
+		bank.Add(perf.UnhaltedCycles, s.Cycles)
+	}
+	tick := func(withMig bool) {
+		t.Helper()
+		feed(0, baseB(ctl.Ways("base")))
+		if withMig {
+			feed(1, migB(ctl.Ways("mig")))
+		}
+		if err := ctl.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	countPreGrants := func() int {
+		n := 0
+		for _, e := range j.Tail(j.Len()) {
+			if e.Kind == obs.KindPolicyPreGrant && e.Workload == "mig" {
+				n++
+			}
+		}
+		return n
+	}
+
+	for i := 0; i < 3; i++ {
+		tick(false)
+	}
+	if err := ctl.AddTarget(Target{Name: "mig", Cores: []int{1}, BaselineWays: 3}, nil); err != nil {
+		t.Fatal(err)
+	}
+	// One graced tick so the policy records mig's current phase key
+	// (idle: zero misses, so the flat-miss-rate early exit never fires
+	// and the grace runs its full course).
+	tick(true)
+	st := pred.ExportModel("mig")
+	if st == nil || !st.PrevOK {
+		t.Fatal("graced tick did not record the arrival's phase position")
+	}
+	idleKey := st.Prev
+	busyKey := idleKey + 40 // any distinct phase bucket
+	// A model that confidently predicts the idle tenant's next phase
+	// wants far more cache than the Donor minimum.
+	pred.ImportModel("mig", &policy.ModelState{
+		Prev: idleKey, PrevOK: true,
+		Transitions: map[int64]map[int64]int{idleKey: {busyKey: 5}},
+		Pref:        map[int64]int{busyKey: 8},
+	})
+
+	for i := 0; i < 5; i++ {
+		tick(true) // still inside the grace window
+	}
+	if n := countPreGrants(); n != 0 {
+		t.Fatalf("predictive pre-granted %d times during the arrival grace", n)
+	}
+	for i := 0; i < 6; i++ {
+		tick(true) // grace expired: the model may act now
+	}
+	if n := countPreGrants(); n == 0 {
+		t.Fatal("grace expired but the confident model never pre-granted")
 	}
 }

@@ -28,9 +28,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/policy"
 	"repro/internal/resctrl"
 )
 
@@ -56,10 +58,15 @@ type Thresholds struct {
 
 // File is the parsed configuration.
 type File struct {
-	ResctrlRoot string     `json:"resctrl_root"`
-	MSRRoot     string     `json:"msr_root"`
-	Period      string     `json:"period"`
-	Policy      string     `json:"policy"`
+	ResctrlRoot string `json:"resctrl_root"`
+	MSRRoot     string `json:"msr_root"`
+	Period      string `json:"period"`
+	Policy      string `json:"policy"`
+	// AllocPolicy selects the pluggable allocation engine (reactive,
+	// predictive, lfoc); "" keeps the stock reactive allocator. Distinct
+	// from Policy, which picks the §3.5 fairness/performance objective
+	// the reactive stages optimize for.
+	AllocPolicy string     `json:"alloc_policy"`
 	HTTP        string     `json:"http"`
 	Thresholds  Thresholds `json:"thresholds"`
 	Groups      []Group    `json:"groups"`
@@ -107,6 +114,10 @@ func Parse(raw []byte) (*File, error) {
 	default:
 		return nil, fmt.Errorf("daemoncfg: unknown policy %q", f.Policy)
 	}
+	if !policy.Known(f.AllocPolicy) {
+		return nil, fmt.Errorf("daemoncfg: unknown alloc_policy %q (have: %s)",
+			f.AllocPolicy, strings.Join(policy.Names(), ", "))
+	}
 	if len(f.Groups) == 0 {
 		return nil, fmt.Errorf("daemoncfg: no groups")
 	}
@@ -151,6 +162,13 @@ func (f *File) ControllerConfig() (core.Config, error) {
 	cfg := core.DefaultConfig()
 	if f.Policy == "max-performance" {
 		cfg.Policy = core.MaxPerformance
+	}
+	if f.AllocPolicy != "" {
+		factory, err := policy.New(f.AllocPolicy)
+		if err != nil {
+			return core.Config{}, fmt.Errorf("daemoncfg: %w", err)
+		}
+		cfg.NewPolicy = factory
 	}
 	t := f.Thresholds
 	if t.LLCMissRate != 0 {

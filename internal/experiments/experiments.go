@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/host"
 	"repro/internal/memsys"
+	"repro/internal/policy"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -79,6 +80,11 @@ type Options struct {
 	// RemotePenalty is the cross-socket DRAM penalty in cycles for
 	// NUMA hosts; 0 selects memsys.DefaultRemotePenalty when Sockets>1.
 	RemotePenalty uint64
+	// AllocPolicy selects the controller's allocation policy by registry
+	// name ("" keeps the built-in reactive allocator, bit-identical to
+	// the pre-policy controller). Experiments that pin their own policy
+	// via core.Config.NewPolicy win over this knob.
+	AllocPolicy string
 
 	// pool, when set by RunAll, is the engine-wide worker budget that
 	// sweeps draw from instead of Jobs.
@@ -164,6 +170,7 @@ type vmSpec struct {
 type scenario struct {
 	host  *host.Host
 	specs []vmSpec
+	opts  Options
 	// multi is the per-socket controller set, populated by run on
 	// multi-socket hosts under ModeStatic/ModeDCat (ctl stays nil
 	// there: CAT domains are per-LLC, so no single controller exists).
@@ -197,7 +204,7 @@ func newScenario(opts Options, specs []vmSpec) (*scenario, error) {
 			return nil, fmt.Errorf("experiments: %w", err)
 		}
 	}
-	return &scenario{host: h, specs: specs}, nil
+	return &scenario{host: h, specs: specs, opts: opts}, nil
 }
 
 // run executes the scenario for n intervals under the given mode,
@@ -207,6 +214,13 @@ func newScenario(opts Options, specs []vmSpec) (*scenario, error) {
 // only one socket is populated its loop doubles as the controller.
 func (s *scenario) run(mode Mode, ctlCfg core.Config, n int, onTick func(interval int, ctl *core.Controller)) (*core.Controller, error) {
 	var ctl *core.Controller
+	if s.opts.AllocPolicy != "" && ctlCfg.NewPolicy == nil {
+		factory, err := policy.New(s.opts.AllocPolicy)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		ctlCfg.NewPolicy = factory
+	}
 	nsys := s.host.NUMA()
 	multiSocket := nsys != nil && nsys.Sockets() > 1
 	switch mode {

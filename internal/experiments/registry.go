@@ -67,6 +67,7 @@ func All() []Runner {
 		tabRunner("ablation-replacement", "LLC replacement-policy ablation", AblationReplacement),
 		tabRunner("numa-placement", "Local vs remote memory placement on a 2-socket host", NUMAPlacement),
 		tabRunner("placement", "Fleet placement: live rebalancing of an exhausted socket", FleetPlacement),
+		tabRunner("policy-comparison", "Allocation policies on a recurring-phase tenant", PolicyComparison),
 	}
 }
 

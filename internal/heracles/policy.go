@@ -1,0 +1,123 @@
+package heracles
+
+import "repro/internal/policy"
+
+// Policy adapts the Heracles two-class feedback loop to the
+// policy.AllocationPolicy interface, so it runs inside a dCat
+// controller harness and lands in the same comparison tables as the
+// other policies instead of needing its own bespoke driver.
+//
+// The named latency-critical workload is regulated against TargetIPC
+// exactly as Controller.Tick does; every other workload is best-effort
+// and shares the remaining ways evenly (the closest expressible
+// approximation of Heracles' single undifferentiated BE partition —
+// the controller keeps one CLOS group per workload, and each group
+// needs at least one way).
+//
+// It is an Independent allocator: Heracles has no Reclaim/baseline
+// contract, so the controller only enforces the ≥1-way and
+// sum-within-associativity invariants on its grants.
+type Policy struct {
+	cfg    Config
+	lcName string
+	lcWays int
+	inited bool
+}
+
+// NewPolicy builds the adapter. lcName selects the latency-critical
+// workload by controller target name; if no workload with that name is
+// present in a round, every workload shares the cache evenly.
+func NewPolicy(cfg Config, lcName string) *Policy {
+	return &Policy{cfg: cfg, lcName: lcName}
+}
+
+// Name implements policy.AllocationPolicy.
+func (p *Policy) Name() string { return "heracles" }
+
+// IndependentAllocator implements policy.Independent.
+func (p *Policy) IndependentAllocator() bool { return true }
+
+// LCWays reports the latency-critical partition size.
+func (p *Policy) LCWays() int { return p.lcWays }
+
+// Propose implements policy.AllocationPolicy.
+func (p *Policy) Propose(v *policy.View, g *policy.Grants) {
+	g.Reset(len(v.Workloads))
+	total := v.TotalWays
+	lc := -1
+	for i := range v.Workloads {
+		if v.Workloads[i].Name == p.lcName {
+			lc = i
+			break
+		}
+	}
+	if lc < 0 || len(v.Workloads) == 1 {
+		evenSplit(g.Ways, total)
+		g.PoolEmpty = true
+		return
+	}
+	beFloor := len(v.Workloads) - 1 // one way per best-effort group
+	if p.cfg.MinBE > beFloor {
+		beFloor = p.cfg.MinBE
+	}
+	if !p.inited {
+		p.inited = true
+		p.lcWays = total / 2
+	}
+	// The feedback round (Controller.Tick): confiscate under SLO
+	// pressure, yield under slack, hold inside the margin.
+	ipc := v.Workloads[lc].IPC
+	switch {
+	case ipc < p.cfg.TargetIPC*(1-p.cfg.Margin):
+		p.lcWays += p.cfg.GrowStep
+	case ipc > p.cfg.TargetIPC*(1+p.cfg.Margin):
+		p.lcWays -= p.cfg.YieldStep
+	}
+	if max := total - beFloor; p.lcWays > max {
+		p.lcWays = max
+	}
+	if p.lcWays < p.cfg.MinLC {
+		p.lcWays = p.cfg.MinLC
+	}
+	g.Ways[lc] = p.lcWays
+	// Spread the best-effort partition evenly, earlier targets first.
+	be := total - p.lcWays
+	n := len(v.Workloads) - 1
+	each, extra := be/n, be%n
+	for i := range v.Workloads {
+		if i == lc {
+			continue
+		}
+		w := each
+		if extra > 0 {
+			w++
+			extra--
+		}
+		if w < 1 {
+			w = 1
+		}
+		g.Ways[i] = w
+	}
+	g.PoolEmpty = true
+}
+
+// evenSplit fills ways with an even division of total, earlier entries
+// taking the remainder.
+func evenSplit(ways []int, total int) {
+	n := len(ways)
+	if n == 0 {
+		return
+	}
+	each, extra := total/n, total%n
+	for i := range ways {
+		w := each
+		if extra > 0 {
+			w++
+			extra--
+		}
+		if w < 1 {
+			w = 1
+		}
+		ways[i] = w
+	}
+}

@@ -65,6 +65,21 @@ const (
 	// pressure that justified evaluating a move — the root span of a
 	// placement causality trace.
 	KindPlacementPressure
+	// KindPolicyPreGrant: the allocation policy granted ways ahead of a
+	// predicted phase (predictive policy).
+	KindPolicyPreGrant
+	// KindPolicyAdopt: a sustained phase change adopted its remembered
+	// baseline IPC instead of reclaiming to re-measure it.
+	KindPolicyAdopt
+	// KindPolicyPredictHit: a phase transition landed on the sequence
+	// model's confident prediction.
+	KindPolicyPredictHit
+	// KindPolicyPredictMiss: a confident prediction was contradicted by
+	// the actual transition.
+	KindPolicyPredictMiss
+	// KindPolicyCluster: an LFOC-style policy reassigned a workload's
+	// cluster.
+	KindPolicyCluster
 )
 
 var kindNames = [...]string{
@@ -81,6 +96,11 @@ var kindNames = [...]string{
 	KindPlacementVerified:   "PlacementVerified",
 	KindPlacementRolledBack: "PlacementRolledBack",
 	KindPlacementPressure:   "PlacementPressure",
+	KindPolicyPreGrant:      "PolicyPreGrant",
+	KindPolicyAdopt:         "PolicyAdopt",
+	KindPolicyPredictHit:    "PolicyPredictHit",
+	KindPolicyPredictMiss:   "PolicyPredictMiss",
+	KindPolicyCluster:       "PolicyCluster",
 }
 
 // String names the kind as it appears in JSONL output.
@@ -158,6 +178,10 @@ type Event struct {
 	OldVal  float64 `json:"old_val,omitempty"`
 	NewVal  float64 `json:"new_val,omitempty"`
 	Reason  string  `json:"reason"`
+	// Policy is the allocation policy that made the decision, stamped
+	// on way grants/reclaims and policy_* events ("" on events that
+	// predate the policy layer or don't involve it).
+	Policy string `json:"policy,omitempty"`
 	// Causality fields (all optional; zero means "untraced"). A trace
 	// groups every event downstream of one decision — a controller rule
 	// firing or a placement evaluation — across processes. SpanID is

@@ -1,0 +1,212 @@
+package policy
+
+// Reactive is the paper's §3.5 allocator, extracted decision-for-
+// decision from the controller's historical built-in Allocate step and
+// guarded by core's golden-trace test. Priorities: Reclaim is absolute
+// (the baseline guarantee); shrinks and holds are taken as-is; growth
+// is granted from the free pool with Unknown ahead of Receiver; the
+// max-performance mode then redistributes among workloads with usable
+// performance tables.
+//
+// The advisory-cap clamp (the historical stage 0) stays in the
+// controller: caps bound the *desire* every policy sees, not just this
+// one's grants.
+type Reactive struct {
+	// classes holds the growth classes (jumps, unknowns, receivers) as
+	// workload indices, reused across ticks to keep the hot path free
+	// of per-tick allocations.
+	classes [3][]int
+	cands   []SplitCand
+	optIdx  []int
+}
+
+// NewReactive returns the default §3.5 allocation policy.
+func NewReactive() *Reactive { return &Reactive{} }
+
+// Name implements AllocationPolicy.
+func (r *Reactive) Name() string { return "reactive" }
+
+// Propose implements AllocationPolicy.
+func (r *Reactive) Propose(v *View, g *Grants) {
+	g.Reset(len(v.Workloads))
+	total := v.TotalWays
+
+	// 1. Fixed assignments: reclaims at baseline, everyone else at
+	// min(desire, current) — growth is granted separately so a tight
+	// pool never lets a grower displace someone else's guarantee.
+	sum := 0
+	for i := range v.Workloads {
+		w := &v.Workloads[i]
+		a := w.Desire
+		if w.Category != Reclaim && a > w.Ways {
+			a = w.Ways
+		}
+		if a < 1 {
+			a = 1
+		}
+		g.Ways[i] = a
+		sum += a
+	}
+
+	// 2. Over-commit can only come from reclaims (Σ baselines fits by
+	// construction): take ways back from workloads holding more than
+	// their baseline, largest surplus first (§3.5: "dCat has to
+	// reclaim cache from those whose current cache size is larger
+	// than their baseline").
+	for sum > total {
+		victim := -1
+		surplus := 0
+		for i := range v.Workloads {
+			w := &v.Workloads[i]
+			if w.Category == Reclaim {
+				continue
+			}
+			if s := g.Ways[i] - w.Baseline; s > surplus {
+				surplus = s
+				victim = i
+			}
+		}
+		if victim < 0 {
+			// Nothing above baseline left; trim any allocation above
+			// one way (donors below baseline are already minimal).
+			for i := range v.Workloads {
+				if v.Workloads[i].Category != Reclaim && g.Ways[i] > 1 {
+					victim = i
+					break
+				}
+			}
+			if victim < 0 {
+				break // cannot happen: Σ baselines <= total
+			}
+		}
+		g.Ways[victim]--
+		sum--
+	}
+
+	// 3. Growth grants from the pool. Unknown workloads outrank
+	// Receivers (§3.5: resolve possible streamers quickly); pending
+	// table-reuse jumps are restorations of known-good allocations and
+	// go first. Within a class, ways are granted one at a time round-
+	// robin, which is also what makes the fairness policy even.
+	pool := total - sum
+	for k := range r.classes {
+		r.classes[k] = r.classes[k][:0]
+	}
+	for i := range v.Workloads {
+		w := &v.Workloads[i]
+		if w.Desire <= g.Ways[i] || w.Category == Reclaim {
+			continue
+		}
+		switch {
+		case w.JumpTo > 0:
+			r.classes[0] = append(r.classes[0], i)
+		case w.Category == Unknown:
+			r.classes[1] = append(r.classes[1], i)
+		case w.Category == Receiver:
+			r.classes[2] = append(r.classes[2], i)
+		default:
+			r.classes[0] = append(r.classes[0], i)
+		}
+	}
+	for _, class := range r.classes {
+		for pool > 0 {
+			granted := false
+			for _, i := range class {
+				if pool == 0 {
+					break
+				}
+				if g.Ways[i] < v.Workloads[i].Desire {
+					g.Ways[i]++
+					pool--
+					granted = true
+				}
+			}
+			if !granted {
+				break
+			}
+		}
+	}
+	for i := range v.Workloads {
+		w := &v.Workloads[i]
+		if w.Desire > g.Ways[i] && w.Category != Reclaim {
+			g.Denied[i] = true
+		}
+	}
+
+	// 4. Max-performance redistribution (§3.5): when tables exist,
+	// choose the split of the cache-sensitive workloads' capacity that
+	// maximizes summed normalized IPC.
+	if v.MaxPerformance {
+		r.optimize(v, g, &pool, total)
+	}
+
+	g.PoolEmpty = pool == 0
+}
+
+// optimize reassigns ways among workloads with informative performance
+// tables, keeping everyone else fixed.
+func (r *Reactive) optimize(v *View, g *Grants, pool *int, total int) {
+	r.optIdx = r.optIdx[:0]
+	for i := range v.Workloads {
+		w := &v.Workloads[i]
+		switch w.Category {
+		case Receiver, Keeper:
+		default:
+			continue
+		}
+		if w.BaselineIPC <= 0 || len(w.Curve) < 3 {
+			continue
+		}
+		r.optIdx = append(r.optIdx, i)
+	}
+	if len(r.optIdx) < 2 {
+		return
+	}
+	budget := *pool
+	if cap(r.cands) < len(r.optIdx) {
+		r.cands = make([]SplitCand, len(r.optIdx))
+	}
+	cands := r.cands[:len(r.optIdx)]
+	for k, i := range r.optIdx {
+		w := &v.Workloads[i]
+		budget += g.Ways[i]
+		max := w.Curve.Max() + v.GrowthStep
+		if max > total {
+			max = total
+		}
+		if w.CapWays > 0 {
+			limit := w.CapWays
+			if limit < w.Baseline {
+				limit = w.Baseline
+			}
+			if max > limit {
+				max = limit
+			}
+		}
+		if max < w.Baseline {
+			max = w.Baseline
+		}
+		// A still-exploring Receiver keeps what it was just granted:
+		// the curve has no data beyond its current allocation, so the
+		// optimizer would otherwise strip every probe before it can be
+		// measured. Settled workloads can be trimmed down to baseline.
+		min := w.Baseline
+		if !w.Settled {
+			min = g.Ways[i]
+		}
+		if max < min {
+			max = min
+		}
+		cands[k] = SplitCand{Table: w.Curve, Min: min, Max: max}
+	}
+	res, ok := OptimizeSplit(cands, budget)
+	if !ok {
+		return
+	}
+	used := 0
+	for k, i := range r.optIdx {
+		g.Ways[i] = res[k]
+		used += res[k]
+	}
+	*pool = budget - used
+}

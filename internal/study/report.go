@@ -135,6 +135,9 @@ func Plan(f *File) string {
 		if sc.Placement {
 			extras += " placement"
 		}
+		if sc.Policy != "" {
+			extras += " policy=" + sc.Policy
+		}
 		fmt.Fprintf(&sb, "  [%3d] %s/%s: fleet=%d sockets=%d mix=%s arrival=%s intervals=%d seed=%d%s\n",
 			sc.Index, sc.Study, sc.ID, sc.Fleet, sc.Sockets, sc.Mix, sc.Arrival, sc.Intervals, sc.Seed, extras)
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/placement"
+	"repro/internal/policy"
 	"repro/internal/workload"
 )
 
@@ -93,6 +94,13 @@ func runScenario(sc Scenario) (*ScenarioResult, error) {
 	ctlCfg := core.DefaultConfig()
 	if sc.Grace != nil {
 		ctlCfg.ArrivalGraceTicks = *sc.Grace
+	}
+	if sc.Policy != "" {
+		factory, err := policy.New(sc.Policy)
+		if err != nil {
+			return nil, fmt.Errorf("study: %s/%s: %w", sc.Study, sc.ID, err)
+		}
+		ctlCfg.NewPolicy = factory
 	}
 	multi, err := buildMulti(ctlCfg, h, sc)
 	if err != nil {

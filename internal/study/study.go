@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"repro/internal/memsys"
+	"repro/internal/policy"
 )
 
 // File is one parsed study file: a base configuration plus the studies
@@ -85,6 +86,11 @@ type Study struct {
 	// RPS curve (driving phase changes through the counters) and the
 	// churn arrival schedule.
 	Arrivals []string `json:"arrivals"`
+	// Policies is the allocation-policy axis: controller policy names
+	// from the policy registry ("reactive", "predictive", "lfoc").
+	// Empty keeps the stock reactive allocator and adds no axis — the
+	// scenario IDs of existing studies never change.
+	Policies []string `json:"policies"`
 	// Churn generates synthetic tenant arrivals/departures mid-run;
 	// the zero value disables it.
 	Churn Churn `json:"churn"`
@@ -280,6 +286,12 @@ func (f *File) Validate() error {
 				return fmt.Errorf("study: %s: unknown arrival pattern %q (have: %s)", where, a, knownList(Arrivals()))
 			}
 		}
+		for _, p := range st.Policies {
+			if p == "" || !policy.Known(p) {
+				return fmt.Errorf("study: %s: unknown allocation policy %q (have: %s)",
+					where, p, knownList(policy.Names()))
+			}
+		}
 		if err := st.Churn.validate(where); err != nil {
 			return err
 		}
@@ -309,7 +321,11 @@ func (f *File) Validate() error {
 				}
 			}
 		}
-		total += len(st.Fleet) * len(st.Sockets) * len(st.Mixes) * len(st.Arrivals)
+		npol := len(st.Policies)
+		if npol == 0 {
+			npol = 1
+		}
+		total += len(st.Fleet) * len(st.Sockets) * len(st.Mixes) * len(st.Arrivals) * npol
 	}
 	if total > MaxScenarios {
 		return fmt.Errorf("study: file expands to %d scenarios, maximum %d", total, MaxScenarios)
@@ -379,10 +395,12 @@ type Scenario struct {
 	Index int    // global index across the file, the seed offset
 	Seed  int64
 
-	Fleet    int
-	Sockets  int
-	Mix      string
-	Arrival  string
+	Fleet   int
+	Sockets int
+	Mix     string
+	Arrival string
+	// Policy is the allocation-policy axis value ("" = stock reactive).
+	Policy   string
 	Machine  string
 	Cycles   uint64
 	MemBytes uint64 // per socket
@@ -397,34 +415,47 @@ type Scenario struct {
 
 // Expand resolves the file into its concrete scenario list, in
 // deterministic axis order (fleet, then sockets, then mix, then
-// arrival) per study.
+// arrival, then policy) per study. The policy axis only appears in a
+// scenario's ID when the study sets one, so pre-policy study files
+// expand to the exact same IDs and seeds as before.
 func (f *File) Expand() []Scenario {
 	var out []Scenario
 	for _, st := range f.Studies {
+		policies := st.Policies
+		if len(policies) == 0 {
+			policies = []string{""}
+		}
 		for _, fleet := range st.Fleet {
 			for _, sockets := range st.Sockets {
 				for _, mix := range st.Mixes {
 					for _, arrival := range st.Arrivals {
-						idx := len(out)
-						out = append(out, Scenario{
-							Study:     st.Name,
-							ID:        fmt.Sprintf("f%d-s%d-%s-%s", fleet, sockets, mix, arrival),
-							Index:     idx,
-							Seed:      f.Base.Seed + int64(idx)*1009,
-							Fleet:     fleet,
-							Sockets:   sockets,
-							Mix:       mix,
-							Arrival:   arrival,
-							Machine:   f.Base.Machine,
-							Cycles:    f.Base.Cycles,
-							MemBytes:  uint64(f.Base.MemMBPerSocket) << 20,
-							Remote:    f.Base.RemotePenalty,
-							Intervals: st.Intervals,
-							Grace:     f.Base.ArrivalGraceTicks,
-							Baseline:  f.Base.BaselineWays,
-							Churn:     st.Churn,
-							Placement: st.Placement,
-						})
+						for _, pol := range policies {
+							idx := len(out)
+							id := fmt.Sprintf("f%d-s%d-%s-%s", fleet, sockets, mix, arrival)
+							if pol != "" {
+								id += "-" + pol
+							}
+							out = append(out, Scenario{
+								Study:     st.Name,
+								ID:        id,
+								Index:     idx,
+								Seed:      f.Base.Seed + int64(idx)*1009,
+								Fleet:     fleet,
+								Sockets:   sockets,
+								Mix:       mix,
+								Arrival:   arrival,
+								Policy:    pol,
+								Machine:   f.Base.Machine,
+								Cycles:    f.Base.Cycles,
+								MemBytes:  uint64(f.Base.MemMBPerSocket) << 20,
+								Remote:    f.Base.RemotePenalty,
+								Intervals: st.Intervals,
+								Grace:     f.Base.ArrivalGraceTicks,
+								Baseline:  f.Base.BaselineWays,
+								Churn:     st.Churn,
+								Placement: st.Placement,
+							})
+						}
 					}
 				}
 			}
